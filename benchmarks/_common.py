@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures.  Because
+pytest captures stdout, every artefact is also written to
+``benchmark_results/<name>.txt`` (and ``.csv`` where applicable) so the
+regenerated tables and curves survive the run; use ``pytest -s`` to watch
+them live.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+def emit(name: str, text: str) -> Path:
+    """Print an artefact and persist it under benchmark_results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / f"{name}.txt"
+    target.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {target}]")
+    return target
+
+
+def emit_csv(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / f"{name}.csv"
+    target.write_text(text, encoding="utf-8")
+    return target

@@ -1,0 +1,78 @@
+"""Microbenchmarks: analysis cost scaling and IBN design ablations.
+
+Not a paper artefact, but the numbers DESIGN.md's engineering choices rest
+on: the per-flow-set cost of each analysis as the set grows, the cost of
+the shared interference graph, and the cost of IBN's two ablation knobs.
+"""
+
+import pytest
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import analyze
+from repro.core.interference import InterferenceGraph
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flowset
+
+SEED = 20180319
+
+
+def _flowset(num_flows, mesh=(4, 4)):
+    platform = NoCPlatform(Mesh2D(*mesh), buf=2)
+    return synthetic_flowset(
+        platform, SyntheticConfig(num_flows=num_flows), seed=SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def flowset200():
+    return _flowset(200)
+
+
+@pytest.fixture(scope="module")
+def graph200(flowset200):
+    return InterferenceGraph(flowset200)
+
+
+@pytest.mark.parametrize("num_flows", [50, 200, 400])
+def test_interference_graph_construction(benchmark, num_flows):
+    flowset = _flowset(num_flows)
+    benchmark(lambda: InterferenceGraph(flowset))
+
+
+@pytest.mark.parametrize(
+    "analysis",
+    [SBAnalysis(), XLWXAnalysis(), IBNAnalysis()],
+    ids=lambda a: a.name,
+)
+def test_analysis_cost_200_flows(benchmark, flowset200, graph200, analysis):
+    result = benchmark(
+        lambda: analyze(flowset200, analysis, graph=graph200)
+    )
+    assert result.complete
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [
+        IBNAnalysis(),
+        IBNAnalysis(use_buffer_bound=False),
+        IBNAnalysis(upstream_rule="any_upstream"),
+    ],
+    ids=["ibn", "ibn-no-min", "ibn-conservative-upstream"],
+)
+def test_ibn_ablations(benchmark, flowset200, graph200, variant):
+    result = benchmark(lambda: analyze(flowset200, variant, graph=graph200))
+    assert result.complete
+
+
+def test_end_to_end_verdict_cost(benchmark):
+    """Graph + all four Figure 4 curves for one 200-flow set."""
+    from repro.experiments.schedulability_sweep import analyse_set, fig4_specs
+
+    flowset = _flowset(200)
+    flows = list(flowset.flows)
+    platform = flowset.platform
+    benchmark(lambda: analyse_set(flows, platform, fig4_specs()))

@@ -1,0 +1,43 @@
+"""Benchmark + regeneration of the Section VI buffer-size claim.
+
+"We have performed the same experiments with a range of different buffer
+sizes between 2 and 100 [...] in every case, the analysis was able to
+guarantee schedulability of a smaller number of flow sets when considering
+routers with larger buffers."
+
+The IBN schedulability percentage must be monotonically non-increasing in
+the buffer depth.
+"""
+
+from repro.experiments.buffer_sweep import buffer_sweep
+from repro.experiments.report import render_sweep, sweep_csv
+from repro.experiments.scale import get_scale
+
+from _common import emit, emit_csv
+
+SCALE = get_scale()
+
+
+def test_buffer_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: buffer_sweep(
+            (4, 4),
+            SCALE.buffer_depths,
+            num_flows=SCALE.buffer_flow_count,
+            sets=SCALE.buffer_sets,
+            seed=SCALE.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    values = result.series["IBN"]
+    assert values == sorted(values, reverse=True), "monotonicity violated"
+    text = render_sweep(
+        result,
+        title=(
+            "Section VI buffer sweep: IBN schedulability vs buffer depth "
+            f"({SCALE.buffer_flow_count} flows on 4x4, scale={SCALE.name})"
+        ),
+    )
+    emit("buffer_sweep", text)
+    emit_csv("buffer_sweep", sweep_csv(result))

@@ -1,0 +1,81 @@
+"""Benchmark + regeneration of Figure 4: schedulability vs offered load.
+
+Panel (a) sweeps flow counts on a 4×4 mesh, panel (b) on an 8×8 mesh,
+with the SB / XLWX / IBN2 / IBN100 curves.  Scale (points, sets per
+point) follows ``REPRO_SCALE`` — ``paper`` reproduces the full campaign
+(40..430 and 80..520 flows, 100 sets per point).
+
+Checked shape properties (the paper's claims):
+
+* pointwise ordering SB >= IBN2 >= IBN100 >= XLWX;
+* all curves start fully schedulable at the lightest load;
+* a strictly positive IBN-over-XLWX gap somewhere in the sweep.
+"""
+
+from repro.experiments.report import render_sweep, sweep_csv
+from repro.experiments.scale import get_scale
+from repro.experiments.schedulability_sweep import schedulability_sweep
+
+from _common import emit, emit_csv
+
+SCALE = get_scale()
+
+
+def _run_panel(mesh, counts):
+    return schedulability_sweep(
+        mesh,
+        counts,
+        SCALE.fig4_sets_per_point,
+        seed=SCALE.seed,
+    )
+
+
+def _check_shape(result):
+    for i in range(len(result.x_values)):
+        sb = result.series["SB"][i]
+        ibn2 = result.series["IBN2"][i]
+        ibn100 = result.series["IBN100"][i]
+        xlwx = result.series["XLWX"][i]
+        assert sb >= ibn2 >= ibn100 >= xlwx, result.x_values[i]
+    assert all(series[0] == 100.0 for series in result.series.values())
+    assert result.max_gap("IBN2", "XLWX") > 0
+
+
+def test_fig4a(benchmark):
+    result = benchmark.pedantic(
+        lambda: _run_panel((4, 4), SCALE.fig4a_flow_counts),
+        rounds=1,
+        iterations=1,
+    )
+    _check_shape(result)
+    text = render_sweep(
+        result,
+        title=f"Figure 4(a): 4x4 mesh, scale={SCALE.name}",
+    )
+    text += (
+        f"\nmax IBN2-XLWX gap: {result.max_gap('IBN2', 'XLWX'):.1f}% "
+        "(paper: up to 58%)"
+        f"\nmax IBN2-IBN100 gap: {result.max_gap('IBN2', 'IBN100'):.1f}% "
+        "(paper: up to 8%)"
+    )
+    emit("fig4a", text)
+    emit_csv("fig4a", sweep_csv(result))
+
+
+def test_fig4b(benchmark):
+    result = benchmark.pedantic(
+        lambda: _run_panel((8, 8), SCALE.fig4b_flow_counts),
+        rounds=1,
+        iterations=1,
+    )
+    _check_shape(result)
+    text = render_sweep(
+        result,
+        title=f"Figure 4(b): 8x8 mesh, scale={SCALE.name}",
+    )
+    text += (
+        f"\nmax IBN2-XLWX gap: {result.max_gap('IBN2', 'XLWX'):.1f}% "
+        "(paper: up to 45%)"
+    )
+    emit("fig4b", text)
+    emit_csv("fig4b", sweep_csv(result))

@@ -1,0 +1,49 @@
+"""Benchmark + regeneration of Figure 5: the AV benchmark across topologies.
+
+Maps the autonomous-vehicle application substitute onto the paper's mesh
+list (26 topologies at paper scale) with random mappings, and reports the
+percentage of mappings certified schedulable by XLWX, IBN2 and IBN100.
+
+Checked shape properties:
+
+* IBN2 and IBN100 dominate XLWX on every topology;
+* IBN2 >= IBN100 on every topology;
+* a strictly positive IBN-over-XLWX gap somewhere in the sweep.
+"""
+
+from repro.experiments.av_topologies import av_topology_study
+from repro.experiments.report import render_sweep, sweep_csv
+from repro.experiments.scale import get_scale
+
+from _common import emit, emit_csv
+
+SCALE = get_scale()
+
+
+def test_fig5(benchmark):
+    result = benchmark.pedantic(
+        lambda: av_topology_study(
+            SCALE.fig5_topologies,
+            SCALE.fig5_mappings,
+            seed=SCALE.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for i, topo in enumerate(result.x_values):
+        assert result.series["IBN2"][i] >= result.series["XLWX"][i], topo
+        assert result.series["IBN100"][i] >= result.series["XLWX"][i], topo
+        assert result.series["IBN2"][i] >= result.series["IBN100"][i], topo
+    assert result.max_gap("IBN2", "XLWX") > 0
+    text = render_sweep(
+        result,
+        title=f"Figure 5: AV benchmark, scale={SCALE.name}",
+    )
+    text += (
+        f"\nmax IBN2-XLWX gap: {result.max_gap('IBN2', 'XLWX'):.1f}% "
+        "(paper: up to 67%)"
+        f"\nmax IBN2-IBN100 gap: {result.max_gap('IBN2', 'IBN100'):.1f}% "
+        "(paper: up to 6%)"
+    )
+    emit("fig5", text)
+    emit_csv("fig5", sweep_csv(result))

@@ -1,0 +1,40 @@
+"""Ablation: routing sensitivity (XY vs YX dimension order).
+
+Not a paper artefact.  Same synthetic traffic, two minimal dimension-order
+routings: zero-load latencies are identical, so any verdict difference is
+a contention-placement effect.  Checked shape: per routing, the safe-
+analysis ordering IBN >= XLWX still holds pointwise, and both routings
+certify everything at the lightest load.
+"""
+
+from repro.experiments.report import render_sweep, sweep_csv
+from repro.experiments.routing_study import routing_comparison
+from repro.experiments.scale import get_scale
+
+from _common import emit, emit_csv
+
+SCALE = get_scale()
+
+
+def test_routing_sensitivity(benchmark):
+    counts = SCALE.fig4a_flow_counts[: max(3, len(SCALE.fig4a_flow_counts) // 2)]
+    result = benchmark.pedantic(
+        lambda: routing_comparison(
+            (4, 4), counts, SCALE.fig4_sets_per_point, seed=SCALE.seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for routing in ("XY", "YX"):
+        for i in range(len(result.x_values)):
+            assert (
+                result.series[f"IBN-{routing}"][i]
+                >= result.series[f"XLWX-{routing}"][i]
+            )
+        assert result.series[f"IBN-{routing}"][0] == 100.0
+    text = render_sweep(
+        result,
+        title=f"Routing sensitivity on 4x4 (scale={SCALE.name})",
+    )
+    emit("routing_sensitivity", text)
+    emit_csv("routing_sensitivity", sweep_csv(result))

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""A reduced-scale Figure 5: the AV application across NoC topologies.
+
+Maps the 38-task autonomous-vehicle application substitute onto a range of
+mesh sizes (several random mappings each) and reports the share of
+mappings each safe analysis certifies.  Then zooms into a single
+interesting mapping to show the per-flow picture.
+
+Run:  python examples/av_mapping_study.py
+"""
+
+from repro import IBNAnalysis, XLWXAnalysis, analyze, result_table
+from repro.experiments.av_topologies import av_topology_study
+from repro.experiments.report import render_sweep
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.workloads.av_benchmark import av_flowset
+
+SEED = 20180319
+
+
+def campaign() -> None:
+    result = av_topology_study(
+        [(2, 2), (3, 3), (4, 4), (5, 5), (6, 6), (8, 8), (10, 10)],
+        mappings=10,
+        seed=SEED,
+        progress=lambda message: print(f"  .. {message}"),
+    )
+    print()
+    print(render_sweep(result, title="Figure 5, reduced scale"))
+    print()
+
+
+def zoom_into_one_mapping() -> None:
+    platform = NoCPlatform(Mesh2D(3, 3), buf=2)
+    flowset = av_flowset(platform, seed=SEED, mapping_index=0, length_scale=2.0)
+    print("One 3x3 mapping in detail (XLWX vs IBN verdicts):")
+    for analysis in (XLWXAnalysis(), IBNAnalysis()):
+        result = analyze(flowset, analysis)
+        verdict = "schedulable" if result.schedulable else (
+            f"{result.num_schedulable}/{len(flowset)} flows schedulable"
+        )
+        print(f"  {result.analysis_name}: {verdict}")
+    print()
+    ibn = analyze(flowset, IBNAnalysis())
+    print(result_table(ibn))
+
+
+def main() -> None:
+    campaign()
+    zoom_into_one_mapping()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Contention-aware buffer allocation: the paper's insight as a design tool.
+
+Deep router buffers help average-case throughput but inflate the
+buffered-interference term (Equation 6) — only on routers that actually
+sit inside contention domains.  This example takes a loaded synthetic
+workload where deep uniform buffers are *not* provably schedulable,
+and recovers the IBN guarantee by shrinking buffers only where contention
+pressure is high, keeping them deep everywhere else.
+
+Run:  python examples/buffer_allocation.py
+"""
+
+from repro import IBNAnalysis, is_schedulable
+from repro.core.sizing import allocate_buffers, contention_pressure
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flowset
+
+SEED = 20180319
+SHALLOW, DEEP = 2, 16
+
+
+def pick_workload():
+    """A flow set schedulable with shallow buffers but not with deep ones."""
+    platform = NoCPlatform(Mesh2D(4, 4), buf=SHALLOW)
+    for set_index in range(60):
+        for n in (280, 300, 320, 340):
+            flowset = synthetic_flowset(
+                platform, SyntheticConfig(num_flows=n),
+                seed=SEED, set_index=set_index,
+            )
+            deep = flowset.on_platform(platform.with_buffers(DEEP))
+            if is_schedulable(flowset, IBNAnalysis()) and not is_schedulable(
+                deep, IBNAnalysis()
+            ):
+                return flowset
+    raise SystemExit("no buffer-sensitive workload found; adjust parameters")
+
+
+def main() -> None:
+    flowset = pick_workload()
+    print(f"workload: {len(flowset)} flows on {flowset.platform.topology!r}")
+    print(f"  uniform buf={SHALLOW}:  IBN schedulable = "
+          f"{is_schedulable(flowset, IBNAnalysis())}")
+    deep = flowset.on_platform(flowset.platform.with_buffers(DEEP))
+    print(f"  uniform buf={DEEP}: IBN schedulable = "
+          f"{is_schedulable(deep, IBNAnalysis())}")
+    print()
+
+    pressure = contention_pressure(flowset)
+    hottest = sorted(pressure, key=lambda r: pressure[r], reverse=True)[:5]
+    print("hottest routers (contention-domain memberships):")
+    for router in hottest:
+        print(f"  router {router:>2}: pressure {pressure[router]}")
+    print()
+
+    allocated = allocate_buffers(flowset, shallow=SHALLOW, deep=DEEP)
+    if allocated is None:
+        raise SystemExit("allocation failed (unexpected for this workload)")
+    buf_map = allocated.platform.buf_map or {}
+    shrunk = sorted(r for r, depth in buf_map.items() if depth == SHALLOW)
+    total_routers = flowset.platform.topology.num_routers
+    print(f"contention-aware allocation: {len(shrunk)}/{total_routers} "
+          f"routers shrunk to {SHALLOW} flits, rest stay at {DEEP}:")
+    print(f"  shrunk routers: {shrunk}")
+    print(f"  IBN schedulable = {is_schedulable(allocated, IBNAnalysis())}")
+    mean_depth = sum(
+        allocated.platform.buf_of_router(r) for r in range(total_routers)
+    ) / total_routers
+    print(f"  mean per-VC depth: {mean_depth:.1f} flits "
+          f"(uniform-shallow would be {SHALLOW}.0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that the legacy
+editable-install path (``pip install -e . --no-use-pep517``) works in
+offline environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""repro — reproduction of "Buffer-aware bounds to multi-point progressive
+blocking in priority-preemptive NoCs" (Indrusiak, Burns, Nikolić; DATE 2018).
+
+The library computes worst-case packet response times in wormhole
+networks-on-chip with priority-preemptive virtual-channel arbitration, and
+reproduces the paper's evaluation:
+
+* the **IBN** analysis (the paper's contribution) plus the SB, XLW16 and
+  XLWX baselines (:mod:`repro.core`);
+* the NoC platform model — meshes, XY routing, buffers, link/routing
+  latencies (:mod:`repro.noc`);
+* the real-time traffic model (:mod:`repro.flows`);
+* a cycle-accurate wormhole simulator used to validate the bounds
+  (:mod:`repro.sim`);
+* workload generators and the experiment harness regenerating every table
+  and figure (:mod:`repro.workloads`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        Mesh2D, NoCPlatform, Flow, FlowSet,
+        SBAnalysis, XLWXAnalysis, IBNAnalysis, compare, comparison_table,
+    )
+
+    platform = NoCPlatform(Mesh2D(4, 4), buf=2)
+    flows = [
+        Flow("video", priority=1, period=4000, length=256, src=0, dst=15),
+        Flow("audio", priority=2, period=8000, length=64, src=4, dst=11),
+    ]
+    results = compare(FlowSet(platform, flows),
+                      [SBAnalysis(), XLWXAnalysis(), IBNAnalysis()])
+    print(comparison_table(results))
+"""
+
+from repro.noc import (
+    Link,
+    LinkKind,
+    Mesh2D,
+    NoCPlatform,
+    Topology,
+    XYRouting,
+    chain,
+    contention_domain,
+)
+from repro.flows import (
+    Flow,
+    FlowSet,
+    assign_priorities_audsley,
+    deadline_monotonic,
+    rate_monotonic,
+)
+from repro.core import (
+    Analysis,
+    AnalysisResult,
+    BufferSizingResult,
+    FlowResult,
+    IBNAnalysis,
+    InterferenceGraph,
+    Kim98Analysis,
+    SBAnalysis,
+    XLW16Analysis,
+    XLWXAnalysis,
+    analyze,
+    compare,
+    comparison_table,
+    is_schedulable,
+    length_scaling_margin,
+    max_schedulable_buffer_depth,
+    result_table,
+    slack_table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Link",
+    "LinkKind",
+    "Mesh2D",
+    "NoCPlatform",
+    "Topology",
+    "XYRouting",
+    "chain",
+    "contention_domain",
+    "Flow",
+    "FlowSet",
+    "rate_monotonic",
+    "deadline_monotonic",
+    "assign_priorities_audsley",
+    "Analysis",
+    "AnalysisResult",
+    "FlowResult",
+    "InterferenceGraph",
+    "Kim98Analysis",
+    "SBAnalysis",
+    "XLW16Analysis",
+    "XLWXAnalysis",
+    "IBNAnalysis",
+    "analyze",
+    "compare",
+    "is_schedulable",
+    "comparison_table",
+    "result_table",
+    "BufferSizingResult",
+    "max_schedulable_buffer_depth",
+    "length_scaling_margin",
+    "slack_table",
+    "__version__",
+]

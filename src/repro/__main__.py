@@ -1,0 +1,132 @@
+"""Top-level command line: analyse flow-set files and run campaigns.
+
+Usage::
+
+    python -m repro analyze traffic.json                  # IBN by default
+    python -m repro analyze traffic.json --analysis all --buf 16
+    python -m repro sizing traffic.json                   # buffer headroom
+    python -m repro experiments fig4a --scale default     # campaign runner
+
+``analyze`` reads the JSON format of :mod:`repro.io`; ``experiments``
+forwards to :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.kim98 import Kim98Analysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.analyses.xlw16 import XLW16Analysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import analyze, compare
+from repro.core.report import comparison_table, result_table
+from repro.core.sizing import (
+    length_scaling_margin,
+    max_schedulable_buffer_depth,
+    slack_table,
+)
+from repro.io import load_flowset, result_to_dict
+
+_ANALYSES = {
+    "kim98": Kim98Analysis,
+    "sb": SBAnalysis,
+    "xlw16": XLW16Analysis,
+    "xlwx": XLWXAnalysis,
+    "ibn": IBNAnalysis,
+}
+
+
+def _load(path: str, buf: int | None):
+    flowset = load_flowset(path)
+    if buf is not None:
+        flowset = flowset.on_platform(flowset.platform.with_buffers(buf))
+    return flowset
+
+
+def cmd_analyze(args) -> int:
+    """``analyze``: bound a flow-set file; exit 1 on a deadline miss."""
+    flowset = _load(args.flowset, args.buf)
+    if args.analysis == "all":
+        results = compare(
+            flowset,
+            [SBAnalysis(), XLW16Analysis(), XLWXAnalysis(), IBNAnalysis()],
+        )
+        print(comparison_table(results))
+        print("\n(SB and XLW16 are optimistic under MPB - reference only)")
+        worst = results[f"IBN{flowset.platform.buf}"]
+    else:
+        analysis = _ANALYSES[args.analysis]()
+        worst = analyze(flowset, analysis, stop_at_deadline=False)
+        print(result_table(worst))
+    if args.json:
+        print(json.dumps(result_to_dict(worst), indent=2, sort_keys=True))
+    return 0 if worst.schedulable else 1
+
+
+def cmd_sizing(args) -> int:
+    """``sizing``: slack, buffer-depth and payload headroom of a file."""
+    flowset = _load(args.flowset, args.buf)
+    print(slack_table(flowset))
+    print()
+    depth = max_schedulable_buffer_depth(flowset, hi=args.max_depth)
+    if depth.max_depth is None:
+        print("buffer sizing: unschedulable even with 1-flit buffers")
+    elif depth.unbounded_within_range:
+        print(f"buffer sizing: schedulable at every depth up to {args.max_depth}")
+    else:
+        print(f"buffer sizing: deepest schedulable per-VC buffer = "
+              f"{depth.max_depth} flits")
+    margin = length_scaling_margin(flowset)
+    print(f"payload margin: packets can scale by x{margin:.2f} before the "
+          "IBN verdict flips")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Worst-case NoC latency analysis (DATE'18 IBN reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="bound a flow-set file")
+    p_analyze.add_argument("flowset", help="JSON flow-set file (see repro.io)")
+    p_analyze.add_argument(
+        "--analysis", choices=[*_ANALYSES, "all"], default="ibn"
+    )
+    p_analyze.add_argument(
+        "--buf", type=int, default=None,
+        help="override the platform's per-VC buffer depth",
+    )
+    p_analyze.add_argument(
+        "--json", action="store_true", help="also dump the result as JSON"
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_sizing = sub.add_parser(
+        "sizing", help="buffer-depth and payload headroom of a flow-set file"
+    )
+    p_sizing.add_argument("flowset")
+    p_sizing.add_argument("--buf", type=int, default=None)
+    p_sizing.add_argument("--max-depth", type=int, default=1024)
+    p_sizing.set_defaults(func=cmd_sizing)
+
+    p_exp = sub.add_parser("experiments", help="paper campaign runner")
+    p_exp.add_argument("rest", nargs=argparse.REMAINDER)
+    p_exp.set_defaults(func=None)
+
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        from repro.experiments.runner import main as runner_main
+
+        return runner_main(args.rest)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

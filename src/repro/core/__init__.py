@@ -1,0 +1,54 @@
+"""The paper's contribution: interference theory and response-time analyses.
+
+* :mod:`repro.core.interference` — direct/indirect interference sets and
+  Xiong et al.'s upstream/downstream partitioning (paper Section III);
+* :mod:`repro.core.analyses` — the SB, XLW16, XLWX and IBN analyses;
+* :mod:`repro.core.engine` — the priority-ordered fixed-point engine that
+  turns an analysis into per-flow worst-case response times;
+* :mod:`repro.core.report` — human-readable result tables.
+"""
+
+from repro.core.interference import InterferenceGraph
+from repro.core.engine import (
+    AnalysisResult,
+    FlowResult,
+    analyze,
+    compare,
+    is_schedulable,
+)
+from repro.core.analyses import (
+    Analysis,
+    IBNAnalysis,
+    Kim98Analysis,
+    SBAnalysis,
+    XLW16Analysis,
+    XLWXAnalysis,
+)
+from repro.core.report import comparison_table, result_table
+from repro.core.sizing import (
+    BufferSizingResult,
+    length_scaling_margin,
+    max_schedulable_buffer_depth,
+    slack_table,
+)
+
+__all__ = [
+    "BufferSizingResult",
+    "length_scaling_margin",
+    "max_schedulable_buffer_depth",
+    "slack_table",
+    "InterferenceGraph",
+    "AnalysisResult",
+    "FlowResult",
+    "analyze",
+    "compare",
+    "is_schedulable",
+    "Analysis",
+    "Kim98Analysis",
+    "SBAnalysis",
+    "XLW16Analysis",
+    "XLWXAnalysis",
+    "IBNAnalysis",
+    "comparison_table",
+    "result_table",
+]

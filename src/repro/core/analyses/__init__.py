@@ -1,0 +1,38 @@
+"""Worst-case response-time analyses for priority-preemptive wormhole NoCs.
+
+Five analyses from the paper's narrative, oldest first:
+
+* :class:`Kim98Analysis` — Kim et al. 1998 [9]: direct interference only;
+  the origin of the interference-set formulation.  **Optimistic** even
+  without MPB (no back-to-back-hit jitter).
+* :class:`SBAnalysis` — Shi & Burns 2008 [11]: direct interference plus
+  indirect-interference jitter.  **Optimistic under MPB** (kept as the
+  paper's unsafe reference curve).
+* :class:`XLW16Analysis` — Xiong et al. 2016 [12], Equation 4: first
+  account of MPB, later shown optimistic by Indrusiak et al. [6].  Kept for
+  didactic purposes only.
+* :class:`XLWXAnalysis` — Xiong et al. 2017 [13] with the fix from [6],
+  Equation 5: the safe state of the art the paper compares against.
+* :class:`IBNAnalysis` — the paper's contribution: buffer-aware bounds on
+  downstream indirect interference (Equations 6-8), never looser than XLWX.
+
+All are stateless strategy objects consumed by
+:func:`repro.core.engine.analyze`.
+"""
+
+from repro.core.analyses.base import Analysis, AnalysisContext
+from repro.core.analyses.kim98 import Kim98Analysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.analyses.xlw16 import XLW16Analysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.analyses.ibn import IBNAnalysis
+
+__all__ = [
+    "Analysis",
+    "AnalysisContext",
+    "Kim98Analysis",
+    "SBAnalysis",
+    "XLW16Analysis",
+    "XLWXAnalysis",
+    "IBNAnalysis",
+]

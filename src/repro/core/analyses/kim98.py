@@ -1,0 +1,35 @@
+"""KIM98: direct-interference-only analysis (Kim et al. 1998 [9]).
+
+The historical baseline the paper's related work traces the lineage to:
+Kim et al. introduced the direct/indirect interference-set distinction
+that SB, XLWX and IBN all build on, but their response-time bound charges
+only *direct* interference::
+
+    R_i = C_i + Σ_{τj ∈ S^D_i} ⌈(R_i + J_j)/T_j⌉ · C_j
+
+with no interference-jitter term: it misses the "back-to-back hit"
+phenomenon (a τj packet delayed by τk arriving compressed against the
+next one), which Shi & Burns later covered with ``J^I_j = R_j − C_j`` —
+and of course it predates the MPB observation entirely.
+
+Kept as the deepest reference point of the didactic lineage
+(KIM98 ≤ SB ≤ XLWX pointwise, all three relations property-tested);
+flagged ``unsafe`` on both counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyses.base import Analysis, AnalysisContext
+
+
+class Kim98Analysis(Analysis):
+    """Kim et al. 1998: direct interference only (doubly optimistic)."""
+
+    name = "KIM98"
+    unsafe = True
+
+    def downstream_term(self, ctx: AnalysisContext, i: int, j: int) -> int:
+        return 0
+
+    def indirect_jitter(self, ctx: AnalysisContext, i: int, j: int) -> int:
+        return 0

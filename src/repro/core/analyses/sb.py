@@ -1,0 +1,28 @@
+"""SB: Shi & Burns 2008 [11].
+
+The classic analysis: a packet of τi suffers, from every direct interferer
+τj, at most ``⌈(R_i + J_j + J^I_j)/T_j⌉`` hits of cost ``C_j`` each, where
+the interference jitter ``J^I_j = R_j − C_j`` accounts for indirect
+interference compressing consecutive τj packets ("back-to-back hits").
+
+Xiong et al. [12] showed this is **optimistic under multi-point progressive
+blocking**: a single τj packet can hit τi more than once when τj is blocked
+downstream and its buffered flits replay interference.  The paper keeps SB
+as the (unsafe) upper reference curve in Figure 4; so do we, with
+``unsafe=True`` so no caller mistakes it for a guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyses.base import Analysis, AnalysisContext
+
+
+class SBAnalysis(Analysis):
+    """Shi & Burns direct + indirect-jitter analysis (optimistic under MPB)."""
+
+    name = "SB"
+    unsafe = True
+
+    def downstream_term(self, ctx: AnalysisContext, i: int, j: int) -> int:
+        # SB predates the MPB observation: each hit costs exactly C_j.
+        return 0

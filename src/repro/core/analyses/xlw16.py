@@ -1,0 +1,36 @@
+"""XLW16: the original Xiong et al. 2016 analysis [12] (paper Equation 4).
+
+The first analysis to identify and account for multi-point progressive
+blocking.  It bounds *upstream* indirect interference by using
+``I^up_ji`` as an interference-jitter term inside the ceiling::
+
+    R_i = C_i + Σ_{τj ∈ S^D_i} ⌈(R_i + J_j + I^up_ji)/T_j⌉ · (C_j + I^down_ji)
+
+Indrusiak et al. [6] disproved this with a counter-example: ``I^up_ji``
+cannot capture all upstream indirect-interference effects, so Equation 4
+can be **optimistic**.  The corrected version (XLWX) replaces the jitter
+term with ``J^I_j = R_j − C_j``.
+
+This class exists for didactic and regression purposes — e.g. to show, on
+concrete scenarios, bounds below those of the safe analyses — and is
+flagged ``unsafe``.
+"""
+
+from __future__ import annotations
+
+from repro.core.analyses.base import Analysis, AnalysisContext
+
+
+class XLW16Analysis(Analysis):
+    """Xiong et al. 2016, Equation 4 — shown optimistic by [6]."""
+
+    name = "XLW16"
+    unsafe = True
+
+    def downstream_term(self, ctx: AnalysisContext, i: int, j: int) -> int:
+        _, downstream = ctx.graph.updown_by_index(i, j)
+        return sum(ctx.total[(j, k)] for k in downstream)
+
+    def indirect_jitter(self, ctx: AnalysisContext, i: int, j: int) -> int:
+        upstream, _ = ctx.graph.updown_by_index(i, j)
+        return sum(ctx.total[(j, k)] for k in upstream)

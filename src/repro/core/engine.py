@@ -1,0 +1,283 @@
+"""Priority-ordered fixed-point engine for the response-time analyses.
+
+All analyses in this family share the outer recurrence (paper Equation 5
+shape); this module owns that recurrence, the priority-ordered scheduling
+of per-flow computations, convergence/divergence handling and result
+book-keeping, so each analysis class only contributes its interference
+terms.
+
+Flows are processed from highest to lowest priority.  Every quantity an
+analysis needs about other flows (their response time ``R_j``, the per-hit
+cost ``C_k + I^down_kj`` and total contribution ``I_kj`` of *their*
+interferers) refers strictly up the priority order, so a single pass
+suffices and no global fixed point across flows is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.analyses.base import Analysis, AnalysisContext
+from repro.core.interference import InterferenceGraph
+from repro.flows.flowset import FlowSet
+from repro.util.mathx import FixedPointDiverged, ceil_div, fixed_point
+
+#: Hard ceiling for response times when ``stop_at_deadline`` is disabled.
+#: Any response time beyond this is reported as diverged; it exists only to
+#: keep pathological recurrences (overloaded links) from looping forever.
+RESPONSE_CAP = 1 << 62
+
+
+@dataclass(frozen=True)
+class InterferenceTerm:
+    """One direct interferer's contribution to a flow's bound (breakdown)."""
+
+    interferer: str
+    hits: int
+    hit_cost: int
+    downstream_term: int
+    window_jitter: int
+
+    @property
+    def total(self) -> int:
+        return self.hits * self.hit_cost
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Outcome of one analysis for one flow.
+
+    ``response_time`` is the converged bound when ``converged`` is True;
+    otherwise it is the first iterate beyond the give-up threshold (the
+    deadline, by default) and only its *unschedulable* verdict is
+    meaningful.  ``tainted`` marks flows whose bound depends (transitively)
+    on an unconverged higher-priority flow.
+    """
+
+    name: str
+    priority: int
+    c: int
+    deadline: int
+    response_time: int
+    converged: bool
+    tainted: bool
+    breakdown: tuple[InterferenceTerm, ...] = field(default=())
+
+    @property
+    def schedulable(self) -> bool:
+        return self.converged and self.response_time <= self.deadline
+
+    @property
+    def slack(self) -> int:
+        """Deadline minus bound (negative or meaningless when missed)."""
+        return self.deadline - self.response_time
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of one analysis over a whole flow set."""
+
+    analysis_name: str
+    unsafe: bool
+    flowset: FlowSet
+    flows: Mapping[str, FlowResult]
+    complete: bool = True
+    #: internal computation context, kept only when the caller asked for
+    #: breakdowns; powers :func:`repro.core.report.explain_flow`.
+    context: "AnalysisContext | None" = None
+
+    @property
+    def schedulable(self) -> bool:
+        """True when every analysed flow meets its deadline.
+
+        Only meaningful when ``complete`` is True (no early exit).
+        """
+        return self.complete and all(r.schedulable for r in self.flows.values())
+
+    @property
+    def num_schedulable(self) -> int:
+        return sum(1 for r in self.flows.values() if r.schedulable)
+
+    def response_time(self, name: str) -> int:
+        """Worst-case bound of one flow (see :class:`FlowResult`)."""
+        return self.flows[name].response_time
+
+    def __getitem__(self, name: str) -> FlowResult:
+        return self.flows[name]
+
+
+def analyze(
+    flowset: FlowSet,
+    analysis: Analysis,
+    *,
+    graph: InterferenceGraph | None = None,
+    stop_at_deadline: bool = True,
+    early_exit: bool = False,
+    collect_breakdown: bool = False,
+) -> AnalysisResult:
+    """Compute worst-case response times for every flow of ``flowset``.
+
+    Parameters
+    ----------
+    graph:
+        A pre-built interference graph for this flow set.  Pass one when
+        running several analyses over the same flows (see :func:`compare`)
+        to share the O(n²) contention geometry.
+    stop_at_deadline:
+        Stop iterating a flow's recurrence as soon as it exceeds its
+        deadline (the verdict can no longer change).  Disable to obtain the
+        exact fixed point beyond the deadline, e.g. for latency tables.
+    early_exit:
+        Abandon the whole run at the first deadline miss; the result then
+        has ``complete=False`` and covers only the flows processed so far.
+        This is the fast path for large schedulability sweeps.
+    collect_breakdown:
+        Record per-interferer terms on each
+        :class:`FlowResult` (memory-heavy on large sets; off by default).
+    """
+    if graph is None:
+        graph = InterferenceGraph(flowset)
+    elif not graph.compatible_with(flowset):
+        raise ValueError("interference graph was built for a different flow set")
+    ctx = AnalysisContext(flowset=flowset, graph=graph)
+    results: dict[str, FlowResult] = {}
+    complete = True
+    for i, flow in enumerate(ctx.flows):
+        c_i = ctx.c[i]
+        if flow.is_local:
+            ctx.response[i] = 0
+            ctx.converged[i] = True
+            results[flow.name] = FlowResult(
+                name=flow.name,
+                priority=flow.priority,
+                c=0,
+                deadline=flow.deadline,
+                response_time=0,
+                converged=True,
+                tainted=False,
+            )
+            continue
+
+        # Non-preemptive blocking (extension beyond the paper, which uses
+        # linkl = 1 throughout): with multi-cycle links, arbitration only
+        # switches at flit boundaries, so τi can stall up to linkl−1 cycles
+        # behind an in-flight lower-priority flit on every route link that
+        # lower-priority traffic also uses — once at the start and once
+        # after every preemption (each hit can force a re-acquisition of
+        # those links).  Zero when linkl == 1, keeping the paper's
+        # equations (and the Table II oracle) byte-identical.
+        linkl = flowset.platform.linkl
+        blocking_unit = 0
+        if linkl > 1:
+            blocking_unit = (linkl - 1) * graph.lower_priority_shared_links(i)
+
+        terms: list[tuple[int, int, int, int]] = []  # (j, period, window_jitter, hit_cost)
+        for j in graph.direct_by_index(i):
+            downstream_term = analysis.downstream_term(ctx, i, j)
+            if downstream_term < 0:
+                raise ValueError(
+                    f"{analysis.name}: negative downstream term for pair "
+                    f"({flow.name!r}, {ctx.flows[j].name!r})"
+                )
+            hit_cost = ctx.c[j] + downstream_term
+            ctx.hit_term[(i, j)] = hit_cost
+            window_jitter = ctx.flows[j].jitter + analysis.indirect_jitter(ctx, i, j)
+            terms.append((j, ctx.flows[j].period, window_jitter, hit_cost))
+
+        def recurrence(r: int) -> int:
+            total = c_i + blocking_unit
+            for _, period, window_jitter, hit_cost in terms:
+                total += ceil_div(r + window_jitter, period) * (
+                    hit_cost + blocking_unit
+                )
+            return total
+
+        give_up = flow.deadline if stop_at_deadline else RESPONSE_CAP
+        try:
+            response, converged = fixed_point(recurrence, c_i, give_up_above=give_up)
+        except FixedPointDiverged as diverged:
+            response, converged = diverged.last_value, False
+
+        ctx.response[i] = response
+        ctx.converged[i] = converged
+        for j, period, window_jitter, hit_cost in terms:
+            ctx.total[(i, j)] = (
+                ceil_div(response + window_jitter, period) * hit_cost
+            )
+        tainted = any(
+            not ctx.converged[j] or results[ctx.flows[j].name].tainted
+            for j in graph.direct_by_index(i)
+        )
+        breakdown: tuple[InterferenceTerm, ...] = ()
+        if collect_breakdown:
+            breakdown = tuple(
+                InterferenceTerm(
+                    interferer=ctx.flows[j].name,
+                    hits=ceil_div(response + window_jitter, period),
+                    hit_cost=hit_cost,
+                    downstream_term=hit_cost - ctx.c[j],
+                    window_jitter=window_jitter,
+                )
+                for j, period, window_jitter, hit_cost in terms
+            )
+        results[flow.name] = FlowResult(
+            name=flow.name,
+            priority=flow.priority,
+            c=c_i,
+            deadline=flow.deadline,
+            response_time=response,
+            converged=converged,
+            tainted=tainted,
+            breakdown=breakdown,
+        )
+        if early_exit and not results[flow.name].schedulable:
+            complete = False
+            break
+
+    return AnalysisResult(
+        analysis_name=analysis.label(flowset.platform.buf),
+        unsafe=analysis.unsafe,
+        flowset=flowset,
+        flows=results,
+        complete=complete,
+        context=ctx if collect_breakdown else None,
+    )
+
+
+def is_schedulable(
+    flowset: FlowSet,
+    analysis: Analysis,
+    *,
+    graph: InterferenceGraph | None = None,
+) -> bool:
+    """Fast set-level verdict: does every flow meet its deadline?"""
+    result = analyze(flowset, analysis, graph=graph, early_exit=True)
+    return result.complete and result.schedulable
+
+
+def compare(
+    flowset: FlowSet,
+    analyses: Iterable[Analysis],
+    *,
+    stop_at_deadline: bool = False,
+    collect_breakdown: bool = False,
+) -> dict[str, AnalysisResult]:
+    """Run several analyses over one flow set, sharing the contention graph.
+
+    Returns a dict keyed by each analysis' display label.  The default
+    ``stop_at_deadline=False`` yields exact fixed points (suitable for
+    latency tables like the paper's Table II).
+    """
+    graph = InterferenceGraph(flowset)
+    results: dict[str, AnalysisResult] = {}
+    for analysis in analyses:
+        result = analyze(
+            flowset,
+            analysis,
+            graph=graph,
+            stop_at_deadline=stop_at_deadline,
+            collect_breakdown=collect_breakdown,
+        )
+        results[result.analysis_name] = result
+    return results

@@ -1,0 +1,279 @@
+"""Interference sets over a flow set (paper Sections II-III).
+
+Given a :class:`~repro.flows.flowset.FlowSet`, this module computes the
+contention geometry every analysis consumes:
+
+* the **contention domain** ``cd_ij = route_i ∩ route_j`` of each flow pair,
+  summarised by its size and its position (first/last link order) on each
+  of the two routes;
+* the **direct interference set** ``S^D_i``: higher-priority flows sharing
+  at least one link with τi (Kim et al. / Shi & Burns);
+* the **indirect interference set** ``S^I_i``: flows that interfere with a
+  member of ``S^D_i`` but not with τi itself;
+* Xiong et al.'s partitioning of ``S^I_i ∩ S^D_j`` into the **upstream**
+  set ``S^{up_j}_{I_i}`` (τk hits τj before τj meets τi along τj's route)
+  and the **downstream** set ``S^{down_j}_{I_i}`` (τk hits τj after).
+
+Internally flows are indexed by priority order (index 0 = highest
+priority), so "higher priority than" is simply "smaller index than"; the
+public accessors speak flow names.
+
+A structural fact worth noting (asserted in the test suite): every flow in
+``S^I_i ∩ S^D_j`` is *strictly* upstream or *strictly* downstream — a flow
+whose contention domain with τj overlapped ``cd_ij`` would share a link
+with τi and hence be a direct interferer, not an indirect one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flows.flowset import FlowSet
+
+
+@dataclass(frozen=True)
+class PairGeometry:
+    """Summary of the contention domain of one unordered flow pair.
+
+    ``size`` is ``|cd_ij|`` (number of shared links); ``lo_a``/``hi_a`` are
+    the 1-based orders of the first/last shared link on the route of the
+    pair's lower-indexed flow, ``lo_b``/``hi_b`` on the other route.
+    """
+
+    size: int
+    lo_a: int
+    hi_a: int
+    lo_b: int
+    hi_b: int
+
+
+class InterferenceGraph:
+    """All pairwise contention geometry and interference sets of a flow set.
+
+    Construction is O(n² · route length); the upstream/downstream
+    partitions are computed lazily per (τi, τj) pair and cached, since the
+    engine only needs them for pairs where τj directly interferes with τi.
+    """
+
+    def __init__(self, flowset: FlowSet):
+        self.flowset = flowset
+        flows = flowset.flows
+        self._names = [f.name for f in flows]
+        self._index = {f.name: idx for idx, f in enumerate(flows)}
+        self._routes = [flowset.route(f.name) for f in flows]
+        self._geometry: dict[tuple[int, int], PairGeometry] = {}
+        self._direct: list[tuple[int, ...]] = []
+        self._direct_sets: list[frozenset[int]] = []
+        self._updown_cache: dict[tuple[int, int], tuple[tuple[int, ...], tuple[int, ...]]] = {}
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        routes = self._routes
+        n = len(routes)
+        link_sets = [frozenset(r) for r in routes]
+        positions = [
+            {link: pos + 1 for pos, link in enumerate(route)} for route in routes
+        ]
+        for a in range(n):
+            set_a, pos_a = link_sets[a], positions[a]
+            for b in range(a + 1, n):
+                shared = set_a & link_sets[b]
+                if not shared:
+                    continue
+                pos_b = positions[b]
+                orders_a = [pos_a[link] for link in shared]
+                orders_b = [pos_b[link] for link in shared]
+                geometry = PairGeometry(
+                    size=len(shared),
+                    lo_a=min(orders_a),
+                    hi_a=max(orders_a),
+                    lo_b=min(orders_b),
+                    hi_b=max(orders_b),
+                )
+                self._check_contiguous(a, b, geometry)
+                self._geometry[(a, b)] = geometry
+        for i in range(n):
+            direct = tuple(j for j in range(i) if self._pair(i, j) is not None)
+            self._direct.append(direct)
+            self._direct_sets.append(frozenset(direct))
+
+    def _check_contiguous(self, a: int, b: int, geometry: PairGeometry) -> None:
+        if (
+            geometry.hi_a - geometry.lo_a + 1 != geometry.size
+            or geometry.hi_b - geometry.lo_b + 1 != geometry.size
+        ):
+            raise ValueError(
+                f"contention domain of flows {self._names[a]!r} and "
+                f"{self._names[b]!r} is not a contiguous run of links; the "
+                "analyses require dimension-order routing"
+            )
+
+    def _pair(self, i: int, j: int) -> PairGeometry | None:
+        if i < j:
+            return self._geometry.get((i, j))
+        return self._geometry.get((j, i))
+
+    def compatible_with(self, flowset: FlowSet) -> bool:
+        """Is this graph valid for ``flowset``?
+
+        The geometry depends only on flows (priorities, endpoints) and
+        routes — *not* on buffer depth or latencies — so one graph can be
+        shared across platforms differing only in ``buf``/``linkl``/
+        ``routl`` (the paper's IBN2-vs-IBN100 comparisons).
+        """
+        if flowset is self.flowset:
+            return True
+        mine = self.flowset.platform
+        theirs = flowset.platform
+        return (
+            self.flowset.flows == flowset.flows
+            and mine.topology is theirs.topology
+            and type(mine.routing) is type(theirs.routing)
+        )
+
+    # -- basic geometry -------------------------------------------------------
+
+    def index(self, name: str) -> int:
+        """Priority-order index of a flow (0 = highest priority)."""
+        return self._index[name]
+
+    def name(self, index: int) -> str:
+        """Flow name at a priority-order index."""
+        return self._names[index]
+
+    def cd_size_by_index(self, i: int, j: int) -> int:
+        """``|cd_ij|`` — number of shared links (0 when disjoint)."""
+        pair = self._pair(i, j)
+        return 0 if pair is None else pair.size
+
+    def cd_size(self, name_i: str, name_j: str) -> int:
+        """``|cd_ij|`` by flow names."""
+        return self.cd_size_by_index(self._index[name_i], self._index[name_j])
+
+    def cd_links_by_index(self, i: int, j: int) -> tuple[int, ...]:
+        """The contention domain's link ids, ordered along τi's route.
+
+        Needed by the heterogeneous-buffer variant of Equation 6 (per-link
+        depths); the homogeneous fast path only uses
+        :meth:`cd_size_by_index`.
+        """
+        pair = self._pair(i, j)
+        if pair is None:
+            return ()
+        lo, hi = self.cd_span_on(i, j)
+        return tuple(self._routes[i][lo - 1:hi])
+
+    def cd_links(self, name_i: str, name_j: str) -> tuple[int, ...]:
+        """Contention-domain link ids by flow names."""
+        return self.cd_links_by_index(self._index[name_i], self._index[name_j])
+
+    def cd_span_on(self, on: int, other: int) -> tuple[int, int]:
+        """(first, last) 1-based orders of ``cd`` links on flow ``on``'s route.
+
+        Raises ``ValueError`` when the two routes are disjoint.
+        """
+        pair = self._pair(on, other)
+        if pair is None:
+            raise ValueError(
+                f"flows {self._names[on]!r} and {self._names[other]!r} share no links"
+            )
+        if on < other:
+            return pair.lo_a, pair.hi_a
+        return pair.lo_b, pair.hi_b
+
+    # -- interference sets ------------------------------------------------------
+
+    def direct_by_index(self, i: int) -> tuple[int, ...]:
+        """``S^D_i``: indices of higher-priority flows sharing links with τi."""
+        return self._direct[i]
+
+    def lower_priority_shared_links(self, i: int) -> int:
+        """Number of τi route links also used by *lower*-priority flows.
+
+        Feeds the non-preemptive blocking term for platforms with
+        ``linkl > 1`` (see :mod:`repro.core.engine`): on such platforms a
+        higher-priority header can stall behind one in-flight
+        lower-priority flit on each of these links.
+        """
+        suffix = getattr(self, "_suffix_links", None)
+        if suffix is None:
+            suffix = [set() for _ in self._routes]
+            accumulated: set[int] = set()
+            for index in range(len(self._routes) - 1, -1, -1):
+                suffix[index] = set(accumulated)
+                accumulated.update(self._routes[index])
+            self._suffix_links = suffix
+        return len(set(self._routes[i]) & suffix[i])
+
+    def direct(self, name: str) -> tuple[str, ...]:
+        """``S^D_i`` by flow names."""
+        return tuple(self._names[j] for j in self._direct[self._index[name]])
+
+    def indirect_by_index(self, i: int) -> tuple[int, ...]:
+        """``S^I_i``: flows interfering with ``S^D_i`` members but not τi."""
+        direct = self._direct_sets[i]
+        indirect = {
+            k
+            for j in self._direct[i]
+            for k in self._direct[j]
+            if k not in direct
+        }
+        return tuple(sorted(indirect))
+
+    def indirect(self, name: str) -> tuple[str, ...]:
+        """``S^I_i`` by flow names."""
+        return tuple(self._names[k] for k in self.indirect_by_index(self._index[name]))
+
+    def updown_by_index(
+        self, i: int, j: int
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """``(S^{up_j}_{I_i}, S^{down_j}_{I_i})`` as index tuples.
+
+        ``j`` must be a direct interferer of ``i``.  A member τk of
+        ``S^I_i ∩ S^D_j`` is upstream when its last shared link with τj
+        comes before the first link of ``cd_ij`` on τj's route, downstream
+        when its first shared link comes after the last link of ``cd_ij``.
+        """
+        key = (i, j)
+        cached = self._updown_cache.get(key)
+        if cached is not None:
+            return cached
+        if j not in self._direct_sets[i]:
+            raise ValueError(
+                f"{self._names[j]!r} is not a direct interferer of {self._names[i]!r}"
+            )
+        cd_lo, cd_hi = self.cd_span_on(j, i)
+        direct_i = self._direct_sets[i]
+        upstream: list[int] = []
+        downstream: list[int] = []
+        for k in self._direct[j]:
+            if k in direct_i or k == i:
+                continue
+            jk_lo, jk_hi = self.cd_span_on(j, k)
+            if jk_hi < cd_lo:
+                upstream.append(k)
+            elif jk_lo > cd_hi:
+                downstream.append(k)
+            else:
+                raise AssertionError(
+                    f"flow {self._names[k]!r} overlaps cd("
+                    f"{self._names[i]!r}, {self._names[j]!r}) on "
+                    f"{self._names[j]!r}'s route yet is not a direct "
+                    f"interferer of {self._names[i]!r}; contention domains "
+                    "are inconsistent"
+                )
+        result = (tuple(upstream), tuple(downstream))
+        self._updown_cache[key] = result
+        return result
+
+    def upstream(self, name_i: str, name_j: str) -> tuple[str, ...]:
+        """``S^{up_j}_{I_i}`` by flow names."""
+        up, _ = self.updown_by_index(self._index[name_i], self._index[name_j])
+        return tuple(self._names[k] for k in up)
+
+    def downstream(self, name_i: str, name_j: str) -> tuple[str, ...]:
+        """``S^{down_j}_{I_i}`` by flow names."""
+        _, down = self.updown_by_index(self._index[name_i], self._index[name_j])
+        return tuple(self._names[k] for k in down)

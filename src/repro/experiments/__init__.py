@@ -1,0 +1,43 @@
+"""Experiment harness: one module per paper table/figure.
+
+* :mod:`repro.experiments.didactic_table` — Tables I & II (Section V);
+* :mod:`repro.experiments.schedulability_sweep` — Figure 4(a)/(b);
+* :mod:`repro.experiments.av_topologies` — Figure 5;
+* :mod:`repro.experiments.buffer_sweep` — the Section VI buffer-size
+  claim (2..100 flit buffers, monotone schedulability);
+* :mod:`repro.experiments.scale` — reduced/full-scale presets selected by
+  the ``REPRO_SCALE`` environment variable;
+* :mod:`repro.experiments.report` — chart/CSV rendering of campaign
+  results;
+* :mod:`repro.experiments.runner` — ``python -m repro.experiments.runner``
+  command-line front end.
+"""
+
+from repro.experiments.scale import Scale, get_scale
+from repro.experiments.schedulability_sweep import (
+    AnalysisSpec,
+    SweepResult,
+    fig4_specs,
+    schedulability_sweep,
+)
+from repro.experiments.av_topologies import av_topology_study, FIG5_TOPOLOGIES
+from repro.experiments.buffer_sweep import buffer_sweep
+from repro.experiments.didactic_table import didactic_tables
+from repro.experiments.routing_study import routing_comparison
+from repro.experiments.stats import Interval, wilson_interval
+
+__all__ = [
+    "routing_comparison",
+    "Interval",
+    "wilson_interval",
+    "Scale",
+    "get_scale",
+    "AnalysisSpec",
+    "SweepResult",
+    "fig4_specs",
+    "schedulability_sweep",
+    "av_topology_study",
+    "FIG5_TOPOLOGIES",
+    "buffer_sweep",
+    "didactic_tables",
+]

@@ -1,0 +1,95 @@
+"""Figure 5: the AV benchmark mapped onto 26 NoC topologies.
+
+For every topology, generate ``mappings`` random task-to-core mappings of
+the AV application, and report the percentage of mappings deemed fully
+schedulable by XLWX, IBN2 and IBN100 (SB is omitted, as in the paper's
+Figure 5).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+from repro.core.interference import InterferenceGraph
+from repro.core.engine import is_schedulable
+from repro.experiments.schedulability_sweep import (
+    AnalysisSpec,
+    SweepResult,
+    fig4_specs,
+)
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.workloads.av_benchmark import DEFAULT_CLOCK_HZ, av_flowset
+
+#: The paper's 26 topologies (x-axis order of Figure 5).
+FIG5_TOPOLOGIES: tuple[tuple[int, int], ...] = (
+    (2, 2), (3, 2), (3, 3), (4, 3), (4, 4), (5, 4), (6, 4), (5, 5),
+    (7, 4), (6, 5), (7, 5), (6, 6), (8, 5), (7, 6), (8, 6), (7, 7),
+    (9, 6), (8, 7), (9, 7), (8, 8), (10, 7), (9, 8), (10, 8), (9, 9),
+    (10, 9), (10, 10),
+)
+
+
+def _study_one_topology(args: tuple) -> tuple[str, dict[str, float]]:
+    (cols, rows, mappings, seed, small_buf, large_buf, clock_hz,
+     length_scale) = args
+    platform = NoCPlatform(Mesh2D(cols, rows), buf=small_buf)
+    specs = fig4_specs(small_buf, large_buf, include_sb=False)
+    counts = {spec.label: 0 for spec in specs}
+    for mapping_index in range(mappings):
+        flowset = av_flowset(
+            platform,
+            seed=seed,
+            mapping_index=mapping_index,
+            clock_hz=clock_hz,
+            length_scale=length_scale,
+        )
+        graph = InterferenceGraph(flowset)
+        for spec in specs:
+            if spec.buf is None or spec.buf == platform.buf:
+                fs = flowset
+            else:
+                fs = flowset.on_platform(platform.with_buffers(spec.buf))
+            counts[spec.label] += is_schedulable(fs, spec.analysis, graph=graph)
+    percentages = {
+        label: 100.0 * count / mappings for label, count in counts.items()
+    }
+    return f"{cols}x{rows}", percentages
+
+
+def av_topology_study(
+    topologies: Sequence[tuple[int, int]] = FIG5_TOPOLOGIES,
+    mappings: int = 100,
+    *,
+    seed: int,
+    small_buf: int = 2,
+    large_buf: int = 100,
+    clock_hz: float = DEFAULT_CLOCK_HZ,
+    length_scale: float = 2.0,
+    workers: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Run the Figure 5 campaign over the given topologies."""
+    result = SweepResult(x_label="network topology", sets_per_point=mappings)
+    jobs = [
+        (cols, rows, mappings, seed, small_buf, large_buf, clock_hz,
+         length_scale)
+        for cols, rows in topologies
+    ]
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_study_one_topology, jobs))
+    else:
+        outcomes = []
+        for job in jobs:
+            outcomes.append(_study_one_topology(job))
+            if progress is not None:
+                label, percentages = outcomes[-1]
+                rendered = ", ".join(
+                    f"{name}={value:.0f}%" for name, value in percentages.items()
+                )
+                progress(f"{label}: {rendered}")
+    for label, percentages in outcomes:
+        result.add_point(label, percentages)
+    return result

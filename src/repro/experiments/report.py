@@ -1,0 +1,56 @@
+"""Rendering of campaign results: ASCII charts, row tables and CSV."""
+
+from __future__ import annotations
+
+from repro.experiments.schedulability_sweep import SweepResult
+from repro.util.ascii_chart import ascii_chart
+from repro.util.csvout import series_to_csv
+
+
+def sweep_rows(result: SweepResult) -> str:
+    """Tabulate a sweep: one row per x value, one column per curve."""
+    labels = list(result.series)
+    header = [result.x_label] + labels
+    widths = [max(len(header[0]), 10)] + [max(len(label), 6) for label in labels]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row_index, x in enumerate(result.x_values):
+        cells = [str(x).ljust(widths[0])]
+        for col, label in enumerate(labels, start=1):
+            cells.append(f"{result.series[label][row_index]:.1f}".ljust(widths[col]))
+        lines.append("  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def sweep_chart(result: SweepResult, *, title: str = "", height: int = 14) -> str:
+    """ASCII chart of a sweep (y axis: % schedulable)."""
+    return ascii_chart(
+        [str(x) for x in result.x_values],
+        result.series,
+        height=height,
+        y_min=0.0,
+        y_max=100.0,
+        y_label="% schedulable",
+        title=title,
+    )
+
+
+def sweep_csv(result: SweepResult) -> str:
+    """CSV of a sweep, x-axis first column."""
+    return series_to_csv(result.x_label, result.x_values, result.series)
+
+
+def render_sweep(result: SweepResult, *, title: str) -> str:
+    """Full text report: rows + chart."""
+    return "\n".join(
+        [
+            title,
+            f"({result.sets_per_point} samples per point)",
+            "",
+            sweep_rows(result),
+            "",
+            sweep_chart(result, title=title),
+        ]
+    )

@@ -1,0 +1,172 @@
+"""Command-line front end for the reproduction campaigns.
+
+Usage::
+
+    python -m repro.experiments.runner table2 [--scale default]
+    python -m repro.experiments.runner fig4a [--scale paper] [--workers 8]
+    python -m repro.experiments.runner fig4b
+    python -m repro.experiments.runner fig5
+    python -m repro.experiments.runner buffers
+    python -m repro.experiments.runner all --csv-dir results/
+
+Each command prints the regenerated table/figure as text (rows + ASCII
+chart) and optionally writes CSV files for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.av_topologies import av_topology_study
+from repro.experiments.buffer_sweep import buffer_sweep
+from repro.experiments.didactic_table import PAPER_TABLE2, didactic_tables
+from repro.experiments.report import render_sweep, sweep_csv
+from repro.experiments.scale import Scale, get_scale
+from repro.experiments.schedulability_sweep import schedulability_sweep
+from repro.util.csvout import write_csv
+
+
+def _progress(message: str) -> None:
+    print(f"  .. {message}", file=sys.stderr)
+
+
+def run_table2(scale: Scale, workers: int, csv_dir: Path | None) -> None:
+    """``table2``: regenerate Tables I & II with the scale's offset sweep."""
+    tables = didactic_tables(offset_step=scale.didactic_offset_step)
+    print(tables.render())
+    print()
+    print("Paper's Table II (for comparison):")
+    for label, values in PAPER_TABLE2.items():
+        rendered = "  ".join(f"{k}={v}" for k, v in values.items())
+        print(f"  {label:<18} {rendered}")
+
+
+def run_fig4(
+    scale: Scale, workers: int, csv_dir: Path | None, *, panel: str
+) -> None:
+    """``fig4a``/``fig4b``: one Figure 4 panel at the chosen scale."""
+    if panel == "a":
+        mesh, counts = (4, 4), scale.fig4a_flow_counts
+    else:
+        mesh, counts = (8, 8), scale.fig4b_flow_counts
+    result = schedulability_sweep(
+        mesh,
+        counts,
+        scale.fig4_sets_per_point,
+        seed=scale.seed,
+        workers=workers,
+        progress=_progress,
+    )
+    title = f"Figure 4({panel}): % schedulable flow sets on {mesh[0]}x{mesh[1]}"
+    print(render_sweep(result, title=title))
+    print()
+    print(f"max XLWX->IBN2 gap: {result.max_gap('IBN2', 'XLWX'):.1f}% "
+          f"(paper: up to {'58' if panel == 'a' else '45'}%)")
+    print(f"max IBN100->IBN2 gap: {result.max_gap('IBN2', 'IBN100'):.1f}% "
+          f"(paper: up to 8%)")
+    if csv_dir is not None:
+        write_csv(csv_dir / f"fig4{panel}.csv", sweep_csv(result))
+
+
+def run_fig5(scale: Scale, workers: int, csv_dir: Path | None) -> None:
+    """``fig5``: the AV-benchmark topology study."""
+    result = av_topology_study(
+        scale.fig5_topologies,
+        scale.fig5_mappings,
+        seed=scale.seed,
+        workers=workers,
+        progress=_progress,
+    )
+    print(render_sweep(result, title="Figure 5: % schedulable AV mappings"))
+    print()
+    print(f"max XLWX->IBN2 gap: {result.max_gap('IBN2', 'XLWX'):.1f}% "
+          "(paper: up to 67%)")
+    print(f"max IBN100->IBN2 gap: {result.max_gap('IBN2', 'IBN100'):.1f}% "
+          "(paper: up to 6%)")
+    if csv_dir is not None:
+        write_csv(csv_dir / "fig5.csv", sweep_csv(result))
+
+
+def run_routing(scale: Scale, workers: int, csv_dir: Path | None) -> None:
+    """``routing``: XY-vs-YX sensitivity ablation."""
+    from repro.experiments.routing_study import routing_comparison
+
+    counts = scale.fig4a_flow_counts[: max(3, len(scale.fig4a_flow_counts) // 2)]
+    result = routing_comparison(
+        (4, 4),
+        counts,
+        scale.fig4_sets_per_point,
+        seed=scale.seed,
+        progress=_progress,
+    )
+    print(render_sweep(result, title="Routing sensitivity (XY vs YX) on 4x4"))
+    if csv_dir is not None:
+        write_csv(csv_dir / "routing.csv", sweep_csv(result))
+
+
+def run_buffers(scale: Scale, workers: int, csv_dir: Path | None) -> None:
+    """``buffers``: the Section VI buffer-depth sweep."""
+    result = buffer_sweep(
+        (4, 4),
+        scale.buffer_depths,
+        scale.buffer_flow_count,
+        scale.buffer_sets,
+        seed=scale.seed,
+        progress=_progress,
+    )
+    print(render_sweep(
+        result,
+        title=f"Buffer-depth ablation (IBN, {scale.buffer_flow_count} flows on 4x4)",
+    ))
+    if csv_dir is not None:
+        write_csv(csv_dir / "buffer_sweep.csv", sweep_csv(result))
+
+
+_COMMANDS = {
+    "table2": run_table2,
+    "fig4a": lambda s, w, c: run_fig4(s, w, c, panel="a"),
+    "fig4b": lambda s, w, c: run_fig4(s, w, c, panel="b"),
+    "fig5": run_fig5,
+    "buffers": run_buffers,
+    "routing": run_routing,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.experiments.runner``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*_COMMANDS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="scale preset: ci, default or paper (default: $REPRO_SCALE or ci)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for sweeps"
+    )
+    parser.add_argument(
+        "--csv-dir", type=Path, default=None, help="also write CSV files here"
+    )
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+    chosen = list(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in chosen:
+        start = time.time()
+        print(f"=== {name} (scale={scale.name}) ===")
+        _COMMANDS[name](scale, args.workers, args.csv_dir)
+        print(f"=== {name} done in {time.time() - start:.1f}s ===\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,174 @@
+"""Figure 4: schedulability versus load for the competing analyses.
+
+The campaign: for each flow count on the x-axis, generate ``sets_per_point``
+random flow sets (Section VI parameters), decide full-set schedulability
+under every analysis, and report the percentage of schedulable sets.
+
+The four paper curves are SB (unsafe reference), XLWX (safe baseline),
+IBN2 and IBN100 (the contribution with 2- and 100-flit buffers).  Buffer
+size only matters to IBN, so each flow set is analysed on buffer-variant
+copies of the platform while sharing one interference graph (the O(n²)
+part of the cost).
+
+Multiprocessing: points are independent, so the campaign optionally fans
+out over worker processes (``workers=``); results are deterministic either
+way thanks to the per-set seed derivation.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.analyses.base import Analysis
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import is_schedulable
+from repro.core.interference import InterferenceGraph
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
+from repro.util.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """One curve of the figure: an analysis plus the buffer depth it sees.
+
+    ``buf=None`` analyses on the base platform (buffer size irrelevant to
+    SB/XLWX, which predate buffer-aware bounds).
+    """
+
+    label: str
+    analysis: Analysis
+    buf: int | None = None
+
+
+def fig4_specs(
+    small_buf: int = 2,
+    large_buf: int = 100,
+    *,
+    include_sb: bool = True,
+) -> tuple[AnalysisSpec, ...]:
+    """The paper's Figure 4 curves: SB, XLWX, IBN2, IBN100."""
+    specs = []
+    if include_sb:
+        specs.append(AnalysisSpec("SB", SBAnalysis()))
+    specs.append(AnalysisSpec("XLWX", XLWXAnalysis()))
+    specs.append(AnalysisSpec(f"IBN{small_buf}", IBNAnalysis(), buf=small_buf))
+    specs.append(AnalysisSpec(f"IBN{large_buf}", IBNAnalysis(), buf=large_buf))
+    return tuple(specs)
+
+
+@dataclass
+class SweepResult:
+    """Percentage of schedulable flow sets per x-axis point and curve."""
+
+    x_label: str
+    x_values: list = field(default_factory=list)
+    #: label -> list of percentages aligned with ``x_values``.
+    series: dict[str, list[float]] = field(default_factory=dict)
+    sets_per_point: int = 0
+
+    def add_point(self, x, percentages: dict[str, float]) -> None:
+        """Append one x-axis point with its per-curve percentages."""
+        self.x_values.append(x)
+        for label, value in percentages.items():
+            self.series.setdefault(label, []).append(value)
+
+    def max_gap(self, upper: str, lower: str) -> float:
+        """Largest pointwise difference ``upper − lower`` (paper's "up to
+        58%" style statements)."""
+        return max(
+            u - l
+            for u, l in zip(self.series[upper], self.series[lower])
+        )
+
+
+def analyse_set(
+    flows: Sequence,
+    base_platform: NoCPlatform,
+    specs: Sequence[AnalysisSpec],
+) -> dict[str, bool]:
+    """Schedulability verdict of one flow set under every spec.
+
+    Shares a single interference graph across all specs; platform copies
+    differ only in buffer depth, which the graph is agnostic to.
+    """
+    base_flowset = FlowSet(base_platform, flows)
+    graph = InterferenceGraph(base_flowset)
+    verdicts: dict[str, bool] = {}
+    for spec in specs:
+        if spec.buf is None or spec.buf == base_platform.buf:
+            flowset = base_flowset
+        else:
+            flowset = base_flowset.on_platform(base_platform.with_buffers(spec.buf))
+        verdicts[spec.label] = is_schedulable(flowset, spec.analysis, graph=graph)
+    return verdicts
+
+
+def _sweep_one_point(args: tuple) -> tuple[int, dict[str, float]]:
+    """Worker: all sets of one x-axis point (picklable top-level helper)."""
+    (cols, rows, num_flows, sets_per_point, seed, config_kwargs,
+     small_buf, large_buf, include_sb) = args
+    platform = NoCPlatform(Mesh2D(cols, rows), buf=small_buf)
+    specs = fig4_specs(small_buf, large_buf, include_sb=include_sb)
+    config = SyntheticConfig(num_flows=num_flows, **config_kwargs)
+    counts = {spec.label: 0 for spec in specs}
+    for set_index in range(sets_per_point):
+        rng = spawn_rng(seed, "synthetic", num_flows, set_index)
+        flows = synthetic_flows(config, platform.topology.num_nodes, rng)
+        verdicts = analyse_set(flows, platform, specs)
+        for label, ok in verdicts.items():
+            counts[label] += ok
+    percentages = {
+        label: 100.0 * count / sets_per_point for label, count in counts.items()
+    }
+    return num_flows, percentages
+
+
+def schedulability_sweep(
+    mesh: tuple[int, int],
+    flow_counts: Sequence[int],
+    sets_per_point: int,
+    *,
+    seed: int,
+    small_buf: int = 2,
+    large_buf: int = 100,
+    include_sb: bool = True,
+    config_kwargs: dict | None = None,
+    workers: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Run one Figure 4 panel.
+
+    ``config_kwargs`` override :class:`SyntheticConfig` fields (e.g.
+    ``clock_hz``); ``workers > 1`` distributes x-axis points over
+    processes.
+    """
+    cols, rows = mesh
+    result = SweepResult(x_label="# flows per flow set", sets_per_point=sets_per_point)
+    jobs = [
+        (cols, rows, n, sets_per_point, seed, dict(config_kwargs or {}),
+         small_buf, large_buf, include_sb)
+        for n in flow_counts
+    ]
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_sweep_one_point, jobs))
+    else:
+        outcomes = []
+        for job in jobs:
+            outcomes.append(_sweep_one_point(job))
+            if progress is not None:
+                n, percentages = outcomes[-1]
+                rendered = ", ".join(
+                    f"{label}={value:.0f}%" for label, value in percentages.items()
+                )
+                progress(f"{cols}x{rows} n={n}: {rendered}")
+    for num_flows, percentages in outcomes:
+        result.add_point(num_flows, percentages)
+    return result

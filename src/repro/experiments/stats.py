@@ -1,0 +1,106 @@
+"""Statistics for schedulability percentages.
+
+The paper reports point estimates ("% schedulable flow sets out of 100");
+this module adds Wilson score confidence intervals so reduced-scale runs
+(5-20 sets per point) can be honestly compared against paper-scale ones.
+The Wilson interval is used instead of the normal approximation because
+the interesting points sit near 0% and 100%, where the normal interval
+degenerates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.schedulability_sweep import SweepResult
+
+#: two-sided z values for common confidence levels (kept inline so the
+#: module works without scipy; values match scipy.stats.norm.ppf).
+_Z = {0.90: 1.6448536269514722, 0.95: 1.959963984540054,
+      0.99: 2.5758293035489004}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A confidence interval for a proportion, in percent."""
+
+    low: float
+    high: float
+
+    def contains(self, percent: float) -> bool:
+        """Is ``percent`` inside the interval (inclusive)?"""
+        return self.low <= percent <= self.high
+
+    def __str__(self) -> str:
+        return f"[{self.low:.1f}, {self.high:.1f}]"
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Interval:
+    """Wilson score interval for ``successes/trials``, in percent.
+
+    >>> interval = wilson_interval(8, 10)
+    >>> interval.contains(80.0)
+    True
+    >>> 0 <= interval.low <= interval.high <= 100
+    True
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    try:
+        z = _Z[confidence]
+    except KeyError:
+        raise ValueError(
+            f"confidence must be one of {sorted(_Z)}, got {confidence}"
+        ) from None
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    low = max(0.0, (centre - half) * 100.0)
+    high = min(100.0, (centre + half) * 100.0)
+    # pin the exact boundary cases, which floating point otherwise misses
+    # by ~1e-15 (the interval must always contain the point estimate)
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 100.0
+    return Interval(low=low, high=high)
+
+
+def sweep_intervals(
+    result: SweepResult, confidence: float = 0.95
+) -> dict[str, list[Interval]]:
+    """Confidence intervals for every point of every curve of a sweep."""
+    trials = result.sets_per_point
+    intervals: dict[str, list[Interval]] = {}
+    for label, values in result.series.items():
+        intervals[label] = [
+            wilson_interval(round(v * trials / 100.0), trials, confidence)
+            for v in values
+        ]
+    return intervals
+
+
+def rows_with_intervals(result: SweepResult, confidence: float = 0.95) -> str:
+    """Sweep table with a Wilson interval next to each percentage."""
+    intervals = sweep_intervals(result, confidence)
+    labels = list(result.series)
+    lines = [
+        f"{result.x_label}  "
+        + "  ".join(f"{label} {int(confidence * 100)}%CI" for label in labels)
+    ]
+    for row_index, x in enumerate(result.x_values):
+        cells = []
+        for label in labels:
+            value = result.series[label][row_index]
+            cells.append(f"{value:5.1f} {intervals[label][row_index]}")
+        lines.append(f"{str(x):<10}  " + "  ".join(cells))
+    return "\n".join(lines)

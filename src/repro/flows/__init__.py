@@ -1,0 +1,26 @@
+"""Real-time traffic model (paper Section II).
+
+A :class:`~repro.flows.flow.Flow` is a periodic/sporadic stream of packets
+``τ_i = (P_i, C_i, T_i, D_i, J_i, π_s_i, π_d_i)``; a
+:class:`~repro.flows.flowset.FlowSet` is the set Γ analysed for
+schedulability, bound to the platform that gives each flow its route and
+zero-load latency.  :mod:`repro.flows.priority` provides priority-assignment
+policies (rate-monotonic, as used in the paper's evaluation, plus
+alternatives).
+"""
+
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.flows.priority import (
+    assign_priorities_audsley,
+    deadline_monotonic,
+    rate_monotonic,
+)
+
+__all__ = [
+    "Flow",
+    "FlowSet",
+    "rate_monotonic",
+    "deadline_monotonic",
+    "assign_priorities_audsley",
+]

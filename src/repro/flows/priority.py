@@ -1,0 +1,72 @@
+"""Priority-assignment policies.
+
+The paper's evaluation uses rate-monotonic assignment ("despite
+sub-optimality, given that no optimal assignment is known for this
+problem", Section VI).  Deadline-monotonic and an Audsley-style optimal
+priority assignment (OPA) search are provided as extensions; note that OPA
+is only a *heuristic* here because wormhole response-time analyses are not
+OPA-compatible in general (a flow's bound depends on the relative order of
+higher-priority flows through the indirect-interference sets).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.flows.flow import Flow
+
+
+def rate_monotonic(flows: Iterable[Flow]) -> list[Flow]:
+    """Assign unique priorities by ascending period (shorter period wins).
+
+    Ties are broken by deadline, then by name, so the assignment is
+    deterministic.  Returns new :class:`Flow` objects with priorities
+    1..n; the input flows' priorities are ignored.
+
+    >>> fast = Flow("fast", 9, 100, 1, 0, 0)
+    >>> slow = Flow("slow", 1, 900, 1, 0, 0)
+    >>> [f.name for f in rate_monotonic([slow, fast])]
+    ['fast', 'slow']
+    """
+    ordered = sorted(flows, key=lambda f: (f.period, f.deadline, f.name))
+    return [flow.with_priority(level) for level, flow in enumerate(ordered, start=1)]
+
+
+def deadline_monotonic(flows: Iterable[Flow]) -> list[Flow]:
+    """Assign unique priorities by ascending relative deadline."""
+    ordered = sorted(flows, key=lambda f: (f.deadline, f.period, f.name))
+    return [flow.with_priority(level) for level, flow in enumerate(ordered, start=1)]
+
+
+def assign_priorities_audsley(
+    flows: Sequence[Flow],
+    is_schedulable_at_lowest: Callable[[Flow, Sequence[Flow]], bool],
+) -> list[Flow] | None:
+    """Audsley-style lowest-priority-first assignment (heuristic).
+
+    ``is_schedulable_at_lowest(candidate, others)`` must decide whether
+    ``candidate`` meets its deadline when it has the lowest priority and
+    ``others`` (in any relative order) are all higher priority.  The caller
+    typically wraps one of the analyses in :mod:`repro.core.analyses`.
+
+    Returns a priority-assigned copy of the flows, or ``None`` when no
+    assignment is found.  Because wormhole analyses are not strictly
+    OPA-compatible, a returned assignment should be re-checked with the
+    full analysis (the helper in :mod:`repro.core.engine` does this).
+    """
+    remaining: list[Flow] = list(flows)
+    assignment: list[tuple[Flow, int]] = []
+    for level in range(len(remaining), 0, -1):
+        placed = None
+        for candidate in sorted(
+            remaining, key=lambda f: (-f.period, -f.deadline, f.name)
+        ):
+            others = [f for f in remaining if f is not candidate]
+            if is_schedulable_at_lowest(candidate, others):
+                placed = candidate
+                break
+        if placed is None:
+            return None
+        remaining.remove(placed)
+        assignment.append((placed, level))
+    return [flow.with_priority(level) for flow, level in assignment]

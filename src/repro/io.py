@@ -1,0 +1,147 @@
+"""Serialization: flow sets and analysis results to/from JSON.
+
+The on-disk format is a small, versioned JSON document so that flow sets
+can be shared between tools, checked into repositories, and fed to the
+command line (``python -m repro analyze traffic.json``)::
+
+    {
+      "format": "repro-flowset/1",
+      "platform": {"topology": {"type": "mesh", "cols": 4, "rows": 4},
+                   "buf": 2, "linkl": 1, "routl": 0, "vc_count": null},
+      "flows": [{"name": "ctrl", "priority": 1, "period": 2000,
+                 "deadline": 2000, "jitter": 0, "length": 64,
+                 "src": 11, "dst": 7}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.engine import AnalysisResult
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+
+FORMAT = "repro-flowset/1"
+
+
+def flowset_to_dict(flowset: FlowSet) -> dict:
+    """Serialise a flow set (platform + flows) to plain data."""
+    platform = flowset.platform
+    topology = platform.topology
+    if not isinstance(topology, Mesh2D):
+        raise TypeError(
+            f"only Mesh2D topologies serialise (got {type(topology).__name__})"
+        )
+    return {
+        "format": FORMAT,
+        "platform": {
+            "topology": {"type": "mesh", "cols": topology.cols,
+                         "rows": topology.rows},
+            "buf": platform.buf,
+            "linkl": platform.linkl,
+            "routl": platform.routl,
+            "vc_count": platform.vc_count,
+            # JSON object keys are strings; router indices round-trip
+            # through str() / int() in flowset_from_dict.
+            "buf_map": (
+                {str(router): depth for router, depth in platform.buf_map.items()}
+                if platform.buf_map
+                else None
+            ),
+        },
+        "flows": [
+            {
+                "name": flow.name,
+                "priority": flow.priority,
+                "period": flow.period,
+                "deadline": flow.deadline,
+                "jitter": flow.jitter,
+                "length": flow.length,
+                "src": flow.src,
+                "dst": flow.dst,
+            }
+            for flow in flowset.flows
+        ],
+    }
+
+
+def flowset_from_dict(data: dict) -> FlowSet:
+    """Rebuild a flow set from :func:`flowset_to_dict` data."""
+    declared = data.get("format")
+    if declared != FORMAT:
+        raise ValueError(
+            f"unsupported format {declared!r}; expected {FORMAT!r}"
+        )
+    platform_data = data["platform"]
+    topology_data = platform_data["topology"]
+    if topology_data.get("type") != "mesh":
+        raise ValueError(f"unknown topology type {topology_data.get('type')!r}")
+    buf_map_data = platform_data.get("buf_map")
+    platform = NoCPlatform(
+        Mesh2D(topology_data["cols"], topology_data["rows"]),
+        buf=platform_data["buf"],
+        linkl=platform_data["linkl"],
+        routl=platform_data["routl"],
+        vc_count=platform_data.get("vc_count"),
+        buf_map=(
+            {int(router): depth for router, depth in buf_map_data.items()}
+            if buf_map_data
+            else None
+        ),
+    )
+    flows = [
+        Flow(
+            name=f["name"],
+            priority=f["priority"],
+            period=f["period"],
+            deadline=f.get("deadline"),
+            jitter=f.get("jitter", 0),
+            length=f["length"],
+            src=f["src"],
+            dst=f["dst"],
+        )
+        for f in data["flows"]
+    ]
+    return FlowSet(platform, flows)
+
+
+def save_flowset(flowset: FlowSet, path: str | Path) -> Path:
+    """Write a flow set as JSON (pretty-printed, stable key order)."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(flowset_to_dict(flowset), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_flowset(path: str | Path) -> FlowSet:
+    """Read a flow set written by :func:`save_flowset`."""
+    return flowset_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def result_to_dict(result: AnalysisResult) -> dict:
+    """Serialise an analysis outcome (for logging/post-processing)."""
+    return {
+        "format": "repro-result/1",
+        "analysis": result.analysis_name,
+        "unsafe": result.unsafe,
+        "complete": result.complete,
+        "schedulable": result.schedulable,
+        "flows": {
+            name: {
+                "priority": r.priority,
+                "c": r.c,
+                "deadline": r.deadline,
+                "response_time": r.response_time,
+                "converged": r.converged,
+                "schedulable": r.schedulable,
+                "slack": r.slack,
+            }
+            for name, r in result.flows.items()
+        },
+    }

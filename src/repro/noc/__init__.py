@@ -1,0 +1,42 @@
+"""Network-on-chip platform model (paper Section II).
+
+This package models the hardware substrate of the paper: a wormhole NoC with
+priority-preemptive virtual channels, credit-based flow control and
+dimension-order (XY) routing on a 2D mesh.
+
+* :mod:`repro.noc.topology` — nodes Π, routers Ξ and unidirectional links Λ;
+* :mod:`repro.noc.routing` — the ``route(π_s, π_d)`` function (XY);
+* :mod:`repro.noc.links` — route algebra: ``order``, ``first``, ``last`` and
+  contention domains ``cd_ij = route_i ∩ route_j``;
+* :mod:`repro.noc.platform` — :class:`NoCPlatform`, bundling a topology with
+  the router parameters ``vc``, ``buf``, ``linkl`` and ``routl``, and the
+  zero-load latency of Equation 1.
+"""
+
+from repro.noc.topology import Link, LinkKind, Mesh2D, Topology, chain
+from repro.noc.routing import XYRouting, YXRouting, RoutingFunction
+from repro.noc.links import (
+    contention_domain,
+    first_link,
+    last_link,
+    order_of,
+    route_indices,
+)
+from repro.noc.platform import NoCPlatform
+
+__all__ = [
+    "Link",
+    "LinkKind",
+    "Mesh2D",
+    "Topology",
+    "chain",
+    "XYRouting",
+    "YXRouting",
+    "RoutingFunction",
+    "contention_domain",
+    "first_link",
+    "last_link",
+    "order_of",
+    "route_indices",
+    "NoCPlatform",
+]

@@ -1,0 +1,109 @@
+"""Route algebra: link ordering and contention domains (paper Section II).
+
+The paper defines, for a route ``route_i``:
+
+* ``order(λ, route_i)`` — the 1-based position of link λ on the route;
+* ``first(route_i)`` / ``last(route_i)`` — its first and last links;
+* the contention domain of two flows, ``cd_ij = route_i ∩ route_j`` — the
+  ordered set of links shared by both routes.
+
+With dimension-order routing a contention domain is always a single
+contiguous run of links appearing in the same relative order on both
+routes, which is what makes "upstream"/"downstream" relations well defined.
+:func:`contention_domain` checks this contiguity and refuses silently
+ill-formed inputs rather than producing meaningless bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+Route = tuple[int, ...]
+
+
+def order_of(link_id: int, route: Sequence[int]) -> int:
+    """1-based position of ``link_id`` on ``route`` (paper's ``order``).
+
+    >>> order_of(7, (3, 7, 9))
+    2
+    """
+    try:
+        return route.index(link_id) + 1  # type: ignore[attr-defined]
+    except (ValueError, AttributeError):
+        for position, lid in enumerate(route):
+            if lid == link_id:
+                return position + 1
+        raise ValueError(f"link {link_id} not on route {route!r}") from None
+
+
+def first_link(route: Sequence[int]) -> int:
+    """First link of a non-empty route (paper's ``first``)."""
+    if not route:
+        raise ValueError("empty route has no first link")
+    return route[0]
+
+
+def last_link(route: Sequence[int]) -> int:
+    """Last link of a non-empty route (paper's ``last``)."""
+    if not route:
+        raise ValueError("empty route has no last link")
+    return route[-1]
+
+
+def route_indices(route: Sequence[int]) -> dict[int, int]:
+    """Map each link id on ``route`` to its 1-based order.
+
+    Routes never repeat a link (they are simple paths), so the mapping is
+    well defined; a repeated link indicates a broken routing function and
+    raises ``ValueError``.
+    """
+    indices: dict[int, int] = {}
+    for position, link_id in enumerate(route):
+        if link_id in indices:
+            raise ValueError(f"route {route!r} visits link {link_id} twice")
+        indices[link_id] = position + 1
+    return indices
+
+
+def contention_domain(
+    route_i: Sequence[int], route_j: Sequence[int], *, check_contiguous: bool = True
+) -> Route:
+    """Ordered set of links shared by two routes (paper's ``cd_ij``).
+
+    The result is ordered by position on ``route_i``; with dimension-order
+    routing the shared links appear in the same relative order on both
+    routes.  When ``check_contiguous`` is set (the default) the function
+    verifies that the shared links form one contiguous segment on *both*
+    routes, the standing assumption of the paper ("we assume that a
+    contention domain will never be a disjoint set of links").
+
+    >>> contention_domain((1, 2, 3, 4), (9, 2, 3, 8))
+    (2, 3)
+    >>> contention_domain((1, 2), (3, 4))
+    ()
+    """
+    shared = set(route_i) & set(route_j)
+    if not shared:
+        return ()
+    positions_i = [p for p, lid in enumerate(route_i) if lid in shared]
+    if check_contiguous:
+        if positions_i[-1] - positions_i[0] + 1 != len(positions_i):
+            raise ValueError(
+                "contention domain is not contiguous on the first route: "
+                f"{route_i!r} ∩ {route_j!r}"
+            )
+        positions_j = sorted(p for p, lid in enumerate(route_j) if lid in shared)
+        if positions_j[-1] - positions_j[0] + 1 != len(positions_j):
+            raise ValueError(
+                "contention domain is not contiguous on the second route: "
+                f"{route_i!r} ∩ {route_j!r}"
+            )
+        ordered_i = [route_i[p] for p in positions_i]
+        ordered_j = [route_j[p] for p in positions_j]
+        if ordered_i != ordered_j:
+            raise ValueError(
+                "shared links appear in different orders on the two routes "
+                f"({ordered_i!r} vs {ordered_j!r}); dimension-order routing "
+                "should make this impossible"
+            )
+    return tuple(route_i[p] for p in positions_i)

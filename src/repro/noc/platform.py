@@ -1,0 +1,177 @@
+"""The NoC platform: topology + router parameters (paper Section II).
+
+A :class:`NoCPlatform` bundles a topology and a routing function with the
+router parameters the analyses depend on:
+
+* ``vc_count``  — number of virtual channels per input port, i.e. the
+  number of distinct priority levels the router can arbitrate
+  (``vc(Ξ)``).  ``None`` means "as many as the flow set needs", the
+  standing assumption of the paper's analyses;
+* ``buf``       — FIFO depth, in flits, of the buffer implementing a single
+  VC (``buf(Ξ)``) — the quantity the paper's contribution revolves around;
+* ``linkl``     — cycles for a router to transmit one flit over a link
+  (``linkl(Ξ)``);
+* ``routl``     — cycles for a router to route a header flit
+  (``routl(Ξ)``).
+
+The platform also implements Equation 1, the maximum zero-load latency.
+
+Heterogeneous buffering: the paper's model defines ``buf(ξ_i)`` *per
+router* before specialising to the homogeneous case its evaluation uses.
+``buf_map`` optionally overrides the depth of individual routers; the
+buffer-aware analysis and the simulator then use the per-link depth
+(:meth:`NoCPlatform.buf_of_link`), and Equation 6 generalises to a sum of
+per-link depths over the contention domain — identical to the paper's
+``buf·linkl·|cd|`` whenever all routers agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.routing import RoutingFunction, XYRouting
+from repro.noc.topology import Topology
+
+
+@dataclass(frozen=True)
+class NoCPlatform:
+    """A homogeneous priority-preemptive wormhole NoC.
+
+    >>> from repro.noc import Mesh2D
+    >>> platform = NoCPlatform(Mesh2D(4, 4), buf=2)
+    >>> len(platform.route(0, 5))   # injection + 1 X hop + 1 Y hop + ejection
+    4
+    """
+
+    topology: Topology
+    buf: int = 2
+    linkl: int = 1
+    routl: int = 0
+    vc_count: int | None = None
+    routing: RoutingFunction = field(default_factory=XYRouting)
+    #: optional per-router buffer-depth overrides (router index -> flits);
+    #: routers absent from the map use ``buf``.
+    buf_map: dict[int, int] | None = None
+
+    def __post_init__(self):
+        if self.buf < 1:
+            raise ValueError(f"buffers must hold at least one flit, got {self.buf}")
+        if self.linkl < 1:
+            raise ValueError(f"link latency must be >= 1 cycle, got {self.linkl}")
+        if self.routl < 0:
+            raise ValueError(f"routing latency must be >= 0 cycles, got {self.routl}")
+        if self.vc_count is not None and self.vc_count < 1:
+            raise ValueError(f"vc_count must be >= 1 when given, got {self.vc_count}")
+        if self.buf_map is not None:
+            for router, depth in self.buf_map.items():
+                if not 0 <= router < self.topology.num_routers:
+                    raise ValueError(f"buf_map names unknown router {router}")
+                if depth < 1:
+                    raise ValueError(
+                        f"buf_map: router {router} depth must be >= 1, got {depth}"
+                    )
+        # Route cache: frozen dataclass, so stash it via object.__setattr__.
+        object.__setattr__(self, "_route_cache", {})
+
+    # -- buffer depths -------------------------------------------------------
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every router uses the same per-VC depth ``buf``."""
+        return not self.buf_map or all(
+            depth == self.buf for depth in self.buf_map.values()
+        )
+
+    def buf_of_router(self, router: int) -> int:
+        """Per-VC buffer depth of one router (``buf(ξ_i)``)."""
+        if self.buf_map is not None:
+            return self.buf_map.get(router, self.buf)
+        return self.buf
+
+    def buf_of_link(self, link_id: int) -> int:
+        """Depth of the VC buffer associated with a link.
+
+        Injection and router-to-router links terminate in an input buffer
+        of the *downstream* router; ejection links are fed from the
+        upstream router's buffering, so they take its depth (making the
+        homogeneous case sum to the paper's ``buf·|cd|`` exactly).
+        """
+        from repro.noc.topology import LinkKind
+
+        link = self.topology.link(link_id)
+        if link.kind is LinkKind.EJECTION:
+            return self.buf_of_router(link.src)
+        return self.buf_of_router(link.dst)
+
+    # -- routes ------------------------------------------------------------
+
+    def route(self, src: int, dst: int) -> tuple[int, ...]:
+        """Ordered link ids from node ``src`` to node ``dst`` (cached)."""
+        cache: dict[tuple[int, int], tuple[int, ...]] = self._route_cache  # type: ignore[attr-defined]
+        key = (src, dst)
+        found = cache.get(key)
+        if found is None:
+            found = self.routing.route(self.topology, src, dst)
+            cache[key] = found
+        return found
+
+    # -- Equation 1 ---------------------------------------------------------
+
+    def zero_load_latency(self, route_length: int, length_flits: int) -> int:
+        """Maximum zero-load network latency ``C_i`` (Equation 1).
+
+        ``C_i = routl·(|route_i|−1) + linkl·|route_i| + linkl·(L_i−1)``:
+        the header is routed at each of the ``|route_i|−1`` routers on the
+        path and crosses each of the ``|route_i|`` links, then the remaining
+        ``L_i−1`` payload flits arrive in pipeline, one per link latency.
+
+        A zero-length route (source == destination) never enters the network
+        and has zero latency.
+
+        >>> from repro.noc import Mesh2D
+        >>> NoCPlatform(Mesh2D(6, 1), buf=2).zero_load_latency(3, 60)
+        62
+        """
+        if length_flits < 1:
+            raise ValueError(f"packets have at least one flit, got {length_flits}")
+        if route_length < 0:
+            raise ValueError(f"route length must be >= 0, got {route_length}")
+        if route_length == 0:
+            return 0
+        return (
+            self.routl * (route_length - 1)
+            + self.linkl * route_length
+            + self.linkl * (length_flits - 1)
+        )
+
+    def zero_load_latency_of(self, src: int, dst: int, length_flits: int) -> int:
+        """Equation 1 applied to the platform's own route ``src -> dst``."""
+        return self.zero_load_latency(len(self.route(src, dst)), length_flits)
+
+    # -- convenience --------------------------------------------------------
+
+    def with_buffers(
+        self, buf: int, buf_map: dict[int, int] | None = None
+    ) -> "NoCPlatform":
+        """A copy of this platform with different per-VC buffer depths.
+
+        The paper's headline experiments (IBN2 vs IBN100) analyse the same
+        traffic on platforms differing only in ``buf``; this helper keeps
+        those comparisons terse and shares nothing mutable.  Pass
+        ``buf_map`` to build a heterogeneous variant.
+        """
+        return NoCPlatform(
+            topology=self.topology,
+            buf=buf,
+            linkl=self.linkl,
+            routl=self.routl,
+            vc_count=self.vc_count,
+            routing=self.routing,
+            buf_map=dict(buf_map) if buf_map else None,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NoCPlatform({self.topology!r}, buf={self.buf}, "
+            f"linkl={self.linkl}, routl={self.routl})"
+        )

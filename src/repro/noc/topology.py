@@ -1,0 +1,202 @@
+"""Topologies: nodes, routers and unidirectional links.
+
+The paper models the network as a set of nodes ``Π``, routers ``Ξ`` and
+unidirectional links ``Λ`` (Section II).  Each node is attached to exactly
+one router through a dedicated pair of links (one per direction), and
+routers are connected by pairs of unidirectional links.
+
+Links are identified by dense integer ids so that routes are plain tuples of
+``int`` and contention-domain computations are cheap set intersections.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LinkKind(enum.Enum):
+    """Role of a unidirectional link.
+
+    ``INJECTION`` links carry traffic from a node into its router (``λ_a1``
+    in the paper's notation), ``EJECTION`` links from a router to its node
+    (``λ_1a``), and ``ROUTER`` links connect two routers (``λ_12``).
+    """
+
+    INJECTION = "injection"
+    EJECTION = "ejection"
+    ROUTER = "router"
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional link.
+
+    ``src`` and ``dst`` are router indices for ``ROUTER`` links.  For
+    ``INJECTION`` links ``src`` is the node index and ``dst`` the router
+    index (always equal in this model, since node *i* attaches to router
+    *i*); vice versa for ``EJECTION`` links.
+    """
+
+    id: int
+    kind: LinkKind
+    src: int
+    dst: int
+
+    def __str__(self) -> str:
+        if self.kind is LinkKind.INJECTION:
+            return f"λ(n{self.src}→r{self.dst})"
+        if self.kind is LinkKind.EJECTION:
+            return f"λ(r{self.src}→n{self.dst})"
+        return f"λ(r{self.src}→r{self.dst})"
+
+
+class Topology:
+    """Base class for NoC topologies.
+
+    A topology owns the link table and provides index lookups; concrete
+    subclasses (:class:`Mesh2D`) define the wiring.  Node *i* is always
+    attached to router *i*.
+    """
+
+    def __init__(self, num_routers: int):
+        if num_routers < 1:
+            raise ValueError(f"need at least one router, got {num_routers}")
+        self._num_routers = num_routers
+        self._links: list[Link] = []
+        self._router_link_ids: dict[tuple[int, int], int] = {}
+        self._injection_ids: list[int] = []
+        self._ejection_ids: list[int] = []
+        self._build_node_links()
+
+    # -- construction -----------------------------------------------------
+
+    def _build_node_links(self) -> None:
+        for node in range(self._num_routers):
+            self._injection_ids.append(
+                self._add_link(LinkKind.INJECTION, node, node)
+            )
+            self._ejection_ids.append(
+                self._add_link(LinkKind.EJECTION, node, node)
+            )
+
+    def _add_link(self, kind: LinkKind, src: int, dst: int) -> int:
+        link = Link(len(self._links), kind, src, dst)
+        self._links.append(link)
+        if kind is LinkKind.ROUTER:
+            self._router_link_ids[(src, dst)] = link.id
+        return link.id
+
+    def _connect_routers(self, a: int, b: int) -> None:
+        """Add the pair of unidirectional links between routers a and b."""
+        self._add_link(LinkKind.ROUTER, a, b)
+        self._add_link(LinkKind.ROUTER, b, a)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of processing nodes (equals the number of routers)."""
+        return self._num_routers
+
+    @property
+    def num_routers(self) -> int:
+        return self._num_routers
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        return tuple(self._links)
+
+    def link(self, link_id: int) -> Link:
+        """Look a link up by id."""
+        return self._links[link_id]
+
+    def injection_link(self, node: int) -> int:
+        """Id of the link from node ``node`` into its router."""
+        return self._injection_ids[node]
+
+    def ejection_link(self, node: int) -> int:
+        """Id of the link from router ``node`` to its node."""
+        return self._ejection_ids[node]
+
+    def router_link(self, src_router: int, dst_router: int) -> int:
+        """Id of the unidirectional link ``src_router -> dst_router``.
+
+        Raises :class:`KeyError` if the routers are not adjacent.
+        """
+        return self._router_link_ids[(src_router, dst_router)]
+
+    def router_neighbors(self, router: int) -> tuple[int, ...]:
+        """Routers directly reachable from ``router``."""
+        return tuple(
+            dst for (src, dst) in self._router_link_ids if src == router
+        )
+
+    def to_networkx(self):
+        """Export the router graph as a :mod:`networkx` DiGraph (for tests
+        and ad-hoc analysis; the core library never depends on it)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self._num_routers))
+        graph.add_edges_from(self._router_link_ids)
+        return graph
+
+
+class Mesh2D(Topology):
+    """A ``cols × rows`` 2D mesh, the paper's platform (Fig. 1).
+
+    Router at mesh coordinate ``(x, y)`` has index ``y * cols + x``;
+    coordinate ``(0, 0)`` is the bottom-left corner.  Each router connects
+    to its 4-neighbourhood with pairs of unidirectional links.
+
+    >>> mesh = Mesh2D(4, 4)
+    >>> mesh.num_nodes
+    16
+    >>> mesh.coords(5)
+    (1, 1)
+    """
+
+    def __init__(self, cols: int, rows: int):
+        if cols < 1 or rows < 1:
+            raise ValueError(f"mesh dimensions must be >= 1, got {cols}x{rows}")
+        self.cols = cols
+        self.rows = rows
+        super().__init__(cols * rows)
+        for y in range(rows):
+            for x in range(cols):
+                router = self.index(x, y)
+                if x + 1 < cols:
+                    self._connect_routers(router, self.index(x + 1, y))
+                if y + 1 < rows:
+                    self._connect_routers(router, self.index(x, y + 1))
+
+    def index(self, x: int, y: int) -> int:
+        """Router index of mesh coordinate ``(x, y)``."""
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise ValueError(
+                f"coordinate ({x}, {y}) outside {self.cols}x{self.rows} mesh"
+            )
+        return y * self.cols + x
+
+    def coords(self, router: int) -> tuple[int, int]:
+        """Mesh coordinate ``(x, y)`` of a router index."""
+        if not (0 <= router < self.num_routers):
+            raise ValueError(f"router {router} outside mesh")
+        return router % self.cols, router // self.cols
+
+    def __repr__(self) -> str:
+        return f"Mesh2D({self.cols}x{self.rows})"
+
+
+def chain(length: int) -> Mesh2D:
+    """A 1×``length`` chain of routers — the topology of the paper's Fig. 3.
+
+    >>> chain(6).num_nodes
+    6
+    """
+    return Mesh2D(length, 1)

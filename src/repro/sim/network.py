@@ -1,0 +1,181 @@
+"""Mutable network state: VC buffers, credits, routing tables, sources.
+
+The state model follows the paper's Fig. 1 router:
+
+* every link that ends at a router (injection links and router-to-router
+  links) terminates in a per-VC FIFO input buffer of depth ``buf(Ξ)``;
+  since every flow owns a distinct priority — hence a distinct VC — buffers
+  are keyed ``(link_id, flow_index)``;
+* the sender on a link holds a **credit counter** per VC, initialised to
+  the downstream buffer depth: it is decremented when a flit is sent
+  (reserving the slot) and incremented, after ``credit_delay`` cycles,
+  when a flit leaves the downstream buffer;
+* ejection links end at a node's sink, which consumes flits at link rate
+  (no credit, no buffer);
+* routing is static per flow (deterministic XY), so the per-router routing
+  decision is a precomputed "next link" lookup; the header still pays
+  ``routl`` cycles at every router before becoming eligible, which is how
+  Equation 1's ``routl·(|route|−1)`` term arises in simulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.flows.flowset import FlowSet
+from repro.noc.topology import LinkKind
+from repro.sim.packet import Flit, Packet
+
+
+class NetworkState:
+    """All mutable wormhole state for one simulation run."""
+
+    def __init__(self, flowset: FlowSet, *, credit_delay: int = 1):
+        if credit_delay < 0:
+            raise ValueError(f"credit_delay must be >= 0, got {credit_delay}")
+        self.flowset = flowset
+        self.platform = flowset.platform
+        self.credit_delay = credit_delay
+        topology = self.platform.topology
+
+        flows = flowset.flows
+        self.num_flows = len(flows)
+        self.priority_of = [f.priority for f in flows]
+        #: per flow: next link after sitting at the downstream buffer of a
+        #: given link; the first route link is reached from key ``None``.
+        self.next_link: list[dict[int | None, int | None]] = []
+        self.routes: list[tuple[int, ...]] = []
+        for flow in flows:
+            route = flowset.route(flow.name)
+            table: dict[int | None, int | None] = {}
+            if route:
+                table[None] = route[0]
+                for here, nxt in zip(route, route[1:]):
+                    table[here] = nxt
+                table[route[-1]] = None  # delivered after the ejection link
+            self.next_link.append(table)
+            self.routes.append(route)
+
+        #: is the link's downstream end a router input buffer?
+        self.buffered_link = [
+            topology.link(link.id).kind is not LinkKind.EJECTION
+            for link in topology.links
+        ]
+        #: (link_id, flow) -> FIFO of [flit, ready_time]; created lazily.
+        self.buffers: dict[tuple[int, int], deque] = {}
+        #: (link_id, flow) -> remaining credit toward the downstream buffer.
+        self.credits: dict[tuple[int, int], int] = {}
+        #: per-flow source queue of released packets, FIFO.
+        self.source_queue: list[deque[Packet]] = [deque() for _ in flows]
+        #: flits of the head source packet already injected.
+        self.injected_of_head: list[int] = [0] * self.num_flows
+        #: flits currently inside the network (buffers + in flight).
+        self.flits_in_network = 0
+
+    # -- credits --------------------------------------------------------------
+
+    def capacity(self, link_id: int) -> int:
+        """Depth of the VC buffers at the downstream end of ``link_id``."""
+        return self.platform.buf_of_link(link_id)
+
+    def credit(self, link_id: int, flow: int) -> int:
+        """Remaining credit for sending flow ``flow`` onto ``link_id``."""
+        key = (link_id, flow)
+        found = self.credits.get(key)
+        if found is None:
+            found = self.capacity(link_id)
+            self.credits[key] = found
+        return found
+
+    def take_credit(self, link_id: int, flow: int) -> None:
+        """Reserve one downstream buffer slot (a flit is being sent)."""
+        remaining = self.credit(link_id, flow)
+        if remaining <= 0:
+            raise AssertionError(
+                f"sent on link {link_id} for flow {flow} without credit"
+            )
+        self.credits[(link_id, flow)] = remaining - 1
+
+    def return_credit(self, link_id: int, flow: int) -> None:
+        """Free one downstream slot (a flit left the downstream buffer)."""
+        key = (link_id, flow)
+        capacity = self.capacity(link_id)
+        self.credits[key] = self.credits.get(key, capacity) + 1
+        if self.credits[key] > capacity:
+            raise AssertionError(
+                f"credit overflow on link {link_id} flow {flow}: "
+                f"{self.credits[key]} > buf={capacity}"
+            )
+
+    # -- buffers --------------------------------------------------------------
+
+    def buffer(self, link_id: int, flow: int) -> deque:
+        """The FIFO at the downstream end of ``link_id`` for one VC."""
+        key = (link_id, flow)
+        found = self.buffers.get(key)
+        if found is None:
+            found = deque()
+            self.buffers[key] = found
+        return found
+
+    def enqueue_flit(
+        self, link_id: int, flow: int, flit: Flit, ready_time: int
+    ) -> None:
+        """Flit arrives into the downstream buffer of ``link_id``."""
+        dq = self.buffer(link_id, flow)
+        if len(dq) >= self.capacity(link_id):
+            raise AssertionError(
+                f"buffer overflow on link {link_id} flow {flow}; "
+                "credit flow control should prevent this"
+            )
+        dq.append((flit, ready_time))
+
+    # -- sources --------------------------------------------------------------
+
+    def release(self, packet: Packet) -> None:
+        """A packet becomes ready at its source node."""
+        self.source_queue[packet.flow_index].append(packet)
+
+    def source_head_flit(self, flow: int) -> Flit | None:
+        """Next flit awaiting injection for ``flow`` (None when idle)."""
+        queue = self.source_queue[flow]
+        if not queue:
+            return None
+        return Flit(queue[0], self.injected_of_head[flow])
+
+    def pop_source_flit(self, flow: int) -> Flit:
+        """Consume the next source flit, advancing the packet queue."""
+        queue = self.source_queue[flow]
+        packet = queue[0]
+        flit = Flit(packet, self.injected_of_head[flow])
+        self.injected_of_head[flow] += 1
+        if self.injected_of_head[flow] == packet.length:
+            queue.popleft()
+            self.injected_of_head[flow] = 0
+        return flit
+
+    # -- invariants -------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """No flits buffered, in flight, or awaiting injection."""
+        return (
+            self.flits_in_network == 0
+            and all(not q for q in self.source_queue)
+            and all(not dq for dq in self.buffers.values())
+        )
+
+    def check_buffer_occupancy(self) -> None:
+        """Debug invariant: occupancy + credit == buf for every VC buffer.
+
+        Only exact between credit-return events; tests call this on a
+        drained network where it must hold everywhere.
+        """
+        for (link_id, flow), dq in self.buffers.items():
+            capacity = self.capacity(link_id)
+            credit = self.credits.get((link_id, flow), capacity)
+            if len(dq) + credit != capacity:
+                raise AssertionError(
+                    f"occupancy {len(dq)} + credit {credit} != buf "
+                    f"{capacity} on link {link_id} flow {flow}"
+                )

@@ -1,0 +1,63 @@
+"""Latency observation and per-packet records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.packet import Packet
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """Completed delivery of one packet."""
+
+    flow_name: str
+    seq: int
+    release_time: int
+    completion_time: int
+
+    @property
+    def latency(self) -> int:
+        """Release of the first flit to reception of the last (the paper's
+        notion of packet latency, compared against ``D_i``)."""
+        return self.completion_time - self.release_time
+
+
+@dataclass
+class LatencyObserver:
+    """Collects per-packet latencies during a simulation run.
+
+    ``keep_records`` toggles storing every delivery (useful in tests and
+    traces) versus only the running per-flow maxima (cheap, the default for
+    long worst-case searches).
+    """
+
+    keep_records: bool = False
+    worst: dict[str, int] = field(default_factory=dict)
+    delivered: dict[str, int] = field(default_factory=dict)
+    records: list[PacketRecord] = field(default_factory=list)
+
+    def on_delivery(self, flow_name: str, packet: Packet, time: int) -> None:
+        """Simulator hook: a packet's tail flit reached its destination."""
+        latency = time - packet.release_time
+        if latency < 0:
+            raise AssertionError(
+                f"packet {packet} delivered before its release ({time})"
+            )
+        previous = self.worst.get(flow_name, 0)
+        if latency > previous:
+            self.worst[flow_name] = latency
+        self.delivered[flow_name] = self.delivered.get(flow_name, 0) + 1
+        if self.keep_records:
+            self.records.append(
+                PacketRecord(
+                    flow_name=flow_name,
+                    seq=packet.seq,
+                    release_time=packet.release_time,
+                    completion_time=time,
+                )
+            )
+
+    def worst_latency(self, flow_name: str) -> int:
+        """Worst observed latency for a flow (0 when nothing delivered)."""
+        return self.worst.get(flow_name, 0)

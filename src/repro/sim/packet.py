@@ -1,0 +1,56 @@
+"""Packets and flits as the simulator tracks them.
+
+A packet is a contiguous sequence of flits: one header (which carries the
+routing decision and pays the per-router routing latency), zero or more
+body flits, and a tail (the last flit; it releases per-router wormhole
+state in real hardware — here implicitly, since every flow owns its VC).
+
+Flits are small immutable records; the simulator moves them one link at a
+time and never copies payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One released packet instance of a flow."""
+
+    flow_index: int
+    seq: int
+    release_time: int
+    length: int
+
+    def __post_init__(self):
+        if self.length < 1:
+            raise ValueError("packets have at least one flit")
+        if self.release_time < 0:
+            raise ValueError("release times are non-negative")
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One flit of one packet.
+
+    ``index`` runs 0..length-1; index 0 is the header, index length-1 the
+    tail (a single-flit packet is both).
+    """
+
+    packet: Packet
+    index: int
+
+    @property
+    def is_header(self) -> bool:
+        return self.index == 0
+
+    @property
+    def is_tail(self) -> bool:
+        return self.index == self.packet.length - 1
+
+    def __repr__(self) -> str:
+        kind = "H" if self.is_header else ("T" if self.is_tail else "B")
+        return (
+            f"Flit(f{self.packet.flow_index}#{self.packet.seq}.{self.index}{kind})"
+        )

@@ -1,0 +1,292 @@
+"""The cycle-accurate simulation loop.
+
+Each cycle has strict phases:
+
+1. apply scheduled events — flit arrivals (a flit sent at ``t`` occupies
+   the downstream buffer, or the destination sink, at ``t + linkl``) and
+   delayed credit returns;
+2. apply packet releases due this cycle (local flows deliver immediately
+   — they never enter the network);
+3. collect, per output link, the VCs whose head flit is ready (header
+   routed, i.e. ``routl`` elapsed since arrival) and wants that link;
+4. arbitrate every requested, non-busy link: the highest-priority
+   candidate **with credit** sends one flit (paper Section II: a blocked
+   higher-priority packet without credit yields the link to the next
+   priority); sending reserves a downstream slot (credit decrement),
+   frees the upstream slot (credit return to the previous link after
+   ``credit_delay``) and occupies the link for ``linkl`` cycles;
+5. advance time — by one cycle after activity, otherwise jump straight to
+   the next scheduled event or release (idle periods cost nothing).
+
+The loop ends when all releases are in, the network has drained and no
+events remain, or when ``drain_limit`` is hit (overload guard).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.flows.flowset import FlowSet
+from repro.sim.network import NetworkState
+from repro.sim.observer import LatencyObserver
+from repro.sim.packet import Packet
+from repro.sim.traffic import ReleasePlan
+
+_ARRIVE = 0
+_CREDIT = 1
+_WAKE = 2
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    observer: LatencyObserver
+    released_packets: dict[str, int] = field(default_factory=dict)
+    released_flits: dict[str, int] = field(default_factory=dict)
+    delivered_flits: dict[str, int] = field(default_factory=dict)
+    #: flit traversals per link id over the whole run.
+    flits_per_link: dict[int, int] = field(default_factory=dict)
+    end_time: int = 0
+    drained: bool = True
+
+    def worst_latency(self, flow_name: str) -> int:
+        """Worst packet latency observed for a flow in this run."""
+        return self.observer.worst_latency(flow_name)
+
+    def link_utilization(self, link_id: int, linkl: int = 1) -> float:
+        """Fraction of the run a link spent transmitting flits."""
+        if self.end_time <= 0:
+            return 0.0
+        busy = self.flits_per_link.get(link_id, 0) * linkl
+        return min(1.0, busy / self.end_time)
+
+    def hottest_links(self, count: int = 5) -> list[tuple[int, int]]:
+        """The ``count`` most-used links as (link_id, flits) pairs."""
+        ranked = sorted(
+            self.flits_per_link.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return ranked[:count]
+
+    def check_conservation(self) -> None:
+        """Every released flit was delivered exactly once (drained runs)."""
+        if not self.drained:
+            raise AssertionError("conservation only meaningful after drain")
+        for name, released in self.released_flits.items():
+            delivered = self.delivered_flits.get(name, 0)
+            if released != delivered:
+                raise AssertionError(
+                    f"{name}: released {released} flits but delivered {delivered}"
+                )
+
+
+class WormholeSimulator:
+    """Cycle-accurate priority-preemptive wormhole NoC simulator.
+
+    >>> from repro.workloads import didactic_flowset
+    >>> from repro.sim import single_shot
+    >>> fs = didactic_flowset(buf=2)
+    >>> sim = WormholeSimulator(fs, single_shot(at={"t3": 0}))
+    >>> sim.run(release_horizon=1).worst_latency("t3")   # zero-load == C_3
+    132
+    """
+
+    def __init__(
+        self,
+        flowset: FlowSet,
+        releases: ReleasePlan,
+        *,
+        credit_delay: int = 1,
+        observer: LatencyObserver | None = None,
+        tracer=None,
+    ):
+        self.flowset = flowset
+        self.releases = releases
+        self.credit_delay = credit_delay
+        self.observer = observer if observer is not None else LatencyObserver()
+        #: optional :class:`repro.sim.trace.FlitTracer` receiving every send
+        self.tracer = tracer
+
+    def run(
+        self,
+        release_horizon: int,
+        *,
+        drain_limit: int | None = None,
+    ) -> SimulationResult:
+        """Simulate all releases before ``release_horizon`` and drain.
+
+        ``drain_limit`` bounds the total simulated time (default: horizon
+        plus ten times the largest period, plenty for any schedulable
+        scenario); hitting it marks the result ``drained=False``.
+        """
+        flowset = self.flowset
+        platform = flowset.platform
+        state = NetworkState(flowset, credit_delay=self.credit_delay)
+        observer = self.observer
+        result = SimulationResult(observer=observer)
+        linkl, routl = platform.linkl, platform.routl
+        ejection = [not buffered for buffered in state.buffered_link]
+        priority_of = state.priority_of
+        flow_names = [f.name for f in flowset.flows]
+
+        if drain_limit is None:
+            max_period = max(f.period for f in flowset.flows)
+            drain_limit = release_horizon + 10 * max_period + 10 * linkl
+
+        # All releases, globally sorted by time.
+        pending_releases: list[Packet] = []
+        for index in range(state.num_flows):
+            for packet in self.releases.releases(flowset, index, release_horizon):
+                pending_releases.append(packet)
+                name = flow_names[index]
+                result.released_packets[name] = (
+                    result.released_packets.get(name, 0) + 1
+                )
+                result.released_flits[name] = (
+                    result.released_flits.get(name, 0) + packet.length
+                )
+        pending_releases.sort(key=lambda p: (p.release_time, p.flow_index, p.seq))
+        release_ptr = 0
+
+        events: list[tuple[int, int, int, tuple]] = []  # (time, seq, kind, data)
+        event_seq = 0
+
+        def push_event(time: int, kind: int, data: tuple) -> None:
+            nonlocal event_seq
+            heapq.heappush(events, (time, event_seq, kind, data))
+            event_seq += 1
+
+        link_free: dict[int, int] = {}
+        now = 0
+
+        while True:
+            if now > drain_limit:
+                result.drained = False
+                break
+            if (
+                release_ptr >= len(pending_releases)
+                and not events
+                and state.is_empty
+            ):
+                break
+
+            # Phase 1: events due (defensively: also any stragglers).
+            while events and events[0][0] <= now:
+                _, _, kind, data = heapq.heappop(events)
+                if kind == _ARRIVE:
+                    out_link, flow, flit = data
+                    if ejection[out_link]:
+                        state.flits_in_network -= 1
+                        name = flow_names[flow]
+                        result.delivered_flits[name] = (
+                            result.delivered_flits.get(name, 0) + 1
+                        )
+                        if flit.is_tail:
+                            observer.on_delivery(name, flit.packet, now)
+                    else:
+                        ready = now + routl if flit.is_header else now
+                        state.enqueue_flit(out_link, flow, flit, ready)
+                        if ready > now:
+                            push_event(ready, _WAKE, ())
+                elif kind == _CREDIT:
+                    link_id, flow = data
+                    state.return_credit(link_id, flow)
+                # _WAKE: state unchanged; its purpose is to un-idle the loop.
+
+            # Phase 2: releases due now.
+            while (
+                release_ptr < len(pending_releases)
+                and pending_releases[release_ptr].release_time == now
+            ):
+                packet = pending_releases[release_ptr]
+                release_ptr += 1
+                flow = packet.flow_index
+                if flowset.flows[flow].is_local:
+                    observer.on_delivery(flow_names[flow], packet, now)
+                    name = flow_names[flow]
+                    result.delivered_flits[name] = (
+                        result.delivered_flits.get(name, 0) + packet.length
+                    )
+                else:
+                    state.release(packet)
+
+            # Phase 3: collect per-link requests.
+            requests: dict[int, list[tuple[int, int, tuple | None]]] = {}
+            for (link_id, flow), dq in state.buffers.items():
+                if not dq:
+                    continue
+                flit, ready = dq[0]
+                if ready > now:
+                    continue
+                out = state.next_link[flow][link_id]
+                if out is None:
+                    raise AssertionError("flit beyond its ejection link")
+                requests.setdefault(out, []).append(
+                    (priority_of[flow], flow, (link_id, flow))
+                )
+            for flow in range(state.num_flows):
+                queue = state.source_queue[flow]
+                if not queue or queue[0].release_time > now:
+                    continue
+                out = state.next_link[flow][None]
+                requests.setdefault(out, []).append(
+                    (priority_of[flow], flow, None)
+                )
+
+            # Phase 4: arbitration + sends.
+            sent_any = False
+            for out, candidates in requests.items():
+                if link_free.get(out, 0) > now:
+                    continue
+                candidates.sort(key=lambda c: c[0])
+                for _, flow, buffer_key in candidates:
+                    needs_credit = state.buffered_link[out]
+                    if needs_credit and state.credit(out, flow) <= 0:
+                        continue  # blocked upstream: yield to next priority
+                    if buffer_key is None:
+                        flit = state.pop_source_flit(flow)
+                        state.flits_in_network += 1
+                    else:
+                        flit, _ = state.buffers[buffer_key].popleft()
+                        if self.credit_delay == 0:
+                            state.return_credit(*buffer_key)
+                        else:
+                            push_event(
+                                now + self.credit_delay, _CREDIT, buffer_key
+                            )
+                    if needs_credit:
+                        state.take_credit(out, flow)
+                    push_event(now + linkl, _ARRIVE, (out, flow, flit))
+                    link_free[out] = now + linkl
+                    result.flits_per_link[out] = (
+                        result.flits_per_link.get(out, 0) + 1
+                    )
+                    if self.tracer is not None:
+                        self.tracer.on_send(
+                            now, out, flow, flit,
+                            None if buffer_key is None else buffer_key[0],
+                        )
+                    sent_any = True
+                    break
+
+            # Phase 5: advance time.
+            if sent_any:
+                now += 1
+                continue
+            next_times = []
+            if events:
+                next_times.append(events[0][0])
+            if release_ptr < len(pending_releases):
+                next_times.append(pending_releases[release_ptr].release_time)
+            if not next_times:
+                if not state.is_empty:
+                    raise AssertionError(
+                        f"network stalled at cycle {now} with flits in place "
+                        "and no future events; arbitration bug"
+                    )
+                break
+            now = max(now + 1, min(next_times))
+
+        result.end_time = now
+        return result

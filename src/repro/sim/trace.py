@@ -1,0 +1,186 @@
+"""Flit-level tracing: see wormhole contention — and MPB — happen.
+
+A :class:`FlitTracer` records every link traversal of a simulation run.
+From that single event stream the module reconstructs:
+
+* **link timelines** — which flow's flit crossed each link at each cycle
+  (the textual equivalent of a waveform viewer), and
+* **per-VC buffer occupancy over time** — the paper's Fig. 2 "stacked
+  dots": watching τj's flits pile up inside the contention domain while a
+  downstream interferer blocks it is exactly the buffered-interference
+  phenomenon Equation 6 bounds.
+
+Tracing is opt-in (pass ``tracer=`` to
+:class:`~repro.sim.simulator.WormholeSimulator`) and adds one list append
+per flit-send when enabled, nothing when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flows.flowset import FlowSet
+from repro.sim.packet import Flit
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """One flit crossing one link.
+
+    ``from_buffer`` is the link id whose downstream buffer the flit left
+    (``None`` when it was injected straight from the source node).
+    """
+
+    time: int
+    link: int
+    flow_index: int
+    packet_seq: int
+    flit_index: int
+    from_buffer: int | None
+
+
+@dataclass
+class FlitTracer:
+    """Collects :class:`SendEvent` records during a simulation run."""
+
+    events: list[SendEvent] = field(default_factory=list)
+
+    def on_send(
+        self,
+        time: int,
+        link: int,
+        flow_index: int,
+        flit: Flit,
+        from_buffer: int | None,
+    ) -> None:
+        """Simulator hook: one flit was sent on ``link`` at ``time``."""
+        self.events.append(
+            SendEvent(
+                time=time,
+                link=link,
+                flow_index=flow_index,
+                packet_seq=flit.packet.seq,
+                flit_index=flit.index,
+                from_buffer=from_buffer,
+            )
+        )
+
+    # -- derived views -------------------------------------------------------
+
+    def sends_on(self, link: int) -> list[SendEvent]:
+        """All traversals of one link, in time order."""
+        return sorted(
+            (e for e in self.events if e.link == link), key=lambda e: e.time
+        )
+
+    def occupancy_series(
+        self, flowset: FlowSet, link: int, flow_name: str
+    ) -> list[tuple[int, int]]:
+        """(time, occupancy) steps of one VC buffer (downstream of ``link``).
+
+        Occupancy rises when a flit *arrives* into the buffer (one link
+        latency after it was sent on ``link``) and falls when it is sent
+        onward (leaves ``from_buffer == link``).  The series contains one
+        entry per change, in time order.
+        """
+        flow_index = [f.name for f in flowset.flows].index(flow_name)
+        linkl = flowset.platform.linkl
+        deltas: dict[int, int] = {}
+        for event in self.events:
+            if event.flow_index != flow_index:
+                continue
+            if event.link == link:
+                arrival = event.time + linkl
+                deltas[arrival] = deltas.get(arrival, 0) + 1
+            if event.from_buffer == link:
+                deltas[event.time] = deltas.get(event.time, 0) - 1
+        series: list[tuple[int, int]] = []
+        occupancy = 0
+        for time in sorted(deltas):
+            occupancy += deltas[time]
+            series.append((time, occupancy))
+        return series
+
+    def max_occupancy(
+        self, flowset: FlowSet, link: int, flow_name: str
+    ) -> int:
+        """Peak occupancy of one VC buffer over the traced run."""
+        series = self.occupancy_series(flowset, link, flow_name)
+        return max((occ for _, occ in series), default=0)
+
+
+def packet_journey(
+    tracer: FlitTracer,
+    flowset: FlowSet,
+    flow_name: str,
+    packet_seq: int = 0,
+) -> str:
+    """Per-hop trajectory of one packet: when each flit crossed each link.
+
+    One row per route link showing the send times of the packet's header
+    and tail (plus the flit count), which makes stalls visible as gaps
+    between consecutive rows growing beyond the link latency.
+    """
+    names = [f.name for f in flowset.flows]
+    flow_index = names.index(flow_name)
+    route = flowset.route(flow_name)
+    topology = flowset.platform.topology
+    lines = [f"journey of {flow_name} packet #{packet_seq}:"]
+    previous_header = None
+    for link in route:
+        sends = [
+            e for e in tracer.events
+            if e.link == link
+            and e.flow_index == flow_index
+            and e.packet_seq == packet_seq
+        ]
+        if not sends:
+            lines.append(f"  {str(topology.link(link)):<12} (not traversed)")
+            continue
+        header = min(e.time for e in sends)
+        tail = max(e.time for e in sends)
+        stall = ""
+        if previous_header is not None:
+            gap = header - previous_header
+            if gap > flowset.platform.linkl + flowset.platform.routl:
+                stall = f"  <- stalled {gap - flowset.platform.linkl} cycles"
+        lines.append(
+            f"  {str(topology.link(link)):<12} header @ {header:>6}, "
+            f"tail @ {tail:>6} ({len(sends)} flits){stall}"
+        )
+        previous_header = header
+    return "\n".join(lines)
+
+
+def link_timeline(
+    tracer: FlitTracer,
+    flowset: FlowSet,
+    links: list[int],
+    start: int,
+    end: int,
+    *,
+    markers: dict[str, str] | None = None,
+) -> str:
+    """ASCII timeline: one row per link, one column per cycle.
+
+    Each cell shows the marker of the flow whose flit crossed that link in
+    that cycle (``·`` when idle).  Markers default to the first character
+    of each flow name; override with ``markers={flow_name: char}``.
+    """
+    if end <= start:
+        raise ValueError(f"empty window [{start}, {end})")
+    names = [f.name for f in flowset.flows]
+    marks = {name: (markers or {}).get(name, name[0]) for name in names}
+    topology = flowset.platform.topology
+    width = end - start
+    lines = [f"cycles {start}..{end - 1}, one column per cycle:"]
+    for link in links:
+        row = ["·"] * width
+        for event in tracer.events:
+            if event.link == link and start <= event.time < end:
+                row[event.time - start] = marks[names[event.flow_index]]
+        label = str(topology.link(link)).ljust(12)
+        lines.append(f"{label} |{''.join(row)}|")
+    legend = "  ".join(f"{marks[n]}={n}" for n in names)
+    lines.append(f"legend: {legend}  ·=idle")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Packet release plans for the simulator.
+
+A :class:`ReleasePlan` turns a flow set into concrete packet release times.
+:class:`PeriodicReleases` covers the model of the paper: each flow τi
+releases packet *n* at ``offset_i + n·T_i + jitter_i(n)`` with
+``0 ≤ jitter_i(n) ≤ J_i``.  Release offsets are the lever the worst-case
+search (:mod:`repro.sim.worstcase`) moves to expose multi-point
+progressive blocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+from repro.flows.flowset import FlowSet
+from repro.sim.packet import Packet
+
+
+class ReleasePlan:
+    """Interface: enumerate each flow's packet releases up to a horizon."""
+
+    def releases(
+        self, flowset: FlowSet, flow_index: int, horizon: int
+    ) -> Iterator[Packet]:
+        """Yield the flow's packets with release times below ``horizon``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PeriodicReleases(ReleasePlan):
+    """Strictly periodic releases with per-flow offsets and optional jitter.
+
+    ``offsets`` maps flow names to their first release time (default 0).
+    ``jitter_of`` (name, n) -> delay of the n-th packet, clamped to
+    ``[0, J_i]``; the default releases exactly on the periodic tick.
+    """
+
+    offsets: Mapping[str, int] = field(default_factory=dict)
+    jitter_of: Callable[[str, int], int] | None = None
+
+    def releases(
+        self, flowset: FlowSet, flow_index: int, horizon: int
+    ) -> Iterator[Packet]:
+        """Periodic releases from the flow's offset, jitter applied."""
+        flow = flowset.flows[flow_index]
+        offset = self.offsets.get(flow.name, 0)
+        if offset < 0:
+            raise ValueError(f"{flow.name}: negative release offset {offset}")
+        seq = 0
+        while True:
+            release = offset + seq * flow.period
+            if self.jitter_of is not None:
+                jitter = self.jitter_of(flow.name, seq)
+                if not 0 <= jitter <= flow.jitter:
+                    raise ValueError(
+                        f"{flow.name}: jitter {jitter} outside [0, {flow.jitter}]"
+                    )
+                release += jitter
+            if release >= horizon:
+                return
+            yield Packet(
+                flow_index=flow_index,
+                seq=seq,
+                release_time=release,
+                length=flow.length,
+            )
+            seq += 1
+
+
+@dataclass(frozen=True)
+class single_shot(ReleasePlan):
+    """Exactly one packet per listed flow (zero-load and unit tests).
+
+    ``at`` maps flow names to their single release time; flows absent from
+    the mapping release nothing.
+    """
+
+    at: Mapping[str, int] = field(default_factory=dict)
+
+    def releases(
+        self, flowset: FlowSet, flow_index: int, horizon: int
+    ) -> Iterator[Packet]:
+        """At most one release, at the flow's listed time."""
+        flow = flowset.flows[flow_index]
+        if flow.name not in self.at:
+            return
+        release = self.at[flow.name]
+        if release < 0:
+            raise ValueError(f"{flow.name}: negative release time {release}")
+        if release < horizon:
+            yield Packet(
+                flow_index=flow_index,
+                seq=0,
+                release_time=release,
+                length=flow.length,
+            )

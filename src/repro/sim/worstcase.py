@@ -1,0 +1,101 @@
+"""Worst-case latency search by release-offset exploration.
+
+The analyses bound the worst case over *all* release phasings; a simulator
+only ever observes the phasings it is given.  Following the paper's
+Section V methodology ("we also produced cycle-accurate simulation results
+for the same scenarios, and tabulated the worst observed latency for each
+flow"), this module sweeps release offsets — the dominant lever for
+exposing multi-point progressive blocking — and keeps per-flow maxima.
+
+The search is exhaustive over the supplied offset grid (a Cartesian
+product), so its cost is the product of grid sizes times the horizon;
+didactic-scale scenarios sweep a full period of the fast interfering flow
+in seconds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.flows.flowset import FlowSet
+from repro.sim.observer import LatencyObserver
+from repro.sim.simulator import WormholeSimulator
+from repro.sim.traffic import PeriodicReleases
+
+
+@dataclass
+class SearchResult:
+    """Worst observed latency per flow over all simulated phasings."""
+
+    worst: dict[str, int] = field(default_factory=dict)
+    worst_offsets: dict[str, dict[str, int]] = field(default_factory=dict)
+    runs: int = 0
+    all_drained: bool = True
+
+    def worst_latency(self, flow_name: str) -> int:
+        """Worst latency observed for a flow across all phasings tried."""
+        return self.worst.get(flow_name, 0)
+
+
+def simulate_offsets(
+    flowset: FlowSet,
+    offsets: Mapping[str, int],
+    *,
+    release_horizon: int,
+    credit_delay: int = 1,
+) -> dict[str, int]:
+    """Run one phasing; return the worst observed latency per flow."""
+    simulator = WormholeSimulator(
+        flowset,
+        PeriodicReleases(offsets=dict(offsets)),
+        credit_delay=credit_delay,
+        observer=LatencyObserver(),
+    )
+    result = simulator.run(release_horizon)
+    result.check_conservation()
+    return dict(result.observer.worst)
+
+
+def offset_search(
+    flowset: FlowSet,
+    vary: Mapping[str, Sequence[int]],
+    *,
+    release_horizon: int,
+    base_offsets: Mapping[str, int] | None = None,
+    credit_delay: int = 1,
+) -> SearchResult:
+    """Exhaustively sweep the offset grid and keep per-flow maxima.
+
+    ``vary`` maps flow names to the offsets to try (e.g. every phase of a
+    fast interferer's period); flows not listed use ``base_offsets``
+    (default 0).
+
+    >>> from repro.workloads import didactic_flowset
+    >>> fs = didactic_flowset(buf=2)
+    >>> r = offset_search(fs, {"t1": range(0, 10)}, release_horizon=1)
+    >>> r.runs
+    10
+    """
+    names = list(vary)
+    grids = [list(vary[name]) for name in names]
+    for name, grid in zip(names, grids):
+        if not grid:
+            raise ValueError(f"empty offset grid for flow {name!r}")
+    search = SearchResult()
+    for combo in itertools.product(*grids):
+        offsets = dict(base_offsets or {})
+        offsets.update(zip(names, combo))
+        worst = simulate_offsets(
+            flowset,
+            offsets,
+            release_horizon=release_horizon,
+            credit_delay=credit_delay,
+        )
+        search.runs += 1
+        for flow_name, latency in worst.items():
+            if latency > search.worst.get(flow_name, -1):
+                search.worst[flow_name] = latency
+                search.worst_offsets[flow_name] = dict(offsets)
+    return search

@@ -1,0 +1,17 @@
+"""Small shared utilities (integer math, RNG plumbing, text output helpers).
+
+These helpers are intentionally free of any NoC-specific knowledge so that
+the domain packages (:mod:`repro.noc`, :mod:`repro.core`, :mod:`repro.sim`)
+stay focused on the paper's concepts.
+"""
+
+from repro.util.mathx import ceil_div, fixed_point, FixedPointDiverged
+from repro.util.rng import spawn_rng, derive_seed
+
+__all__ = [
+    "ceil_div",
+    "fixed_point",
+    "FixedPointDiverged",
+    "spawn_rng",
+    "derive_seed",
+]

@@ -1,0 +1,71 @@
+"""Plain-text line charts for experiment output.
+
+The benchmark harness prints every figure it regenerates as an ASCII chart
+(plus CSV on request) so results are readable in a terminal or CI log with
+no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def ascii_chart(
+    x_labels: Sequence,
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 16,
+    y_min: float = 0.0,
+    y_max: float = 100.0,
+    y_label: str = "%",
+    title: str = "",
+) -> str:
+    """Render one or more series over a shared x-axis.
+
+    Each series gets a distinct marker; collisions show the marker of the
+    later series.  Values outside [y_min, y_max] are clamped.
+
+    >>> print(ascii_chart([1, 2], {"a": [0, 100]}, height=3))  # doctest: +SKIP
+    """
+    if height < 2:
+        raise ValueError(f"chart height must be >= 2, got {height}")
+    if y_max <= y_min:
+        raise ValueError(f"empty y range [{y_min}, {y_max}]")
+    markers = "ox+*#@%&"
+    names = list(series)
+    width = len(x_labels)
+    for name in names:
+        if len(series[name]) != width:
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"x-axis has {width}"
+            )
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, name in enumerate(names):
+        marker = markers[series_index % len(markers)]
+        for col, value in enumerate(series[name]):
+            clamped = min(max(value, y_min), y_max)
+            rel = (clamped - y_min) / (y_max - y_min)
+            row = height - 1 - round(rel * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        rel = 1.0 - row_index / (height - 1)
+        tick = y_min + rel * (y_max - y_min)
+        lines.append(f"{tick:6.1f} |" + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * width)
+    label_line = [" "] * width
+    step = max(1, width // 8)
+    for col in range(0, width, step):
+        text = str(x_labels[col])
+        for offset, char in enumerate(text):
+            if col + offset < width:
+                label_line[col + offset] = char
+    lines.append(" " * 8 + "".join(label_line))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(f"        [{y_label}]  {legend}")
+    return "\n".join(lines)

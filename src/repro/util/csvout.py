@@ -1,0 +1,42 @@
+"""CSV emission for experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def series_to_csv(
+    x_name: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Render an x-axis plus named series as CSV text.
+
+    >>> print(series_to_csv("n", [1, 2], {"a": [3, 4]}), end="")
+    n,a
+    1,3
+    2,4
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, x-axis has "
+                f"{len(x_values)}"
+            )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([x_name, *series.keys()])
+    for row_index, x in enumerate(x_values):
+        writer.writerow([x, *(series[name][row_index] for name in series)])
+    return buffer.getvalue()
+
+
+def write_csv(path: str | Path, content: str) -> Path:
+    """Write CSV text to ``path``, creating parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(content, encoding="utf-8")
+    return target

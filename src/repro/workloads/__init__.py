@@ -1,0 +1,33 @@
+"""Workload generators for the paper's experiments.
+
+* :mod:`repro.workloads.didactic` — the three-flow scenario of Fig. 3 /
+  Table I (Section V);
+* :mod:`repro.workloads.synthetic` — random flow sets with the Section VI
+  parameters (Figure 4);
+* :mod:`repro.workloads.av_benchmark` — the autonomous-vehicle application
+  substitute and its task graph (Figure 5);
+* :mod:`repro.workloads.mapping` — random task-to-core mappings.
+"""
+
+from repro.workloads.didactic import didactic_flowset, didactic_platform
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flowset
+from repro.workloads.av_benchmark import (
+    AV_TASKS,
+    AV_MESSAGES,
+    av_flows,
+    av_flowset,
+)
+from repro.workloads.mapping import random_mapping, map_flows
+
+__all__ = [
+    "didactic_flowset",
+    "didactic_platform",
+    "SyntheticConfig",
+    "synthetic_flowset",
+    "AV_TASKS",
+    "AV_MESSAGES",
+    "av_flows",
+    "av_flowset",
+    "random_mapping",
+    "map_flows",
+]

@@ -1,0 +1,65 @@
+"""The paper's didactic example (Section V: Fig. 3, Tables I and II).
+
+Three flows on a 1×6 chain of routers with nodes a..f (here nodes 0..5):
+
+* τ1: e→f (routers 5→6), the short, fast, highest-priority flow;
+* τ2: a→f (routers 1→6), the long medium-priority flow;
+* τ3: b→e (routers 2→5), the lowest-priority flow under analysis.
+
+τ1 interferes with τ2 on the last two links of τ2's route — strictly
+downstream of ``cd_23`` (the three router-to-router links τ2 shares with
+τ3) — and shares no link with τ3, which makes it exactly the downstream
+indirect interferer that triggers multi-point progressive blocking on τ3.
+
+The placement is reverse-engineered from Table I's ``(L, |route|)`` pairs
+and Table II's analysis values, which this library reproduces exactly
+(see ``tests/core/test_didactic_oracle.py``):
+
+==========  ====  =====  ============  ===========
+flow        R_SB  R_XLWX R_IBN(b=10)   R_IBN(b=2)
+==========  ====  =====  ============  ===========
+τ1          62    62     62            62
+τ2          328   328    328           328
+τ3          336   460    396           348
+==========  ====  =====  ============  ===========
+
+Table I parameters, with ``routl = 0`` and ``linkl = 1`` (the only values
+consistent with the published C/L/route-length triples).
+"""
+
+from __future__ import annotations
+
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import chain
+
+#: Node indices for the chain's nodes a..f.
+NODE_A, NODE_B, NODE_C, NODE_D, NODE_E, NODE_F = range(6)
+
+
+def didactic_platform(buf: int = 2) -> NoCPlatform:
+    """The 1×6 chain platform of Fig. 3 with a chosen per-VC buffer depth."""
+    return NoCPlatform(chain(6), buf=buf, linkl=1, routl=0)
+
+
+def didactic_flows() -> list[Flow]:
+    """The three flows of Table I (periods/deadlines/jitters in cycles)."""
+    return [
+        Flow("t1", priority=1, period=200, deadline=200, jitter=0,
+             length=60, src=NODE_E, dst=NODE_F),
+        Flow("t2", priority=2, period=4000, deadline=4000, jitter=0,
+             length=198, src=NODE_A, dst=NODE_F),
+        Flow("t3", priority=3, period=6000, deadline=6000, jitter=0,
+             length=128, src=NODE_B, dst=NODE_E),
+    ]
+
+
+def didactic_flowset(buf: int = 2) -> FlowSet:
+    """Table I flows bound to the Fig. 3 platform with buffer depth ``buf``.
+
+    >>> fs = didactic_flowset(buf=2)
+    >>> fs.c("t1"), fs.c("t2"), fs.c("t3")
+    (62, 204, 132)
+    """
+    return FlowSet(didactic_platform(buf), didactic_flows())

@@ -1,0 +1,42 @@
+"""Shared fixtures: platforms and flow sets used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Flow, FlowSet, Mesh2D, NoCPlatform
+from repro.workloads.didactic import didactic_flowset
+
+
+@pytest.fixture
+def mesh4x4() -> Mesh2D:
+    return Mesh2D(4, 4)
+
+
+@pytest.fixture
+def platform4x4(mesh4x4) -> NoCPlatform:
+    return NoCPlatform(mesh4x4, buf=2, linkl=1, routl=0)
+
+
+@pytest.fixture
+def didactic2() -> FlowSet:
+    """The paper's Section V scenario with 2-flit buffers."""
+    return didactic_flowset(buf=2)
+
+
+@pytest.fixture
+def didactic10() -> FlowSet:
+    """The paper's Section V scenario with 10-flit buffers."""
+    return didactic_flowset(buf=10)
+
+
+@pytest.fixture
+def two_flow_set(platform4x4) -> FlowSet:
+    """A minimal two-flow set sharing one link segment on the 4x4 mesh."""
+    return FlowSet(
+        platform4x4,
+        [
+            Flow("hi", priority=1, period=1000, length=10, src=0, dst=3),
+            Flow("lo", priority=2, period=5000, length=20, src=1, dst=3),
+        ],
+    )

@@ -1,0 +1,93 @@
+"""Contention pressure and heterogeneous buffer allocation."""
+
+import pytest
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.engine import is_schedulable
+from repro.core.sizing import allocate_buffers, contention_pressure
+from repro.workloads.didactic import didactic_flowset
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flowset
+
+
+class TestContentionPressure:
+    def test_didactic_pressure_sits_on_cd_routers(self, didactic2):
+        pressure = contention_pressure(didactic2)
+        # cd_23 buffers at routers 2, 3, 4; cd_12 buffers at router 5
+        # (link r4->r5) and router 5 again (ejection at f).
+        assert pressure[2] == 1 and pressure[3] == 1 and pressure[4] == 1
+        assert pressure[5] == 2
+        assert pressure[0] == 0
+
+    def test_every_router_reported(self, didactic2):
+        pressure = contention_pressure(didactic2)
+        assert set(pressure) == set(range(6))
+
+    def test_disjoint_flows_zero_pressure(self, platform4x4):
+        from repro.flows.flow import Flow
+        from repro.flows.flowset import FlowSet
+
+        fs = FlowSet(
+            platform4x4,
+            [
+                Flow("a", priority=1, period=100, length=5, src=0, dst=1),
+                Flow("b", priority=2, period=100, length=5, src=14, dst=15),
+            ],
+        )
+        assert all(v == 0 for v in contention_pressure(fs).values())
+
+
+class TestAllocateBuffers:
+    @pytest.fixture(scope="class")
+    def sensitive(self):
+        """A workload schedulable shallow but not deep (IBN)."""
+        platform = NoCPlatform(Mesh2D(4, 4), buf=2)
+        for set_index in range(60):
+            flowset = synthetic_flowset(
+                platform, SyntheticConfig(num_flows=340),
+                seed=20180319, set_index=set_index,
+            )
+            deep = flowset.on_platform(platform.with_buffers(16))
+            if is_schedulable(flowset, IBNAnalysis()) and not is_schedulable(
+                deep, IBNAnalysis()
+            ):
+                return flowset
+        pytest.skip("no buffer-sensitive set found in the sample")
+
+    def test_allocation_restores_schedulability(self, sensitive):
+        allocated = allocate_buffers(sensitive, shallow=2, deep=16)
+        assert allocated is not None
+        assert is_schedulable(allocated, IBNAnalysis())
+
+    def test_allocation_keeps_some_depth(self, sensitive):
+        allocated = allocate_buffers(sensitive, shallow=2, deep=16)
+        platform = allocated.platform
+        depths = [
+            platform.buf_of_router(r)
+            for r in range(platform.topology.num_routers)
+        ]
+        assert max(depths) == 16  # not everything was shrunk
+
+    def test_already_schedulable_returns_uniform_deep(self, didactic2):
+        allocated = allocate_buffers(didactic2, shallow=2, deep=16)
+        assert allocated is not None
+        assert allocated.platform.is_homogeneous
+        assert allocated.platform.buf == 16
+
+    def test_hopeless_returns_none(self, platform4x4):
+        from repro.flows.flow import Flow
+        from repro.flows.flowset import FlowSet
+
+        fs = FlowSet(
+            platform4x4,
+            [
+                Flow("hog", priority=1, period=110, length=100, src=0, dst=3),
+                Flow("victim", priority=2, period=400, length=200, src=1, dst=3),
+            ],
+        )
+        assert allocate_buffers(fs, shallow=2, deep=4) is None
+
+    def test_validation(self, didactic2):
+        with pytest.raises(ValueError):
+            allocate_buffers(didactic2, shallow=8, deep=2)

@@ -1,0 +1,129 @@
+"""Cross-analysis ordering properties (hypothesis).
+
+The paper's central claims, asserted on random workloads:
+
+* IBN is never looser than XLWX (Section IV: "this can make the proposed
+  analysis tighter, but never less tight than XLWX");
+* IBN bounds are monotonically non-decreasing in the buffer depth
+  (smaller buffers => tighter bounds, the headline trade-off);
+* SB is never above XLWX (SB charges C_j per hit, XLWX C_j + I^down);
+* schedulability verdicts follow the same orderings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import analyze
+from repro.core.interference import InterferenceGraph
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.util.rng import spawn_rng
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
+
+#: Load heavy enough that interference (and MPB) actually occurs.
+CONFIG = SyntheticConfig(
+    num_flows=1,  # overridden per draw
+    clock_hz=10e6,
+)
+
+
+def random_flowset(n, seed, buf=2, mesh=(4, 4)):
+    platform = NoCPlatform(Mesh2D(*mesh), buf=buf)
+    rng = spawn_rng(seed, "analysis-prop", n)
+    config = SyntheticConfig(num_flows=n, clock_hz=10e6)
+    flows = synthetic_flows(config, platform.topology.num_nodes, rng)
+    return FlowSet(platform, flows)
+
+
+def bounds(flowset, analysis, graph=None):
+    result = analyze(flowset, analysis, graph=graph)
+    return {name: r.response_time for name, r in result.flows.items()}
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(5, 40), st.integers(0, 10**6))
+def test_ibn_never_looser_than_xlwx(n, seed):
+    flowset = random_flowset(n, seed)
+    graph = InterferenceGraph(flowset)
+    r_xlwx = bounds(flowset, XLWXAnalysis(), graph)
+    r_ibn = bounds(flowset, IBNAnalysis(), graph)
+    for name in r_xlwx:
+        assert r_ibn[name] <= r_xlwx[name], name
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(5, 40), st.integers(0, 10**6))
+def test_sb_never_above_xlwx(n, seed):
+    flowset = random_flowset(n, seed)
+    graph = InterferenceGraph(flowset)
+    r_sb = bounds(flowset, SBAnalysis(), graph)
+    r_xlwx = bounds(flowset, XLWXAnalysis(), graph)
+    for name in r_sb:
+        assert r_sb[name] <= r_xlwx[name], name
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(5, 30), st.integers(0, 10**6))
+def test_ibn_monotone_in_buffer_depth(n, seed):
+    base = random_flowset(n, seed, buf=2)
+    graph = InterferenceGraph(base)
+    previous = None
+    for buf in (2, 8, 32, 128):
+        flowset = base.on_platform(base.platform.with_buffers(buf))
+        current = bounds(flowset, IBNAnalysis(), graph)
+        if previous is not None:
+            for name in current:
+                assert previous[name] <= current[name], (name, buf)
+        previous = current
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(5, 30), st.integers(0, 10**6))
+def test_ibn_with_huge_buffers_at_most_xlwx(n, seed):
+    """As buf -> infinity the min() in Eq. 8 saturates and IBN == XLWX."""
+    base = random_flowset(n, seed, buf=2)
+    graph = InterferenceGraph(base)
+    huge = base.on_platform(base.platform.with_buffers(10**9))
+    r_ibn = bounds(huge, IBNAnalysis(), graph)
+    r_xlwx = bounds(base, XLWXAnalysis(), graph)
+    assert r_ibn == r_xlwx
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(5, 30), st.integers(0, 10**6))
+def test_bounds_at_least_zero_load(n, seed):
+    flowset = random_flowset(n, seed)
+    graph = InterferenceGraph(flowset)
+    for analysis in (SBAnalysis(), XLWXAnalysis(), IBNAnalysis()):
+        for name, r in bounds(flowset, analysis, graph).items():
+            assert r >= flowset.c(name)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(5, 25), st.integers(0, 10**6))
+def test_ibn_ablation_without_buffer_bound_matches_or_exceeds(n, seed):
+    """Disabling the min() can only loosen IBN (ablation knob sanity)."""
+    flowset = random_flowset(n, seed)
+    graph = InterferenceGraph(flowset)
+    with_bound = bounds(flowset, IBNAnalysis(), graph)
+    without = bounds(flowset, IBNAnalysis(use_buffer_bound=False), graph)
+    for name in with_bound:
+        assert with_bound[name] <= without[name]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(5, 25), st.integers(0, 10**6))
+def test_conservative_upstream_rule_never_tighter(n, seed):
+    """The any_upstream fallback rule can only match or loosen IBN."""
+    flowset = random_flowset(n, seed)
+    graph = InterferenceGraph(flowset)
+    pairwise = bounds(flowset, IBNAnalysis(upstream_rule="pairwise"), graph)
+    conservative = bounds(
+        flowset, IBNAnalysis(upstream_rule="any_upstream"), graph
+    )
+    for name in pairwise:
+        assert pairwise[name] <= conservative[name]

@@ -1,0 +1,109 @@
+"""The IBN application rule (paper Section IV, bullet list).
+
+Equation 8's buffered-interference argument only telescopes when τj's
+flits arrive into the contention domain as one pipelined stream.  When τj
+suffers upstream *and* downstream indirect interference its packets get
+"chopped up", so the rule falls back to XLWX's Equation 3.  These
+scenarios pin the rule down on hand-built chains:
+
+* downstream only      -> Eq. 8 applies, IBN < XLWX (buffer-dependent);
+* upstream + downstream -> Eq. 3 applies, IBN == XLWX at any depth;
+* upstream only        -> downstream set empty, both terms are zero.
+"""
+
+import pytest
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import analyze
+from repro.core.interference import InterferenceGraph
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import chain
+
+
+def build(flows, buf=2):
+    return FlowSet(NoCPlatform(chain(8), buf=buf), flows)
+
+
+#: τj spans the chain; τi sits in the middle of τj's route.
+TAU_J = Flow("tj", priority=3, period=50_000, length=120, src=0, dst=7)
+TAU_I = Flow("ti", priority=4, period=100_000, length=80, src=2, dst=5)
+#: τk hitting τj upstream of cd_ij (shares τj's first links only).
+TAU_K_UP = Flow("tk_up", priority=1, period=600, length=30, src=0, dst=2)
+#: τk hitting τj downstream of cd_ij (shares τj's last links only).
+TAU_K_DOWN = Flow("tk_down", priority=2, period=700, length=25, src=6, dst=7)
+
+
+class TestGeometry:
+    def test_sets_are_as_designed(self):
+        flowset = build([TAU_J, TAU_I, TAU_K_UP, TAU_K_DOWN])
+        graph = InterferenceGraph(flowset)
+        assert graph.direct("ti") == ("tj",)
+        assert set(graph.indirect("ti")) == {"tk_up", "tk_down"}
+        assert graph.upstream("ti", "tj") == ("tk_up",)
+        assert graph.downstream("ti", "tj") == ("tk_down",)
+
+
+class TestDownstreamOnly:
+    """Without the upstream interferer, Eq. 8 gives IBN its edge."""
+
+    def flowsets(self, buf):
+        return build([TAU_J, TAU_I, TAU_K_DOWN], buf=buf)
+
+    def test_ibn_strictly_tighter_with_small_buffers(self):
+        flowset = self.flowsets(buf=2)
+        r_ibn = analyze(flowset, IBNAnalysis(), stop_at_deadline=False)
+        r_xlwx = analyze(flowset, XLWXAnalysis(), stop_at_deadline=False)
+        assert r_ibn.response_time("ti") < r_xlwx.response_time("ti")
+
+    def test_ibn_depends_on_buffer_depth(self):
+        shallow = analyze(
+            self.flowsets(buf=2), IBNAnalysis(), stop_at_deadline=False
+        ).response_time("ti")
+        deep = analyze(
+            self.flowsets(buf=64), IBNAnalysis(), stop_at_deadline=False
+        ).response_time("ti")
+        assert shallow < deep
+
+    def test_xlwx_does_not_depend_on_buffer_depth(self):
+        shallow = analyze(
+            self.flowsets(buf=2), XLWXAnalysis(), stop_at_deadline=False
+        ).response_time("ti")
+        deep = analyze(
+            self.flowsets(buf=64), XLWXAnalysis(), stop_at_deadline=False
+        ).response_time("ti")
+        assert shallow == deep
+
+
+class TestUpstreamAndDownstream:
+    """With both, the rule falls back to Eq. 3: IBN == XLWX exactly."""
+
+    @pytest.mark.parametrize("buf", [2, 10, 64])
+    def test_ibn_equals_xlwx(self, buf):
+        flowset = build([TAU_J, TAU_I, TAU_K_UP, TAU_K_DOWN], buf=buf)
+        r_ibn = analyze(flowset, IBNAnalysis(), stop_at_deadline=False)
+        r_xlwx = analyze(flowset, XLWXAnalysis(), stop_at_deadline=False)
+        for name in ("ti", "tj", "tk_up", "tk_down"):
+            assert r_ibn.response_time(name) == r_xlwx.response_time(name)
+
+
+class TestUpstreamOnly:
+    """No downstream interferer: no MPB term for either analysis."""
+
+    def test_hit_cost_is_plain_cj(self):
+        flowset = build([TAU_J, TAU_I, TAU_K_UP], buf=2)
+        result = analyze(
+            flowset, IBNAnalysis(), stop_at_deadline=False,
+            collect_breakdown=True,
+        )
+        (term,) = result["ti"].breakdown
+        assert term.downstream_term == 0
+        assert term.hit_cost == flowset.c("tj")
+
+    def test_matches_xlwx(self):
+        flowset = build([TAU_J, TAU_I, TAU_K_UP], buf=2)
+        r_ibn = analyze(flowset, IBNAnalysis(), stop_at_deadline=False)
+        r_xlwx = analyze(flowset, XLWXAnalysis(), stop_at_deadline=False)
+        assert r_ibn.response_time("ti") == r_xlwx.response_time("ti")

@@ -1,0 +1,93 @@
+"""The paper's Table II, reproduced exactly (Section V oracle).
+
+These are the strongest correctness tests in the suite: every analysis
+must produce the paper's published response-time bounds for the didactic
+example, for both buffer depths.
+"""
+
+import pytest
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.analyses.xlw16 import XLW16Analysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import analyze
+
+
+def bounds(flowset, analysis):
+    result = analyze(flowset, analysis, stop_at_deadline=False)
+    return tuple(result.response_time(n) for n in ("t1", "t2", "t3"))
+
+
+class TestTable2:
+    def test_sb(self, didactic2):
+        assert bounds(didactic2, SBAnalysis()) == (62, 328, 336)
+
+    def test_sb_buffer_independent(self, didactic2, didactic10):
+        assert bounds(didactic2, SBAnalysis()) == bounds(didactic10, SBAnalysis())
+
+    def test_xlwx(self, didactic2):
+        assert bounds(didactic2, XLWXAnalysis()) == (62, 328, 460)
+
+    def test_xlwx_buffer_independent(self, didactic10):
+        assert bounds(didactic10, XLWXAnalysis()) == (62, 328, 460)
+
+    def test_ibn_buf2(self, didactic2):
+        assert bounds(didactic2, IBNAnalysis()) == (62, 328, 348)
+
+    def test_ibn_buf10(self, didactic10):
+        assert bounds(didactic10, IBNAnalysis()) == (62, 328, 396)
+
+    def test_xlw16_equals_xlwx_here(self, didactic2):
+        # No upstream indirect interference in this example, so the unsafe
+        # Eq. 4 coincides with the corrected Eq. 5.
+        assert bounds(didactic2, XLW16Analysis()) == (62, 328, 460)
+
+    def test_all_schedulable(self, didactic2):
+        for analysis in (SBAnalysis(), XLWXAnalysis(), IBNAnalysis()):
+            result = analyze(didactic2, analysis)
+            assert result.schedulable
+
+
+class TestTable2Mechanics:
+    """Decompose the t3 bound to pin down *why* the numbers come out."""
+
+    def test_ibn_buffered_interference_values(self, didactic2, didactic10):
+        from repro.core.analyses.base import AnalysisContext
+        from repro.core.interference import InterferenceGraph
+
+        for flowset, expected in ((didactic2, 6), (didactic10, 30)):
+            graph = InterferenceGraph(flowset)
+            ctx = AnalysisContext(flowset=flowset, graph=graph)
+            i3, j2 = graph.index("t3"), graph.index("t2")
+            assert ctx.buffered_interference(i3, j2) == expected
+
+    def test_xlwx_downstream_term(self, didactic2):
+        # I_down(2->3) = I_12 = ceil(R2/T1) * C1 = 2 * 62 = 124.
+        from repro.core.engine import analyze
+
+        result = analyze(
+            didactic2, XLWXAnalysis(), stop_at_deadline=False,
+            collect_breakdown=True,
+        )
+        (term,) = result["t3"].breakdown
+        assert term.interferer == "t2"
+        assert term.hits == 1
+        assert term.downstream_term == 124
+        assert term.hit_cost == 204 + 124
+
+    @pytest.mark.parametrize(
+        "buf,per_hit,total", [(2, 6, 12), (10, 30, 60)]
+    )
+    def test_ibn_downstream_term(self, buf, per_hit, total):
+        from repro.workloads.didactic import didactic_flowset
+
+        flowset = didactic_flowset(buf=buf)
+        result = analyze(
+            flowset, IBNAnalysis(), stop_at_deadline=False,
+            collect_breakdown=True,
+        )
+        (term,) = result["t3"].breakdown
+        # 2 hits of t1 on t2, each contributing min(bi, C1+0) = bi
+        assert term.downstream_term == total
+        assert term.downstream_term == 2 * per_hit

@@ -1,0 +1,77 @@
+"""The interference-tree explainer."""
+
+import pytest
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import analyze
+from repro.core.report import explain_flow
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+
+
+def explained(flowset, analysis, name):
+    result = analyze(
+        flowset, analysis, stop_at_deadline=False, collect_breakdown=True
+    )
+    return explain_flow(result, name)
+
+
+class TestExplainDidactic:
+    def test_t3_tree_under_ibn(self, didactic2):
+        text = explained(didactic2, IBNAnalysis(), "t3")
+        assert "R = 348" in text
+        assert "← t2" in text
+        assert "downstream indirect: t1" in text
+        assert "bi = 6" in text
+        assert "Equation 8" in text
+
+    def test_t3_tree_under_xlwx(self, didactic2):
+        text = explained(didactic2, XLWXAnalysis(), "t3")
+        assert "R = 460" in text
+        assert "I_down = 124" in text
+
+    def test_t1_has_no_interferers(self, didactic2):
+        text = explained(didactic2, IBNAnalysis(), "t1")
+        assert "R = C" in text
+
+    def test_requires_breakdown(self, didactic2):
+        result = analyze(didactic2, IBNAnalysis())
+        with pytest.raises(ValueError, match="collect_breakdown"):
+            explain_flow(result, "t3")
+
+
+class TestExplainEdgeCases:
+    def test_local_flow(self, platform4x4):
+        fs = FlowSet(
+            platform4x4,
+            [Flow("loc", priority=1, period=100, length=5, src=3, dst=3)],
+        )
+        result = analyze(
+            fs, IBNAnalysis(), stop_at_deadline=False, collect_breakdown=True
+        )
+        assert "local flow" in explain_flow(result, "loc")
+
+    def test_upstream_rule_mentioned(self):
+        from tests.core.test_application_rule import (
+            TAU_I, TAU_J, TAU_K_DOWN, TAU_K_UP, build,
+        )
+
+        flowset = build([TAU_J, TAU_I, TAU_K_UP, TAU_K_DOWN])
+        text = explained(flowset, IBNAnalysis(), "ti")
+        assert "upstream indirect: tk_up" in text
+        assert "downstream indirect: tk_down" in text
+        assert "XLWX fallback" in text
+
+    def test_miss_is_flagged(self, platform4x4):
+        fs = FlowSet(
+            platform4x4,
+            [
+                Flow("hog", priority=1, period=110, length=100, src=0, dst=3),
+                Flow("victim", priority=2, period=400, length=200, src=1, dst=3),
+            ],
+        )
+        result = analyze(
+            fs, IBNAnalysis(), stop_at_deadline=False, collect_breakdown=True
+        )
+        assert "MISSES deadline" in explain_flow(result, "victim")

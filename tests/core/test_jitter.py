@@ -1,0 +1,106 @@
+"""Release jitter in the analyses (hand-computed oracles + sim safety).
+
+The didactic example uses J = 0 everywhere; these tests give τ1 a release
+jitter of 80 cycles, which pushes a third τ1 hit into τ2's window:
+
+  R_2 = 204 + ⌈(R_2 + 80)/200⌉·62  ->  3 hits  ->  R_2 = 390
+  XLWX: I^down_23 = I_12 = 3·62 = 186, J^I_2 = 186
+        R_3 = 132 + (204 + 186) = 522
+  IBN(b=2): 3 downstream hits × min(6, 62) = 18
+        R_3 = 132 + (204 + 18) = 354
+"""
+
+import pytest
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import analyze
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.sim.simulator import WormholeSimulator
+from repro.sim.traffic import PeriodicReleases
+from repro.util.rng import spawn_rng
+from repro.workloads.didactic import didactic_flows, didactic_platform
+
+T1_JITTER = 80
+
+
+def jittery_flowset(buf=2):
+    flows = []
+    for flow in didactic_flows():
+        if flow.name == "t1":
+            flow = Flow(
+                "t1", priority=1, period=200, deadline=200,
+                jitter=T1_JITTER, length=60, src=flow.src, dst=flow.dst,
+            )
+        flows.append(flow)
+    return FlowSet(didactic_platform(buf=buf), flows)
+
+
+class TestJitterOracles:
+    def test_t2_gains_a_third_hit(self):
+        result = analyze(jittery_flowset(), SBAnalysis(), stop_at_deadline=False)
+        assert result.response_time("t2") == 390
+
+    def test_xlwx_t3(self):
+        result = analyze(jittery_flowset(), XLWXAnalysis(), stop_at_deadline=False)
+        assert result.response_time("t3") == 522
+
+    def test_ibn_t3_buf2(self):
+        result = analyze(jittery_flowset(2), IBNAnalysis(), stop_at_deadline=False)
+        assert result.response_time("t3") == 354
+
+    def test_ibn_t3_buf10(self):
+        # 3 hits × min(30, 62) = 90  ->  132 + 204 + 90 = 426
+        result = analyze(jittery_flowset(10), IBNAnalysis(), stop_at_deadline=False)
+        assert result.response_time("t3") == 426
+
+    def test_jitter_never_tightens(self):
+        for analysis in (SBAnalysis(), XLWXAnalysis(), IBNAnalysis()):
+            with_jitter = analyze(
+                jittery_flowset(), analysis, stop_at_deadline=False
+            )
+            without = analyze(
+                FlowSet(didactic_platform(2), didactic_flows()),
+                analysis, stop_at_deadline=False,
+            )
+            for name in ("t1", "t2", "t3"):
+                assert (
+                    with_jitter.response_time(name)
+                    >= without.response_time(name)
+                )
+
+
+class TestJitterSimulationSafety:
+    @pytest.mark.parametrize("buf", [2, 10])
+    def test_bounds_hold_under_random_jitter(self, buf):
+        flowset = jittery_flowset(buf)
+        bound = analyze(flowset, IBNAnalysis(), stop_at_deadline=False)
+        worst = {name: 0 for name in ("t1", "t2", "t3")}
+        for trial in range(8):
+            rng = spawn_rng(trial, "jitter-sim", buf)
+
+            def jitter_of(name, seq, rng=rng):
+                if name != "t1":
+                    return 0
+                return int(rng.integers(0, T1_JITTER + 1))
+
+            sim = WormholeSimulator(
+                flowset,
+                PeriodicReleases(offsets={"t1": 0}, jitter_of=jitter_of),
+            )
+            result = sim.run(release_horizon=6001)
+            result.check_conservation()
+            for name in worst:
+                worst[name] = max(worst[name], result.worst_latency(name))
+        for name in worst:
+            assert worst[name] <= bound.response_time(name), name
+
+    def test_jittered_release_times_within_model(self):
+        flowset = jittery_flowset()
+        plan = PeriodicReleases(
+            offsets={"t1": 10}, jitter_of=lambda n, s: 80 if n == "t1" else 0
+        )
+        packets = list(plan.releases(flowset, 0, 1000))
+        assert [p.release_time for p in packets] == [90, 290, 490, 690, 890]

@@ -1,0 +1,61 @@
+"""The KIM98 historical baseline and the analysis lineage ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyses.kim98 import Kim98Analysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import analyze
+from repro.core.interference import InterferenceGraph
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import chain
+from tests.core.test_analysis_properties import bounds, random_flowset
+
+
+class TestKim98Didactic:
+    def test_matches_sb_when_jitter_term_is_slack(self, didactic2):
+        # In the Table II scenario, J^I never changes a ceiling, so
+        # KIM98 == SB there (both optimistic for different reasons).
+        kim = analyze(didactic2, Kim98Analysis(), stop_at_deadline=False)
+        sb = analyze(didactic2, SBAnalysis(), stop_at_deadline=False)
+        for name in ("t1", "t2", "t3"):
+            assert kim.response_time(name) == sb.response_time(name)
+
+    def test_misses_back_to_back_hits(self):
+        # tk delays tj; SB's jitter term pushes a second tj hit into ti's
+        # window, KIM98's window misses it: 264 vs 320.
+        flowset = FlowSet(
+            NoCPlatform(chain(6), buf=2),
+            [
+                Flow("tk", priority=1, period=500, length=100, src=0, dst=3),
+                Flow("tj", priority=2, period=300, length=50, src=0, dst=5),
+                Flow("ti", priority=3, period=3000, length=100, src=2, dst=5),
+            ],
+        )
+        kim = analyze(flowset, Kim98Analysis(), stop_at_deadline=False)
+        sb = analyze(flowset, SBAnalysis(), stop_at_deadline=False)
+        assert kim.response_time("ti") == 264
+        assert sb.response_time("ti") == 320
+
+    def test_flagged_unsafe(self, didactic2):
+        result = analyze(didactic2, Kim98Analysis())
+        assert result.unsafe
+        assert result.analysis_name == "KIM98"
+
+
+class TestLineageOrdering:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(5, 35), st.integers(0, 10**6))
+    def test_kim_le_sb_le_xlwx(self, n, seed):
+        """The lineage only ever adds interference: KIM98 <= SB <= XLWX."""
+        flowset = random_flowset(n, seed)
+        graph = InterferenceGraph(flowset)
+        r_kim = bounds(flowset, Kim98Analysis(), graph)
+        r_sb = bounds(flowset, SBAnalysis(), graph)
+        r_xlwx = bounds(flowset, XLWXAnalysis(), graph)
+        for name in r_kim:
+            assert r_kim[name] <= r_sb[name] <= r_xlwx[name], name

@@ -1,0 +1,58 @@
+"""Result table rendering."""
+
+import pytest
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.engine import analyze, compare
+from repro.core.report import comparison_table, result_table
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+
+
+class TestResultTable:
+    def test_contains_flows_and_verdicts(self, didactic2):
+        text = result_table(analyze(didactic2, IBNAnalysis()))
+        assert "t3" in text
+        assert "ok" in text
+        assert "IBN2" in text
+
+    def test_flags_unsafe_analyses(self, didactic2):
+        text = result_table(analyze(didactic2, SBAnalysis()))
+        assert "UNSAFE" in text
+
+    def test_marks_misses(self, platform4x4):
+        fs = FlowSet(
+            platform4x4,
+            [
+                Flow("hog", priority=1, period=110, length=100, src=0, dst=3),
+                Flow("victim", priority=2, period=400, length=200, src=1, dst=3),
+            ],
+        )
+        text = result_table(analyze(fs, SBAnalysis()))
+        assert "MISS" in text
+
+    def test_marks_early_exit(self, platform4x4):
+        fs = FlowSet(
+            platform4x4,
+            [
+                Flow("hog", priority=1, period=110, length=100, src=0, dst=3),
+                Flow("victim", priority=2, period=400, length=200, src=1, dst=3),
+            ],
+        )
+        text = result_table(analyze(fs, SBAnalysis(), early_exit=True))
+        assert "incomplete" in text
+
+
+class TestComparisonTable:
+    def test_layout_matches_paper_table2(self, didactic2):
+        results = compare(didactic2, [SBAnalysis(), IBNAnalysis()])
+        text = comparison_table(results)
+        lines = text.splitlines()
+        assert lines[0].split() == ["flow", "C", "T", "D", "R_SB", "R_IBN2"]
+        t3_row = next(l for l in lines if l.startswith("t3"))
+        assert "336" in t3_row and "348" in t3_row
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_table({})

@@ -1,0 +1,133 @@
+"""Buffer sizing and sensitivity tools."""
+
+import pytest
+
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.sizing import (
+    length_scaling_margin,
+    max_schedulable_buffer_depth,
+    slack_table,
+)
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.workloads.didactic import didactic_flows, didactic_platform
+
+
+def tight_didactic(t3_deadline):
+    """The didactic flows with τ3's deadline squeezed to ``t3_deadline``."""
+    flows = []
+    for flow in didactic_flows():
+        if flow.name == "t3":
+            flow = Flow(
+                "t3", priority=3, period=6000, deadline=t3_deadline,
+                jitter=0, length=128, src=flow.src, dst=flow.dst,
+            )
+        flows.append(flow)
+    return FlowSet(didactic_platform(buf=2), flows)
+
+
+class TestMaxBufferDepth:
+    def test_unconstrained_set_unbounded(self, didactic2):
+        result = max_schedulable_buffer_depth(didactic2, hi=256)
+        assert result.unbounded_within_range
+        assert result.max_depth == 256
+
+    def test_exact_threshold(self):
+        # With D_3 = 380: R_IBN = 336 + 2*min(3*buf, 62) <= 380 requires
+        # min(3*buf, 62) <= 22, i.e. buf <= 7.
+        flowset = tight_didactic(380)
+        result = max_schedulable_buffer_depth(flowset, hi=64)
+        assert not result.unbounded_within_range
+        assert result.max_depth == 7
+
+    def test_infeasible_set(self):
+        # D_3 = 340 < 348 = IBN bound at buf=1..2: R = 336 + 2*min(3b,62):
+        # buf=1 -> 342 > 340: unschedulable at any depth.
+        flowset = tight_didactic(340)
+        result = max_schedulable_buffer_depth(flowset, hi=64)
+        assert result.max_depth is None
+
+    def test_buffer_independent_analysis_is_unbounded_or_none(self, didactic2):
+        result = max_schedulable_buffer_depth(
+            didactic2, analysis=SBAnalysis(), hi=128
+        )
+        assert result.unbounded_within_range
+
+    def test_bad_range_rejected(self, didactic2):
+        with pytest.raises(ValueError):
+            max_schedulable_buffer_depth(didactic2, lo=0)
+        with pytest.raises(ValueError):
+            max_schedulable_buffer_depth(didactic2, lo=10, hi=5)
+
+    def test_result_really_is_maximal(self):
+        from repro.core.engine import is_schedulable
+        from repro.core.analyses.ibn import IBNAnalysis
+
+        flowset = tight_didactic(380)
+        depth = max_schedulable_buffer_depth(flowset, hi=64).max_depth
+        at_max = flowset.on_platform(flowset.platform.with_buffers(depth))
+        beyond = flowset.on_platform(flowset.platform.with_buffers(depth + 1))
+        assert is_schedulable(at_max, IBNAnalysis())
+        assert not is_schedulable(beyond, IBNAnalysis())
+
+
+class TestLengthScalingMargin:
+    def test_didactic_has_headroom(self, didactic2):
+        margin = length_scaling_margin(didactic2, hi=32.0)
+        assert margin > 1.0
+
+    def test_margin_is_a_boundary(self, didactic2):
+        from repro.core.analyses.ibn import IBNAnalysis
+        from repro.core.engine import is_schedulable
+        from dataclasses import replace
+
+        margin = length_scaling_margin(didactic2, hi=32.0, resolution=0.01)
+
+        def scaled_ok(scale):
+            flows = [
+                replace(f, length=max(1, round(f.length * scale)))
+                for f in didactic2.flows
+            ]
+            return is_schedulable(
+                FlowSet(didactic2.platform, flows), IBNAnalysis()
+            )
+
+        assert scaled_ok(margin)
+        assert not scaled_ok(margin + 0.05)
+
+    def test_unschedulable_as_given_needs_shrinking(self):
+        # D_3 = 340 < the buf=2 IBN bound of 348: only schedulable after
+        # shrinking payloads, so the margin is strictly below 1.
+        flowset = tight_didactic(340)
+        margin = length_scaling_margin(flowset)
+        assert 0.0 < margin < 1.0
+
+    def test_hopeless_set_zero_margin(self):
+        # τ3's deadline below its own header latency (|route| = 5 cycles):
+        # no payload shrinking can help.
+        flowset = tight_didactic(4)
+        assert length_scaling_margin(flowset) == 0.0
+
+    def test_saturates_at_hi(self, platform4x4):
+        lonely = FlowSet(
+            platform4x4,
+            [Flow("only", priority=1, period=10**9, length=2, src=0, dst=1)],
+        )
+        assert length_scaling_margin(lonely, hi=8.0) == 8.0
+
+    def test_validation(self, didactic2):
+        with pytest.raises(ValueError):
+            length_scaling_margin(didactic2, hi=0)
+        with pytest.raises(ValueError):
+            length_scaling_margin(didactic2, resolution=0)
+
+
+class TestSlackTable:
+    def test_sorted_tightest_first(self, didactic2):
+        text = slack_table(didactic2)
+        lines = [l for l in text.splitlines() if l.startswith("  ")]
+        slacks = [int(l.split("slack=")[1].split()[0]) for l in lines]
+        assert slacks == sorted(slacks)
+
+    def test_mentions_analysis(self, didactic2):
+        assert "IBN2" in slack_table(didactic2)

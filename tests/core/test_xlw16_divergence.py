@@ -1,0 +1,83 @@
+"""Where the unsafe XLW16 (Eq. 4) diverges from the corrected XLWX (Eq. 5).
+
+The two differ only in the jitter term inside the ceiling: Eq. 4 uses
+``I^up_ji`` (which counts *only* members of ``S^I_i ∩ S^D_j``), Eq. 5 the
+interference jitter ``J^I_j = R_j − C_j``.  When τj's delay is caused by
+a flow that is also a *direct* interferer of τi, ``I^up_ji`` sees none of
+it, so XLW16's window is smaller and its bound lower — 264 vs 320 in the
+scenario below.
+
+Indrusiak et al. [6] showed by counter-example that Eq. 4 can actually be
+*optimistic* (their scenario is more intricate than strictly periodic
+phasings; our offset search here stays below both bounds, so this file
+documents the divergence, not a violation — reproducing [6]'s full
+counter-example is future work, as it is for the paper itself, which
+relies on [6] by citation).
+"""
+
+import pytest
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.xlw16 import XLW16Analysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import analyze
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import chain
+
+
+@pytest.fixture(scope="module")
+def divergence_set():
+    # tk delays tj (sharing tj's first links) but is ALSO a direct
+    # interferer of ti: it contributes to J^I_j yet not to I^up_ji.
+    return FlowSet(
+        NoCPlatform(chain(6), buf=2),
+        [
+            Flow("tk", priority=1, period=500, length=100, src=0, dst=3),
+            Flow("tj", priority=2, period=300, length=50, src=0, dst=5),
+            Flow("ti", priority=3, period=3000, length=100, src=2, dst=5),
+        ],
+    )
+
+
+class TestDivergence:
+    def test_bounds(self, divergence_set):
+        r16 = analyze(divergence_set, XLW16Analysis(), stop_at_deadline=False)
+        rx = analyze(divergence_set, XLWXAnalysis(), stop_at_deadline=False)
+        assert r16.response_time("ti") == 264
+        assert rx.response_time("ti") == 320
+        # the higher-priority flows agree everywhere
+        for name in ("tk", "tj"):
+            assert r16.response_time(name) == rx.response_time(name)
+
+    def test_ibn_matches_xlwx_here(self, divergence_set):
+        # No downstream indirect interference in this scenario, so the
+        # buffer-aware term has nothing to tighten.
+        ribn = analyze(divergence_set, IBNAnalysis(), stop_at_deadline=False)
+        rx = analyze(divergence_set, XLWXAnalysis(), stop_at_deadline=False)
+        assert ribn.response_time("ti") == rx.response_time("ti")
+
+    def test_why_they_differ(self, divergence_set):
+        from repro.core.interference import InterferenceGraph
+
+        graph = InterferenceGraph(divergence_set)
+        i, j, k = (graph.index(n) for n in ("ti", "tj", "tk"))
+        # tk is a direct interferer of ti -> excluded from S^I_i, hence
+        # from S^up_j_Ii: XLW16's upstream term is empty...
+        assert k in graph.direct_by_index(i)
+        up, down = graph.updown_by_index(i, j)
+        assert up == () and down == ()
+        # ...while XLWX's J^I_j = R_j - C_j = 104 is not.
+        r = analyze(divergence_set, XLWXAnalysis(), stop_at_deadline=False)
+        assert r.response_time("tj") - divergence_set.c("tj") == 104
+
+    def test_simulation_below_both_bounds_here(self, divergence_set):
+        from repro.sim.worstcase import offset_search
+
+        search = offset_search(
+            divergence_set,
+            {"tk": range(0, 500, 50), "ti": range(0, 300, 30)},
+            release_horizon=3001,
+        )
+        assert search.worst_latency("ti") <= 264

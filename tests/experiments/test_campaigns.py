@@ -1,0 +1,118 @@
+"""Tiny end-to-end campaigns: structure and the paper's orderings."""
+
+import pytest
+
+from repro.experiments.av_topologies import av_topology_study
+from repro.experiments.buffer_sweep import buffer_sweep
+from repro.experiments.schedulability_sweep import (
+    analyse_set,
+    fig4_specs,
+    schedulability_sweep,
+)
+from repro.experiments.report import render_sweep, sweep_csv, sweep_rows
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.util.rng import spawn_rng
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
+
+SEED = 20180319
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return schedulability_sweep(
+        (4, 4), [40, 280, 400], 6, seed=SEED
+    )
+
+
+class TestFig4Structure:
+    def test_series_labels(self, small_sweep):
+        assert set(small_sweep.series) == {"SB", "XLWX", "IBN2", "IBN100"}
+
+    def test_percentages_in_range(self, small_sweep):
+        for values in small_sweep.series.values():
+            assert all(0.0 <= v <= 100.0 for v in values)
+
+    def test_paper_orderings_pointwise(self, small_sweep):
+        """SB >= IBN2 >= IBN100 >= XLWX at every load point."""
+        for i in range(len(small_sweep.x_values)):
+            sb = small_sweep.series["SB"][i]
+            ibn2 = small_sweep.series["IBN2"][i]
+            ibn100 = small_sweep.series["IBN100"][i]
+            xlwx = small_sweep.series["XLWX"][i]
+            assert sb >= ibn2 >= ibn100 >= xlwx
+
+    def test_light_load_fully_schedulable(self, small_sweep):
+        assert all(v == 100.0 for v in (s[0] for s in small_sweep.series.values()))
+
+    def test_max_gap_helper(self, small_sweep):
+        assert small_sweep.max_gap("IBN2", "XLWX") >= 0
+
+    def test_workers_reproduce_serial_results(self):
+        serial = schedulability_sweep((4, 4), [40, 280], 4, seed=SEED)
+        parallel = schedulability_sweep(
+            (4, 4), [40, 280], 4, seed=SEED, workers=2
+        )
+        assert serial.series == parallel.series
+
+
+class TestAnalyseSet:
+    def test_verdicts_for_all_specs(self):
+        platform = NoCPlatform(Mesh2D(4, 4), buf=2)
+        rng = spawn_rng(SEED, "analyse-set")
+        flows = synthetic_flows(SyntheticConfig(num_flows=60), 16, rng)
+        verdicts = analyse_set(flows, platform, fig4_specs())
+        assert set(verdicts) == {"SB", "XLWX", "IBN2", "IBN100"}
+        assert all(isinstance(v, bool) for v in verdicts.values())
+
+    def test_verdict_ordering_single_set(self):
+        platform = NoCPlatform(Mesh2D(4, 4), buf=2)
+        rng = spawn_rng(SEED, "analyse-set-2")
+        flows = synthetic_flows(SyntheticConfig(num_flows=300), 16, rng)
+        verdicts = analyse_set(flows, platform, fig4_specs())
+        # logical implication chain: XLWX ok => IBN100 ok => IBN2 ok => SB ok
+        assert not verdicts["XLWX"] or verdicts["IBN100"]
+        assert not verdicts["IBN100"] or verdicts["IBN2"]
+        assert not verdicts["IBN2"] or verdicts["SB"]
+
+
+class TestFig5Structure:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return av_topology_study(
+            [(2, 2), (4, 4), (6, 6)], 6, seed=SEED
+        )
+
+    def test_no_sb_curve(self, study):
+        assert set(study.series) == {"XLWX", "IBN2", "IBN100"}
+
+    def test_topology_labels(self, study):
+        assert study.x_values == ["2x2", "4x4", "6x6"]
+
+    def test_ibn_dominates_xlwx(self, study):
+        for i in range(len(study.x_values)):
+            assert study.series["IBN2"][i] >= study.series["XLWX"][i]
+            assert study.series["IBN100"][i] >= study.series["XLWX"][i]
+
+
+class TestBufferSweep:
+    def test_monotone_in_depth(self):
+        result = buffer_sweep(
+            (4, 4), (2, 8, 32, 100), num_flows=250, sets=6, seed=SEED
+        )
+        values = result.series["IBN"]
+        assert values == sorted(values, reverse=True)
+
+    def test_x_axis_is_depths(self):
+        result = buffer_sweep((4, 4), (2, 100), num_flows=100, sets=3, seed=SEED)
+        assert result.x_values == [2, 100]
+
+
+class TestReportRendering:
+    def test_rows_chart_csv(self, small_sweep):
+        rows = sweep_rows(small_sweep)
+        assert "XLWX" in rows and "400" in rows
+        text = render_sweep(small_sweep, title="Figure 4(a) [test]")
+        assert "Figure 4(a) [test]" in text
+        csv_text = sweep_csv(small_sweep)
+        assert csv_text.splitlines()[0] == "# flows per flow set,SB,XLWX,IBN2,IBN100"

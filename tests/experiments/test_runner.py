@@ -1,0 +1,42 @@
+"""The campaign runner CLI."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestRunner:
+    def test_buffers_command(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        assert main(["buffers"]) == 0
+        out = capsys.readouterr().out
+        assert "buffer depth" in out
+        assert "done in" in out
+
+    def test_table2_uses_scale_offsets(self, capsys):
+        assert main(["table2", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Paper's Table II" in out
+
+    def test_fig4a_with_csv(self, capsys, tmp_path):
+        assert main(["fig4a", "--scale", "ci", "--csv-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(a)" in out
+        assert (tmp_path / "fig4a.csv").exists()
+        header = (tmp_path / "fig4a.csv").read_text().splitlines()[0]
+        assert header.endswith("SB,XLWX,IBN2,IBN100")
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--scale", "ci"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "XLWX" in out
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            main(["buffers", "--scale", "galactic"])
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig9"])

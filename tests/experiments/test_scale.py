@@ -1,0 +1,48 @@
+"""Scale presets."""
+
+import pytest
+
+from repro.experiments.scale import get_scale
+
+
+class TestPresets:
+    def test_env_default_is_ci(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "ci"
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale().name == "paper"
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale("ci").name == "ci"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_scale("huge")
+
+    def test_paper_scale_matches_paper(self):
+        scale = get_scale("paper")
+        assert scale.fig4a_flow_counts[0] == 40
+        assert scale.fig4a_flow_counts[-1] == 430
+        assert scale.fig4b_flow_counts[0] == 80
+        assert scale.fig4b_flow_counts[-1] == 520
+        assert scale.fig4_sets_per_point == 100
+        assert len(scale.fig5_topologies) == 26
+        assert scale.fig5_mappings == 100
+        assert scale.didactic_offset_step == 1
+
+    def test_fig5_topology_sizes_span_4_to_100_nodes(self):
+        scale = get_scale("paper")
+        sizes = [c * r for c, r in scale.fig5_topologies]
+        assert min(sizes) == 4 and max(sizes) == 100
+        assert sizes == sorted(sizes)
+
+    def test_smaller_scales_subset_structure(self):
+        ci, default = get_scale("ci"), get_scale("default")
+        assert ci.fig4_sets_per_point < default.fig4_sets_per_point
+        assert set(ci.fig5_topologies) <= set(get_scale("paper").fig5_topologies)
+
+    def test_seeds_agree_across_scales(self):
+        assert get_scale("ci").seed == get_scale("paper").seed

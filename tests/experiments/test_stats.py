@@ -1,0 +1,77 @@
+"""Wilson confidence intervals for schedulability percentages."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments.schedulability_sweep import SweepResult
+from repro.experiments.stats import (
+    rows_with_intervals,
+    sweep_intervals,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        assert wilson_interval(8, 10).contains(80.0)
+
+    def test_certainty_extremes_stay_in_range(self):
+        zero = wilson_interval(0, 20)
+        full = wilson_interval(20, 20)
+        assert zero.low == 0.0 and zero.high < 20.0
+        assert full.high == 100.0 and full.low > 80.0
+
+    def test_narrows_with_more_trials(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_widens_with_confidence(self):
+        lo = wilson_interval(5, 10, confidence=0.90)
+        hi = wilson_interval(5, 10, confidence=0.99)
+        assert (hi.high - hi.low) > (lo.high - lo.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 10, confidence=0.5)
+
+    @given(st.integers(1, 500), st.data())
+    def test_always_ordered_and_bounded(self, trials, data):
+        successes = data.draw(st.integers(0, trials))
+        interval = wilson_interval(successes, trials)
+        assert 0.0 <= interval.low <= interval.high <= 100.0
+        assert interval.contains(100.0 * successes / trials)
+
+    @given(st.integers(1, 200), st.data())
+    def test_symmetry(self, trials, data):
+        """Wilson(k, n) mirrors Wilson(n-k, n) around 50%."""
+        successes = data.draw(st.integers(0, trials))
+        a = wilson_interval(successes, trials)
+        b = wilson_interval(trials - successes, trials)
+        assert a.low == pytest.approx(100.0 - b.high, abs=1e-9)
+        assert a.high == pytest.approx(100.0 - b.low, abs=1e-9)
+
+
+class TestSweepIntegration:
+    @pytest.fixture
+    def sweep(self):
+        result = SweepResult(x_label="# flows", sets_per_point=20)
+        result.add_point(40, {"XLWX": 100.0, "IBN2": 100.0})
+        result.add_point(280, {"XLWX": 5.0, "IBN2": 95.0})
+        return result
+
+    def test_intervals_per_point(self, sweep):
+        intervals = sweep_intervals(sweep)
+        assert len(intervals["XLWX"]) == 2
+        assert intervals["IBN2"][1].contains(95.0)
+
+    def test_rendered_rows(self, sweep):
+        text = rows_with_intervals(sweep)
+        assert "95%CI" in text
+        assert "280" in text
+        assert "[" in text and "]" in text

@@ -1,0 +1,77 @@
+"""Priority assignment policies."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flows.flow import Flow
+from repro.flows.priority import (
+    assign_priorities_audsley,
+    deadline_monotonic,
+    rate_monotonic,
+)
+
+
+def flow(name, period, deadline=None):
+    return Flow(
+        name, priority=1, period=period, deadline=deadline, length=1,
+        src=0, dst=1,
+    )
+
+
+class TestRateMonotonic:
+    def test_orders_by_period(self):
+        assigned = rate_monotonic([flow("slow", 900), flow("fast", 100)])
+        assert [(f.name, f.priority) for f in assigned] == [
+            ("fast", 1),
+            ("slow", 2),
+        ]
+
+    def test_ties_broken_deterministically(self):
+        a = rate_monotonic([flow("b", 100), flow("a", 100)])
+        b = rate_monotonic([flow("a", 100), flow("b", 100)])
+        assert [(f.name, f.priority) for f in a] == [
+            (f.name, f.priority) for f in b
+        ]
+
+    @given(st.lists(st.integers(1, 10**6), min_size=1, max_size=30))
+    def test_priorities_unique_and_monotone(self, periods):
+        flows = [flow(f"f{i}", p) for i, p in enumerate(periods)]
+        assigned = rate_monotonic(flows)
+        priorities = [f.priority for f in assigned]
+        assert priorities == list(range(1, len(flows) + 1))
+        ordered_periods = [f.period for f in assigned]
+        assert ordered_periods == sorted(ordered_periods)
+
+
+class TestDeadlineMonotonic:
+    def test_orders_by_deadline(self):
+        assigned = deadline_monotonic(
+            [flow("late", 1000, 800), flow("tight", 1000, 100)]
+        )
+        assert [f.name for f in assigned] == ["tight", "late"]
+
+
+class TestAudsley:
+    def test_finds_assignment_when_any_order_works(self):
+        flows = [flow("a", 100), flow("b", 200), flow("c", 300)]
+        assigned = assign_priorities_audsley(flows, lambda cand, others: True)
+        assert assigned is not None
+        assert sorted(f.priority for f in assigned) == [1, 2, 3]
+
+    def test_returns_none_when_impossible(self):
+        flows = [flow("a", 100), flow("b", 200)]
+        assigned = assign_priorities_audsley(flows, lambda cand, others: False)
+        assert assigned is None
+
+    def test_respects_schedulability_predicate(self):
+        # Only "big" tolerates the lowest slot; Audsley must discover that.
+        flows = [flow("big", 900), flow("small", 100)]
+
+        def lowest_ok(candidate, others):
+            return candidate.name == "big" or not others
+
+        assigned = assign_priorities_audsley(flows, lowest_ok)
+        assert assigned is not None
+        by_name = {f.name: f.priority for f in assigned}
+        assert by_name["big"] == 2
+        assert by_name["small"] == 1

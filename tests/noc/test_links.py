@@ -1,0 +1,71 @@
+"""Route algebra: order/first/last/contention domains."""
+
+import pytest
+
+from repro.noc.links import (
+    contention_domain,
+    first_link,
+    last_link,
+    order_of,
+    route_indices,
+)
+
+
+class TestOrderFunctions:
+    def test_order_is_one_based(self):
+        assert order_of(3, (3, 7, 9)) == 1
+        assert order_of(9, (3, 7, 9)) == 3
+
+    def test_order_missing_link(self):
+        with pytest.raises(ValueError):
+            order_of(5, (3, 7, 9))
+
+    def test_first_last(self):
+        assert first_link((4, 5, 6)) == 4
+        assert last_link((4, 5, 6)) == 6
+
+    def test_first_last_empty(self):
+        with pytest.raises(ValueError):
+            first_link(())
+        with pytest.raises(ValueError):
+            last_link(())
+
+    def test_route_indices(self):
+        assert route_indices((8, 3, 5)) == {8: 1, 3: 2, 5: 3}
+
+    def test_route_indices_rejects_repeats(self):
+        with pytest.raises(ValueError):
+            route_indices((1, 2, 1))
+
+
+class TestContentionDomain:
+    def test_disjoint(self):
+        assert contention_domain((1, 2), (3, 4)) == ()
+
+    def test_contiguous_overlap(self):
+        assert contention_domain((1, 2, 3, 4), (0, 2, 3, 9)) == (2, 3)
+
+    def test_full_containment(self):
+        assert contention_domain((2, 3), (1, 2, 3, 4)) == (2, 3)
+
+    def test_identical_routes(self):
+        assert contention_domain((5, 6, 7), (5, 6, 7)) == (5, 6, 7)
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            contention_domain((1, 2, 3), (1, 9, 3))
+
+    def test_non_contiguous_on_second_route_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            contention_domain((1, 3), (1, 2, 3))
+
+    def test_reversed_order_rejected(self):
+        with pytest.raises(ValueError, match="different orders"):
+            contention_domain((1, 2), (2, 1))
+
+    def test_check_can_be_disabled(self):
+        assert contention_domain((1, 2, 3), (1, 9, 3), check_contiguous=False) == (1, 3)
+
+    def test_empty_routes(self):
+        assert contention_domain((), (1, 2)) == ()
+        assert contention_domain((1, 2), ()) == ()

@@ -1,0 +1,97 @@
+"""NoCPlatform: Equation 1 and parameter validation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D, chain
+
+
+class TestValidation:
+    def test_rejects_zero_buffer(self):
+        with pytest.raises(ValueError, match="buffer"):
+            NoCPlatform(Mesh2D(2, 2), buf=0)
+
+    def test_rejects_zero_link_latency(self):
+        with pytest.raises(ValueError, match="link latency"):
+            NoCPlatform(Mesh2D(2, 2), buf=2, linkl=0)
+
+    def test_rejects_negative_routing_latency(self):
+        with pytest.raises(ValueError, match="routing latency"):
+            NoCPlatform(Mesh2D(2, 2), buf=2, routl=-1)
+
+    def test_rejects_bad_vc_count(self):
+        with pytest.raises(ValueError, match="vc_count"):
+            NoCPlatform(Mesh2D(2, 2), buf=2, vc_count=0)
+
+
+class TestEquationOne:
+    """Oracle values from the paper's Table I (routl=0, linkl=1)."""
+
+    @pytest.mark.parametrize(
+        "route_len,length,expected",
+        [(3, 60, 62), (7, 198, 204), (5, 128, 132)],
+    )
+    def test_paper_values(self, route_len, length, expected):
+        platform = NoCPlatform(chain(6), buf=2, linkl=1, routl=0)
+        assert platform.zero_load_latency(route_len, length) == expected
+
+    def test_with_routing_latency(self):
+        platform = NoCPlatform(chain(6), buf=2, linkl=1, routl=3)
+        # routl*(|r|-1) + linkl*|r| + linkl*(L-1) = 3*2 + 3 + 9 = 18
+        assert platform.zero_load_latency(3, 10) == 18
+
+    def test_with_link_latency(self):
+        platform = NoCPlatform(chain(6), buf=2, linkl=2, routl=0)
+        assert platform.zero_load_latency(3, 10) == 2 * 3 + 2 * 9
+
+    def test_single_flit(self):
+        platform = NoCPlatform(chain(6), buf=2)
+        assert platform.zero_load_latency(4, 1) == 4
+
+    def test_local_flow_zero(self):
+        platform = NoCPlatform(chain(6), buf=2)
+        assert platform.zero_load_latency(0, 100) == 0
+
+    def test_rejects_empty_packet(self):
+        with pytest.raises(ValueError):
+            NoCPlatform(chain(6), buf=2).zero_load_latency(3, 0)
+
+    def test_rejects_negative_route(self):
+        with pytest.raises(ValueError):
+            NoCPlatform(chain(6), buf=2).zero_load_latency(-1, 5)
+
+    @given(
+        st.integers(1, 20),
+        st.integers(1, 5000),
+        st.integers(1, 4),
+        st.integers(0, 4),
+    )
+    def test_formula_property(self, hops, length, linkl, routl):
+        platform = NoCPlatform(Mesh2D(2, 2), buf=2, linkl=linkl, routl=routl)
+        value = platform.zero_load_latency(hops, length)
+        assert value == routl * (hops - 1) + linkl * hops + linkl * (length - 1)
+
+
+class TestRoutesAndCopies:
+    def test_route_cached(self, platform4x4):
+        first = platform4x4.route(0, 15)
+        again = platform4x4.route(0, 15)
+        assert first is again
+
+    def test_zero_load_latency_of(self, platform4x4):
+        route = platform4x4.route(0, 3)
+        direct = platform4x4.zero_load_latency(len(route), 16)
+        assert platform4x4.zero_load_latency_of(0, 3, 16) == direct
+
+    def test_with_buffers_copies_everything_else(self, platform4x4):
+        bigger = platform4x4.with_buffers(100)
+        assert bigger.buf == 100
+        assert bigger.topology is platform4x4.topology
+        assert bigger.linkl == platform4x4.linkl
+        assert bigger.routl == platform4x4.routl
+        assert platform4x4.buf == 2  # original untouched
+
+    def test_repr_mentions_parameters(self, platform4x4):
+        assert "buf=2" in repr(platform4x4)

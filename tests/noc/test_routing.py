@@ -1,0 +1,141 @@
+"""XY routing: unit tests and hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.routing import XYRouting
+from repro.noc.topology import LinkKind, Mesh2D
+
+
+def manhattan(mesh: Mesh2D, a: int, b: int) -> int:
+    ax, ay = mesh.coords(a)
+    bx, by = mesh.coords(b)
+    return abs(ax - bx) + abs(ay - by)
+
+
+meshes = st.builds(Mesh2D, st.integers(1, 8), st.integers(1, 8))
+
+
+@st.composite
+def mesh_and_pair(draw):
+    mesh = draw(meshes)
+    src = draw(st.integers(0, mesh.num_nodes - 1))
+    dst = draw(st.integers(0, mesh.num_nodes - 1))
+    return mesh, src, dst
+
+
+class TestXYRoutingUnits:
+    def test_self_route_is_empty(self):
+        mesh = Mesh2D(4, 4)
+        assert XYRouting().route(mesh, 5, 5) == ()
+
+    def test_adjacent_route(self):
+        mesh = Mesh2D(4, 4)
+        route = XYRouting().route(mesh, 0, 1)
+        assert route == (
+            mesh.injection_link(0),
+            mesh.router_link(0, 1),
+            mesh.ejection_link(1),
+        )
+
+    def test_x_before_y(self):
+        mesh = Mesh2D(4, 4)
+        route = XYRouting().route(mesh, 0, 5)  # (0,0) -> (1,1)
+        kinds = [mesh.link(l) for l in route]
+        # injection, x-hop 0->1, y-hop 1->5, ejection
+        assert kinds[1].src == 0 and kinds[1].dst == 1
+        assert kinds[2].src == 1 and kinds[2].dst == 5
+
+    def test_negative_directions(self):
+        mesh = Mesh2D(3, 3)
+        route = XYRouting().route(mesh, 8, 0)  # (2,2) -> (0,0)
+        hops = [
+            (mesh.link(l).src, mesh.link(l).dst)
+            for l in route
+            if mesh.link(l).kind is LinkKind.ROUTER
+        ]
+        assert hops == [(8, 7), (7, 6), (6, 3), (3, 0)]
+
+    def test_rejects_bad_nodes(self):
+        with pytest.raises(ValueError):
+            XYRouting().route(Mesh2D(2, 2), 0, 9)
+
+    def test_rejects_non_mesh(self):
+        with pytest.raises(TypeError):
+            XYRouting().route(object(), 0, 1)  # type: ignore[arg-type]
+
+    def test_next_output_eject_at_destination(self):
+        mesh = Mesh2D(4, 4)
+        assert XYRouting().next_output(mesh, 7, 7) == ("eject", 7)
+
+    def test_next_output_follows_route(self):
+        mesh = Mesh2D(4, 4)
+        routing = XYRouting()
+        route = routing.route(mesh, 0, 15)
+        router = 0
+        for link_id in route[1:-1]:
+            kind, nxt = routing.next_output(mesh, router, 15)
+            assert kind == "router"
+            assert mesh.router_link(router, nxt) == link_id
+            router = nxt
+
+
+class TestXYRoutingProperties:
+    @given(mesh_and_pair())
+    def test_route_length_is_minimal(self, case):
+        mesh, src, dst = case
+        route = XYRouting().route(mesh, src, dst)
+        if src == dst:
+            assert route == ()
+        else:
+            # injection + manhattan router hops + ejection
+            assert len(route) == manhattan(mesh, src, dst) + 2
+
+    @given(mesh_and_pair())
+    def test_route_is_connected_path(self, case):
+        mesh, src, dst = case
+        route = XYRouting().route(mesh, src, dst)
+        if not route:
+            return
+        links = [mesh.link(l) for l in route]
+        assert links[0].kind is LinkKind.INJECTION and links[0].src == src
+        assert links[-1].kind is LinkKind.EJECTION and links[-1].dst == dst
+        for here, nxt in zip(links, links[1:]):
+            assert here.dst == (nxt.src)
+
+    @given(mesh_and_pair())
+    def test_route_never_repeats_links(self, case):
+        mesh, src, dst = case
+        route = XYRouting().route(mesh, src, dst)
+        assert len(set(route)) == len(route)
+
+    @given(mesh_and_pair())
+    def test_dimension_order(self, case):
+        mesh, src, dst = case
+        route = XYRouting().route(mesh, src, dst)
+        hops = [
+            mesh.link(l) for l in route if mesh.link(l).kind is LinkKind.ROUTER
+        ]
+        seen_y = False
+        for hop in hops:
+            sx, sy = mesh.coords(hop.src)
+            dx, dy = mesh.coords(hop.dst)
+            if sy != dy:
+                seen_y = True
+            else:
+                assert not seen_y, "X hop after a Y hop violates XY order"
+
+    @given(mesh_and_pair(), mesh_and_pair())
+    def test_contention_domains_contiguous(self, case_a, case_b):
+        # The standing assumption of the paper: any two XY routes overlap
+        # in a single contiguous segment, in the same order on both.
+        mesh, a_src, a_dst = case_a
+        _, b_src, b_dst = case_b
+        routing = XYRouting()
+        route_a = routing.route(mesh, a_src, a_dst)
+        route_b = routing.route(mesh, b_src % mesh.num_nodes, b_dst % mesh.num_nodes)
+        from repro.noc.links import contention_domain
+
+        # must not raise (contiguity is checked inside)
+        contention_domain(route_a, route_b)

@@ -1,0 +1,102 @@
+"""Unit tests for mesh topologies and link tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.topology import LinkKind, Mesh2D, chain
+
+mesh_dims = st.tuples(st.integers(1, 10), st.integers(1, 10))
+
+
+class TestMesh2D:
+    def test_node_count(self):
+        assert Mesh2D(4, 4).num_nodes == 16
+
+    def test_index_coords_roundtrip(self):
+        mesh = Mesh2D(5, 3)
+        for router in range(mesh.num_routers):
+            x, y = mesh.coords(router)
+            assert mesh.index(x, y) == router
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            Mesh2D(3, 3).index(3, 0)
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(ValueError):
+            Mesh2D(3, 3).coords(9)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 4)
+
+    def test_link_count_formula(self):
+        # 2 node links per node + 2 links per adjacent router pair.
+        mesh = Mesh2D(4, 4)
+        router_pairs = 2 * (3 * 4 + 4 * 3)
+        assert mesh.num_links == 2 * 16 + router_pairs
+
+    @given(mesh_dims)
+    def test_link_count_formula_general(self, dims):
+        cols, rows = dims
+        mesh = Mesh2D(cols, rows)
+        horizontal = (cols - 1) * rows
+        vertical = cols * (rows - 1)
+        assert mesh.num_links == 2 * cols * rows + 2 * (horizontal + vertical)
+
+    def test_router_links_are_paired(self):
+        mesh = Mesh2D(3, 2)
+        forward = mesh.router_link(0, 1)
+        backward = mesh.router_link(1, 0)
+        assert forward != backward
+        assert mesh.link(forward).kind is LinkKind.ROUTER
+        assert (mesh.link(forward).src, mesh.link(forward).dst) == (0, 1)
+        assert (mesh.link(backward).src, mesh.link(backward).dst) == (1, 0)
+
+    def test_non_adjacent_routers_have_no_link(self):
+        with pytest.raises(KeyError):
+            Mesh2D(4, 4).router_link(0, 2)
+
+    def test_injection_and_ejection_links(self):
+        mesh = Mesh2D(2, 2)
+        for node in range(4):
+            injection = mesh.link(mesh.injection_link(node))
+            assert injection.kind is LinkKind.INJECTION
+            assert injection.src == node and injection.dst == node
+            ejection = mesh.link(mesh.ejection_link(node))
+            assert ejection.kind is LinkKind.EJECTION
+
+    def test_neighbors_interior_corner_edge(self):
+        mesh = Mesh2D(3, 3)
+        assert set(mesh.router_neighbors(4)) == {1, 3, 5, 7}  # centre
+        assert set(mesh.router_neighbors(0)) == {1, 3}  # corner
+        assert set(mesh.router_neighbors(1)) == {0, 2, 4}  # edge
+
+    def test_link_ids_dense_and_unique(self):
+        mesh = Mesh2D(3, 3)
+        ids = [link.id for link in mesh.links]
+        assert ids == list(range(mesh.num_links))
+
+    def test_str_of_links(self):
+        mesh = Mesh2D(2, 1)
+        rendered = {str(mesh.link(i)) for i in range(mesh.num_links)}
+        assert "λ(n0→r0)" in rendered
+        assert "λ(r0→r1)" in rendered
+        assert "λ(r1→n1)" in rendered
+
+    def test_to_networkx_router_graph(self):
+        graph = Mesh2D(3, 2).to_networkx()
+        assert graph.number_of_nodes() == 6
+        # each undirected adjacency contributes two directed edges
+        assert graph.number_of_edges() == 2 * (2 * 2 + 3 * 1)
+
+
+class TestChain:
+    def test_is_1xn_mesh(self):
+        topology = chain(6)
+        assert topology.cols == 6 and topology.rows == 1
+
+    def test_single_router_chain(self):
+        topology = chain(1)
+        assert topology.num_links == 2  # injection + ejection only

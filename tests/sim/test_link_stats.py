@@ -1,0 +1,72 @@
+"""Per-link traffic statistics from simulation runs."""
+
+import pytest
+
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import chain
+from repro.sim.simulator import WormholeSimulator
+from repro.sim.traffic import PeriodicReleases, single_shot
+
+
+@pytest.fixture
+def result_and_flowset():
+    platform = NoCPlatform(chain(4), buf=2)
+    flowset = FlowSet(
+        platform,
+        [
+            Flow("a", priority=1, period=100, length=10, src=0, dst=3),
+            Flow("b", priority=2, period=200, length=20, src=1, dst=3),
+        ],
+    )
+    sim = WormholeSimulator(flowset, PeriodicReleases())
+    result = sim.run(release_horizon=400)
+    result.check_conservation()
+    return result, flowset
+
+
+class TestFlitsPerLink:
+    def test_counts_match_traffic(self, result_and_flowset):
+        result, flowset = result_and_flowset
+        # a: 4 packets x 10 flits over every link of its route.
+        for link in flowset.route("a"):
+            expected = 40 + (
+                40 if link in set(flowset.route("b")) else 0
+            )
+            assert result.flits_per_link[link] == expected
+
+    def test_unused_links_absent(self, result_and_flowset):
+        result, flowset = result_and_flowset
+        used = set(flowset.route("a")) | set(flowset.route("b"))
+        assert set(result.flits_per_link) == used
+
+    def test_hottest_links_are_the_shared_ones(self, result_and_flowset):
+        result, flowset = result_and_flowset
+        shared = set(flowset.route("a")) & set(flowset.route("b"))
+        top = dict(result.hottest_links(len(shared)))
+        assert set(top) == shared
+
+
+class TestUtilization:
+    def test_bounded_and_positive(self, result_and_flowset):
+        result, flowset = result_and_flowset
+        for link in flowset.route("a"):
+            utilization = result.link_utilization(link)
+            assert 0.0 < utilization <= 1.0
+
+    def test_zero_for_unused_link(self, result_and_flowset):
+        result, flowset = result_and_flowset
+        unused = flowset.platform.topology.injection_link(2)
+        assert result.link_utilization(unused) == 0.0
+
+    def test_single_packet_utilization(self):
+        platform = NoCPlatform(chain(3), buf=2)
+        flowset = FlowSet(
+            platform,
+            [Flow("z", priority=1, period=10**6, length=50, src=0, dst=2)],
+        )
+        sim = WormholeSimulator(flowset, single_shot(at={"z": 0}))
+        result = sim.run(release_horizon=1)
+        # 50 flits over ~54 cycles on the injection link
+        assert result.link_utilization(flowset.route("z")[0]) > 0.8

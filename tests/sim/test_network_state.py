@@ -1,0 +1,104 @@
+"""NetworkState mechanics: credits, buffers, source queues."""
+
+import pytest
+
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.sim.network import NetworkState
+from repro.sim.packet import Flit, Packet
+
+
+@pytest.fixture
+def state(platform4x4):
+    fs = FlowSet(
+        platform4x4,
+        [Flow("f", priority=1, period=100, length=3, src=0, dst=3)],
+    )
+    return NetworkState(fs)
+
+
+class TestCredits:
+    def test_initial_credit_is_buffer_depth(self, state):
+        assert state.credit(0, 0) == 2
+
+    def test_take_and_return(self, state):
+        state.take_credit(0, 0)
+        assert state.credit(0, 0) == 1
+        state.return_credit(0, 0)
+        assert state.credit(0, 0) == 2
+
+    def test_take_without_credit_asserts(self, state):
+        state.take_credit(0, 0)
+        state.take_credit(0, 0)
+        with pytest.raises(AssertionError, match="without credit"):
+            state.take_credit(0, 0)
+
+    def test_credit_overflow_asserts(self, state):
+        with pytest.raises(AssertionError, match="overflow"):
+            state.return_credit(0, 0)
+
+
+class TestBuffers:
+    def test_overflow_asserts(self, state):
+        packet = Packet(0, 0, 0, 3)
+        state.enqueue_flit(2, 0, Flit(packet, 0), 0)
+        state.enqueue_flit(2, 0, Flit(packet, 1), 0)
+        with pytest.raises(AssertionError, match="overflow"):
+            state.enqueue_flit(2, 0, Flit(packet, 2), 0)
+
+    def test_occupancy_invariant(self, state):
+        packet = Packet(0, 0, 0, 3)
+        state.enqueue_flit(2, 0, Flit(packet, 0), 0)
+        state.take_credit(2, 0)
+        state.check_buffer_occupancy()
+
+    def test_occupancy_violation_detected(self, state):
+        packet = Packet(0, 0, 0, 3)
+        state.enqueue_flit(2, 0, Flit(packet, 0), 0)  # no credit taken
+        with pytest.raises(AssertionError, match="occupancy"):
+            state.check_buffer_occupancy()
+
+
+class TestSources:
+    def test_fifo_injection(self, state):
+        first = Packet(0, 0, 0, 3)
+        second = Packet(0, 1, 5, 3)
+        state.release(first)
+        state.release(second)
+        order = [state.pop_source_flit(0) for _ in range(6)]
+        assert [f.packet.seq for f in order] == [0, 0, 0, 1, 1, 1]
+        assert [f.index for f in order] == [0, 1, 2, 0, 1, 2]
+        assert state.source_head_flit(0) is None
+
+    def test_head_flit_peeks_without_consuming(self, state):
+        state.release(Packet(0, 0, 0, 3))
+        assert state.source_head_flit(0).index == 0
+        assert state.source_head_flit(0).index == 0
+
+    def test_is_empty(self, state):
+        assert state.is_empty
+        state.release(Packet(0, 0, 0, 3))
+        assert not state.is_empty
+
+    def test_rejects_negative_credit_delay(self, state):
+        with pytest.raises(ValueError):
+            NetworkState(state.flowset, credit_delay=-1)
+
+
+class TestFlitFlags:
+    def test_header_tail(self):
+        packet = Packet(0, 0, 0, 3)
+        assert Flit(packet, 0).is_header and not Flit(packet, 0).is_tail
+        assert Flit(packet, 2).is_tail and not Flit(packet, 2).is_header
+
+    def test_single_flit_packet_is_both(self):
+        flit = Flit(Packet(0, 0, 0, 1), 0)
+        assert flit.is_header and flit.is_tail
+
+    def test_packet_validation(self):
+        with pytest.raises(ValueError):
+            Packet(0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            Packet(0, 0, -1, 5)

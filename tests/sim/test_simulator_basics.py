@@ -1,0 +1,121 @@
+"""Simulator fundamentals: zero-load latency, conservation, local flows."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.sim.simulator import WormholeSimulator
+from repro.sim.traffic import PeriodicReleases, single_shot
+
+
+def run_single(platform, flow, release=0):
+    fs = FlowSet(platform, [flow])
+    sim = WormholeSimulator(fs, single_shot(at={flow.name: release}))
+    result = sim.run(release_horizon=release + 1)
+    result.check_conservation()
+    return fs, result
+
+
+class TestZeroLoad:
+    """An uncontended packet's simulated latency equals Equation 1 exactly."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(2, 6),
+        st.integers(1, 5),
+        st.integers(1, 200),
+        st.integers(1, 3),
+        st.integers(0, 3),
+        st.integers(0, 10**6),
+    )
+    def test_matches_equation_one(self, cols, rows, length, linkl, routl, pick):
+        platform = NoCPlatform(
+            Mesh2D(cols, rows), buf=2, linkl=linkl, routl=routl
+        )
+        nodes = platform.topology.num_nodes
+        src = pick % nodes
+        dst = (pick // nodes) % nodes
+        if src == dst:
+            dst = (dst + 1) % nodes
+        flow = Flow("z", priority=1, period=10**9, length=length, src=src, dst=dst)
+        fs, result = run_single(platform, flow)
+        assert result.worst_latency("z") == fs.c("z")
+
+    def test_release_offset_does_not_change_latency(self, platform4x4):
+        flow = Flow("z", priority=1, period=10**6, length=50, src=0, dst=15)
+        _, at_zero = run_single(platform4x4, flow, release=0)
+        _, at_777 = run_single(platform4x4, flow, release=777)
+        assert at_zero.worst_latency("z") == at_777.worst_latency("z")
+
+    def test_deep_buffers_do_not_change_zero_load(self):
+        for buf in (2, 10, 100):
+            platform = NoCPlatform(Mesh2D(4, 4), buf=buf)
+            flow = Flow("z", priority=1, period=10**6, length=64, src=0, dst=15)
+            fs, result = run_single(platform, flow)
+            assert result.worst_latency("z") == fs.c("z")
+
+
+class TestConservation:
+    def test_periodic_traffic_all_delivered(self, platform4x4):
+        fs = FlowSet(
+            platform4x4,
+            [
+                Flow("a", priority=1, period=50, length=10, src=0, dst=3),
+                Flow("b", priority=2, period=70, length=14, src=1, dst=3),
+            ],
+        )
+        sim = WormholeSimulator(fs, PeriodicReleases())
+        result = sim.run(release_horizon=500)
+        result.check_conservation()
+        assert result.released_packets["a"] == 10
+        assert result.released_packets["b"] == 8
+        assert result.delivered_flits["a"] == 100
+
+    def test_conservation_requires_drain(self, platform4x4):
+        fs = FlowSet(
+            platform4x4,
+            [Flow("a", priority=1, period=50, length=10, src=0, dst=3)],
+        )
+        sim = WormholeSimulator(fs, PeriodicReleases())
+        result = sim.run(release_horizon=100, drain_limit=55)
+        assert not result.drained
+        with pytest.raises(AssertionError):
+            result.check_conservation()
+
+
+class TestLocalFlows:
+    def test_local_flow_delivered_at_release(self, platform4x4):
+        fs = FlowSet(
+            platform4x4,
+            [Flow("loc", priority=1, period=100, length=9, src=4, dst=4)],
+        )
+        sim = WormholeSimulator(fs, PeriodicReleases())
+        result = sim.run(release_horizon=300)
+        result.check_conservation()
+        assert result.worst_latency("loc") == 0
+        assert result.observer.delivered["loc"] == 3
+
+
+class TestObserver:
+    def test_records_kept_when_asked(self, platform4x4):
+        from repro.sim.observer import LatencyObserver
+
+        fs = FlowSet(
+            platform4x4,
+            [Flow("a", priority=1, period=100, length=5, src=0, dst=1)],
+        )
+        observer = LatencyObserver(keep_records=True)
+        sim = WormholeSimulator(fs, PeriodicReleases(), observer=observer)
+        sim.run(release_horizon=250)
+        assert len(observer.records) == 3
+        assert all(r.latency == fs.c("a") for r in observer.records)
+        assert observer.records[0].seq == 0
+
+    def test_worst_latency_default_zero(self):
+        from repro.sim.observer import LatencyObserver
+
+        assert LatencyObserver().worst_latency("ghost") == 0

@@ -1,0 +1,120 @@
+"""Simulator behaviour with non-default platform parameters.
+
+The analyses are parameterised by ``linkl`` and ``routl``; the simulator
+must honour them under contention too, and the safe bounds must continue
+to dominate observation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import analyze
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import chain
+from repro.sim.simulator import WormholeSimulator
+from repro.sim.traffic import PeriodicReleases, single_shot
+
+
+def contended_set(linkl, routl, buf=4):
+    platform = NoCPlatform(chain(4), buf=buf, linkl=linkl, routl=routl)
+    return FlowSet(
+        platform,
+        [
+            Flow("hi", priority=1, period=3000, length=12, src=0, dst=3),
+            Flow("lo", priority=2, period=9000, length=24, src=1, dst=3),
+        ],
+    )
+
+
+class TestSlowLinks:
+    @pytest.mark.parametrize("linkl", [2, 3])
+    def test_zero_load_under_slow_links(self, linkl):
+        flowset = contended_set(linkl, routl=0)
+        sim = WormholeSimulator(flowset, single_shot(at={"lo": 0}))
+        result = sim.run(release_horizon=1)
+        assert result.worst_latency("lo") == flowset.c("lo")
+
+    @pytest.mark.parametrize("linkl,routl", [(2, 0), (1, 2), (2, 3)])
+    def test_bounds_hold_under_contention(self, linkl, routl):
+        flowset = contended_set(linkl, routl)
+        sim = WormholeSimulator(
+            flowset, PeriodicReleases(offsets={"hi": 5})
+        )
+        sim_result = sim.run(release_horizon=9000)
+        sim_result.check_conservation()
+        for analysis in (XLWXAnalysis(), IBNAnalysis()):
+            bound = analyze(flowset, analysis, stop_at_deadline=False)
+            for name in ("hi", "lo"):
+                assert (
+                    sim_result.worst_latency(name)
+                    <= bound.response_time(name)
+                ), (analysis.name, name, linkl, routl)
+
+    def test_link_occupied_for_linkl_cycles(self):
+        """With linkl=2 a link moves at most one flit every 2 cycles."""
+        from repro.sim.trace import FlitTracer
+
+        flowset = contended_set(linkl=2, routl=0)
+        tracer = FlitTracer()
+        sim = WormholeSimulator(
+            flowset, single_shot(at={"lo": 0}), tracer=tracer
+        )
+        sim.run(release_horizon=1)
+        for link in flowset.route("lo"):
+            times = [e.time for e in tracer.sends_on(link)]
+            assert all(b - a >= 2 for a, b in zip(times, times[1:]))
+
+
+class TestRoutingLatency:
+    def test_header_pays_routl_per_router(self):
+        flowset = contended_set(linkl=1, routl=3)
+        sim = WormholeSimulator(flowset, single_shot(at={"lo": 0}))
+        result = sim.run(release_horizon=1)
+        # |route| = 4 (inj, 2 hops, ej), so 3 routers each charge 3 cycles.
+        assert result.worst_latency("lo") == flowset.c("lo")
+        assert flowset.c("lo") == 3 * 3 + 4 + 23
+
+
+class TestFifoDelivery:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_packets_of_a_flow_complete_in_order(self, seed):
+        from repro.sim.observer import LatencyObserver
+        from repro.util.rng import spawn_rng
+
+        rng = spawn_rng(seed, "fifo")
+        flowset = contended_set(linkl=1, routl=0)
+        offsets = {
+            "hi": int(rng.integers(0, 3000)),
+            "lo": int(rng.integers(0, 9000)),
+        }
+        observer = LatencyObserver(keep_records=True)
+        sim = WormholeSimulator(
+            flowset, PeriodicReleases(offsets=offsets), observer=observer
+        )
+        sim.run(release_horizon=27000).check_conservation()
+        for name in ("hi", "lo"):
+            seqs = [r.seq for r in observer.records if r.flow_name == name]
+            assert seqs == sorted(seqs)
+            completions = [
+                r.completion_time for r in observer.records
+                if r.flow_name == name
+            ]
+            assert completions == sorted(completions)
+
+
+class TestDrainInvariants:
+    def test_buffer_occupancy_zero_after_drain(self):
+        # Exercised indirectly by check_conservation; here we assert the
+        # credit/occupancy invariant explicitly on a drained network.
+        from repro.sim.network import NetworkState
+
+        flowset = contended_set(linkl=1, routl=0)
+        state = NetworkState(flowset)
+        assert state.is_empty
+        state.check_buffer_occupancy()  # must not raise on fresh state

@@ -1,0 +1,164 @@
+"""Flit tracing: event stream consistency and derived views."""
+
+import pytest
+
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import chain
+from repro.sim.simulator import WormholeSimulator
+from repro.sim.trace import FlitTracer, link_timeline
+from repro.sim.traffic import PeriodicReleases, single_shot
+from repro.workloads.didactic import didactic_flowset
+
+
+@pytest.fixture
+def traced_single():
+    platform = NoCPlatform(chain(3), buf=2)
+    flowset = FlowSet(
+        platform,
+        [Flow("f", priority=1, period=10**6, length=4, src=0, dst=2)],
+    )
+    tracer = FlitTracer()
+    sim = WormholeSimulator(flowset, single_shot(at={"f": 0}), tracer=tracer)
+    result = sim.run(release_horizon=1)
+    result.check_conservation()
+    return flowset, tracer
+
+
+class TestEventStream:
+    def test_every_flit_crosses_every_route_link_once(self, traced_single):
+        flowset, tracer = traced_single
+        route = flowset.route("f")
+        length = flowset.flow("f").length
+        assert len(tracer.events) == length * len(route)
+        for link in route:
+            sends = tracer.sends_on(link)
+            assert len(sends) == length
+            assert [e.flit_index for e in sends] == list(range(length))
+
+    def test_injections_have_no_from_buffer(self, traced_single):
+        flowset, tracer = traced_single
+        injection = flowset.route("f")[0]
+        assert all(
+            e.from_buffer is None for e in tracer.sends_on(injection)
+        )
+
+    def test_forwards_carry_previous_link(self, traced_single):
+        flowset, tracer = traced_single
+        route = flowset.route("f")
+        for previous, current in zip(route, route[1:]):
+            assert all(
+                e.from_buffer == previous for e in tracer.sends_on(current)
+            )
+
+    def test_times_monotone_per_link(self, traced_single):
+        _, tracer = traced_single
+        for link in {e.link for e in tracer.events}:
+            times = [e.time for e in tracer.sends_on(link)]
+            assert times == sorted(times)
+            assert len(set(times)) == len(times)  # one flit per cycle
+
+
+class TestOccupancy:
+    def test_peak_never_exceeds_buffer_depth(self):
+        for buf in (2, 4, 10):
+            flowset = didactic_flowset(buf=buf)
+            tracer = FlitTracer()
+            sim = WormholeSimulator(
+                flowset, PeriodicReleases(offsets={"t1": 0}), tracer=tracer
+            )
+            sim.run(release_horizon=1)
+            for link in flowset.route("t2")[1:-1]:
+                assert tracer.max_occupancy(flowset, link, "t2") <= buf
+
+    def test_mpb_fills_contention_domain_buffers(self):
+        flowset = didactic_flowset(buf=10)
+        tracer = FlitTracer()
+        sim = WormholeSimulator(
+            flowset, PeriodicReleases(offsets={"t1": 0}), tracer=tracer
+        )
+        sim.run(release_horizon=1)
+        cd_links = [
+            l for l in flowset.route("t2") if l in set(flowset.route("t3"))
+        ]
+        # The paper's backpressure story: the blocked τ2 fills every buffer
+        # along its contention domain with τ3 to the brim.
+        for link in cd_links:
+            assert tracer.max_occupancy(flowset, link, "t2") == 10
+
+    def test_series_starts_and_ends_at_zero(self, traced_single):
+        flowset, tracer = traced_single
+        middle_link = flowset.route("f")[1]
+        series = tracer.occupancy_series(flowset, middle_link, "f")
+        assert series, "buffer was used"
+        assert series[-1][1] == 0  # drained at the end
+        assert all(occ >= 0 for _, occ in series)
+
+
+class TestTimeline:
+    def test_contains_markers_and_legend(self, traced_single):
+        flowset, tracer = traced_single
+        route = flowset.route("f")
+        text = link_timeline(tracer, flowset, list(route), 0, 10)
+        assert "f=f" in text
+        assert "·" in text
+        # flit crossings appear as the marker
+        assert "f" in text.splitlines()[1]
+
+    def test_empty_window_rejected(self, traced_single):
+        flowset, tracer = traced_single
+        with pytest.raises(ValueError, match="empty window"):
+            link_timeline(tracer, flowset, [0], 5, 5)
+
+    def test_custom_markers(self, traced_single):
+        flowset, tracer = traced_single
+        text = link_timeline(
+            tracer, flowset, [flowset.route("f")[0]], 0, 6,
+            markers={"f": "#"},
+        )
+        assert "#" in text
+
+
+class TestPacketJourney:
+    def test_uncontended_journey_has_no_stalls(self, traced_single):
+        from repro.sim.trace import packet_journey
+
+        flowset, tracer = traced_single
+        text = packet_journey(tracer, flowset, "f")
+        assert "journey of f packet #0" in text
+        assert "stalled" not in text
+        assert text.count("4 flits") == len(flowset.route("f"))
+
+    def test_blocked_journey_reports_stall(self):
+        from repro.sim.trace import packet_journey
+        from repro.sim.traffic import single_shot
+
+        platform = NoCPlatform(chain(4), buf=2)
+        flowset = FlowSet(
+            platform,
+            [
+                Flow("blk", priority=1, period=10**6, length=40, src=2, dst=3),
+                Flow("lo", priority=2, period=10**6, length=10, src=0, dst=3),
+            ],
+        )
+        tracer = FlitTracer()
+        sim = WormholeSimulator(
+            flowset, single_shot(at={"lo": 0, "blk": 1}), tracer=tracer
+        )
+        sim.run(release_horizon=2).check_conservation()
+        text = packet_journey(tracer, flowset, "lo")
+        assert "stalled" in text
+
+    def test_missing_packet_rows(self, traced_single):
+        from repro.sim.trace import packet_journey
+
+        flowset, tracer = traced_single
+        text = packet_journey(tracer, flowset, "f", packet_seq=9)
+        assert "not traversed" in text
+
+
+class TestTracerOverhead:
+    def test_disabled_by_default(self, didactic2):
+        sim = WormholeSimulator(didactic2, PeriodicReleases())
+        assert sim.tracer is None

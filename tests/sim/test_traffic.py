@@ -1,0 +1,64 @@
+"""Release plans: periodic generation, offsets, jitter validation."""
+
+import pytest
+
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.sim.traffic import PeriodicReleases, single_shot
+
+
+@pytest.fixture
+def flowset(platform4x4):
+    return FlowSet(
+        platform4x4,
+        [Flow("a", priority=1, period=100, jitter=10, length=5, src=0, dst=1)],
+    )
+
+
+class TestPeriodicReleases:
+    def test_release_times(self, flowset):
+        plan = PeriodicReleases()
+        packets = list(plan.releases(flowset, 0, 350))
+        assert [p.release_time for p in packets] == [0, 100, 200, 300]
+        assert [p.seq for p in packets] == [0, 1, 2, 3]
+
+    def test_offset(self, flowset):
+        plan = PeriodicReleases(offsets={"a": 40})
+        packets = list(plan.releases(flowset, 0, 350))
+        assert [p.release_time for p in packets] == [40, 140, 240, 340]
+
+    def test_horizon_exclusive(self, flowset):
+        plan = PeriodicReleases()
+        assert len(list(plan.releases(flowset, 0, 200))) == 2  # t=0, 100
+
+    def test_jitter_applied(self, flowset):
+        plan = PeriodicReleases(jitter_of=lambda name, n: n % 2 * 7)
+        packets = list(plan.releases(flowset, 0, 250))
+        assert [p.release_time for p in packets] == [0, 107, 200]
+
+    def test_jitter_beyond_bound_rejected(self, flowset):
+        plan = PeriodicReleases(jitter_of=lambda name, n: 11)  # J=10
+        with pytest.raises(ValueError, match="jitter"):
+            list(plan.releases(flowset, 0, 100))
+
+    def test_negative_offset_rejected(self, flowset):
+        with pytest.raises(ValueError, match="offset"):
+            list(PeriodicReleases(offsets={"a": -1}).releases(flowset, 0, 100))
+
+    def test_packet_length_copied_from_flow(self, flowset):
+        packet = next(PeriodicReleases().releases(flowset, 0, 100))
+        assert packet.length == 5
+
+
+class TestSingleShot:
+    def test_one_packet_only(self, flowset):
+        packets = list(single_shot(at={"a": 30}).releases(flowset, 0, 100))
+        assert len(packets) == 1
+        assert packets[0].release_time == 30
+
+    def test_absent_flow_releases_nothing(self, flowset):
+        assert list(single_shot(at={}).releases(flowset, 0, 100)) == []
+
+    def test_negative_release_rejected(self, flowset):
+        with pytest.raises(ValueError):
+            list(single_shot(at={"a": -5}).releases(flowset, 0, 100))

@@ -1,0 +1,79 @@
+"""The ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.io import save_flowset
+from repro.workloads.didactic import didactic_flowset
+
+
+@pytest.fixture
+def flowset_file(tmp_path):
+    return str(save_flowset(didactic_flowset(buf=2), tmp_path / "set.json"))
+
+
+class TestAnalyzeCommand:
+    def test_default_ibn(self, flowset_file, capsys):
+        code = main(["analyze", flowset_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "IBN2" in out and "348" in out
+
+    def test_all_analyses(self, flowset_file, capsys):
+        code = main(["analyze", flowset_file, "--analysis", "all"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for value in ("336", "460", "348"):
+            assert value in out
+        assert "optimistic under MPB" in out
+
+    def test_buffer_override(self, flowset_file, capsys):
+        main(["analyze", flowset_file, "--buf", "10"])
+        out = capsys.readouterr().out
+        assert "IBN10" in out and "396" in out
+
+    def test_json_output(self, flowset_file, capsys):
+        main(["analyze", flowset_file, "--json"])
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        data = json.loads(payload)
+        assert data["flows"]["t3"]["response_time"] == 348
+
+    def test_exit_code_on_miss(self, tmp_path, capsys):
+        from repro.flows.flow import Flow
+        from repro.flows.flowset import FlowSet
+        from repro.noc.platform import NoCPlatform
+        from repro.noc.topology import Mesh2D
+
+        squeezed = FlowSet(
+            NoCPlatform(Mesh2D(4, 4), buf=2),
+            [
+                Flow("hog", priority=1, period=110, length=100, src=0, dst=3),
+                Flow("victim", priority=2, period=400, length=200, src=1, dst=3),
+            ],
+        )
+        path = save_flowset(squeezed, tmp_path / "bad.json")
+        code = main(["analyze", str(path)])
+        capsys.readouterr()
+        assert code == 1
+
+
+class TestSizingCommand:
+    def test_reports_headroom(self, flowset_file, capsys):
+        code = main(["sizing", flowset_file, "--max-depth", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "slack under IBN2" in out
+        assert "every depth up to 64" in out
+        assert "payload margin" in out
+
+
+class TestExperimentsForwarding:
+    def test_forwards_to_runner(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        code = main(["experiments", "buffers"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "buffer depth" in out

@@ -1,0 +1,91 @@
+"""Serialization round-trips and format validation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.engine import analyze
+from repro.io import (
+    FORMAT,
+    flowset_from_dict,
+    flowset_to_dict,
+    load_flowset,
+    result_to_dict,
+    save_flowset,
+)
+from repro.util.rng import spawn_rng
+from repro.workloads.didactic import didactic_flowset
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+
+
+class TestRoundTrip:
+    def test_didactic_round_trip(self, didactic2):
+        rebuilt = flowset_from_dict(flowset_to_dict(didactic2))
+        assert rebuilt.flows == didactic2.flows
+        assert rebuilt.platform.buf == didactic2.platform.buf
+        assert rebuilt.platform.linkl == didactic2.platform.linkl
+        assert rebuilt.platform.routl == didactic2.platform.routl
+        # Bounds computed from the rebuilt set are identical.
+        original = analyze(didactic2, IBNAnalysis(), stop_at_deadline=False)
+        restored = analyze(rebuilt, IBNAnalysis(), stop_at_deadline=False)
+        assert original.response_time("t3") == restored.response_time("t3")
+
+    def test_file_round_trip(self, didactic2, tmp_path):
+        target = save_flowset(didactic2, tmp_path / "set.json")
+        rebuilt = load_flowset(target)
+        assert rebuilt.flows == didactic2.flows
+
+    def test_file_is_stable_json(self, didactic2, tmp_path):
+        a = save_flowset(didactic2, tmp_path / "a.json").read_text()
+        b = save_flowset(didactic2, tmp_path / "b.json").read_text()
+        assert a == b
+        json.loads(a)  # well-formed
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 30), st.integers(0, 10**6))
+    def test_synthetic_round_trip(self, n, seed):
+        platform = NoCPlatform(Mesh2D(4, 4), buf=4, linkl=2, routl=1)
+        rng = spawn_rng(seed, "io-prop")
+        flows = synthetic_flows(SyntheticConfig(num_flows=n), 16, rng)
+        flowset = FlowSet(platform, flows)
+        rebuilt = flowset_from_dict(flowset_to_dict(flowset))
+        assert rebuilt.flows == flowset.flows
+
+
+class TestValidation:
+    def test_format_marker_present(self, didactic2):
+        assert flowset_to_dict(didactic2)["format"] == FORMAT
+
+    def test_unknown_format_rejected(self, didactic2):
+        data = flowset_to_dict(didactic2)
+        data["format"] = "something-else"
+        with pytest.raises(ValueError, match="unsupported format"):
+            flowset_from_dict(data)
+
+    def test_unknown_topology_rejected(self, didactic2):
+        data = flowset_to_dict(didactic2)
+        data["platform"]["topology"]["type"] = "torus"
+        with pytest.raises(ValueError, match="topology"):
+            flowset_from_dict(data)
+
+    def test_bad_flow_values_caught_by_model(self, didactic2):
+        data = flowset_to_dict(didactic2)
+        data["flows"][0]["period"] = 0
+        with pytest.raises(ValueError):
+            flowset_from_dict(data)
+
+
+class TestResultSerialisation:
+    def test_contains_verdicts_and_bounds(self, didactic2):
+        result = analyze(didactic2, IBNAnalysis(), stop_at_deadline=False)
+        data = result_to_dict(result)
+        assert data["analysis"] == "IBN2"
+        assert data["schedulable"] is True
+        assert data["flows"]["t3"]["response_time"] == 348
+        json.dumps(data)  # JSON-serialisable

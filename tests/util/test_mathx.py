@@ -1,0 +1,87 @@
+"""Unit tests for the integer math helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.mathx import FixedPointDiverged, ceil_div, fixed_point
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(11, 5) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 7) == 1
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, -2)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**12), st.integers(1, 10**9))
+    def test_matches_float_ceiling_semantics(self, numerator, denominator):
+        result = ceil_div(numerator, denominator)
+        assert (result - 1) * denominator < numerator or numerator == 0
+        assert result * denominator >= numerator
+
+    @given(st.integers(0, 10**6), st.integers(1, 10**6))
+    def test_identity_on_multiples(self, quotient, denominator):
+        assert ceil_div(quotient * denominator, denominator) == quotient
+
+
+class TestFixedPoint:
+    def test_immediate_fixed_point(self):
+        value, converged = fixed_point(lambda x: x, 5)
+        assert (value, converged) == (5, True)
+
+    def test_simple_recurrence(self):
+        # x -> 10 + x//2 has fixed point 20 (for integer division).
+        value, converged = fixed_point(lambda x: 10 + x // 2, 10)
+        assert converged
+        assert value == 10 + value // 2
+
+    def test_give_up_above(self):
+        value, converged = fixed_point(
+            lambda x: x + 10, 0, give_up_above=35
+        )
+        assert not converged
+        assert value > 35
+
+    def test_give_up_is_exclusive(self):
+        # A fixed point exactly at the threshold still converges.
+        value, converged = fixed_point(
+            lambda x: min(x + 10, 30), 0, give_up_above=30
+        )
+        assert converged
+        assert value == 30
+
+    def test_divergence_raises(self):
+        with pytest.raises(FixedPointDiverged) as exc:
+            fixed_point(lambda x: x + 1, 0, max_iterations=50)
+        assert exc.value.iterations == 50
+
+    def test_decreasing_recurrence_rejected(self):
+        with pytest.raises(ValueError, match="monotonic"):
+            fixed_point(lambda x: x - 1 if x > 0 else 0, 10)
+
+    @given(st.integers(1, 50), st.integers(0, 40))
+    def test_affine_recurrence_fixed_point(self, step, start):
+        # x -> max(x, start + step) converges to start + step or start.
+        target = start + step
+        value, converged = fixed_point(lambda x: max(x, target), start)
+        assert converged
+        assert value == target

@@ -1,0 +1,55 @@
+"""Unit tests for ASCII charts and CSV emission."""
+
+import pytest
+
+from repro.util.ascii_chart import ascii_chart
+from repro.util.csvout import series_to_csv, write_csv
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self):
+        chart = ascii_chart([1, 2, 3], {"SB": [0, 50, 100]}, title="demo")
+        assert chart.splitlines()[0] == "demo"
+        assert "o=SB" in chart
+
+    def test_extremes_land_on_first_and_last_rows(self):
+        chart = ascii_chart([1, 2], {"s": [0, 100]}, height=5)
+        lines = chart.splitlines()
+        top_row = lines[0]
+        bottom_row = lines[4]
+        assert "o" in top_row  # 100% at the top
+        assert "o" in bottom_row  # 0% at the bottom
+
+    def test_multiple_series_use_distinct_markers(self):
+        chart = ascii_chart([1], {"a": [0], "b": [100]}, height=4)
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_values_clamped(self):
+        chart = ascii_chart([1], {"a": [150.0]}, height=4)
+        assert "o" in chart.splitlines()[0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_chart([1, 2], {"a": [1.0]})
+
+    def test_bad_height_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]}, height=1)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]}, y_min=5, y_max=5)
+
+
+class TestCsv:
+    def test_round_trip_layout(self):
+        text = series_to_csv("n", [1, 2], {"a": [3, 4], "b": [5, 6]})
+        assert text.splitlines() == ["n,a,b", "1,3,5", "2,4,6"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_csv("n", [1], {"a": [1, 2]})
+
+    def test_write_creates_parents(self, tmp_path):
+        target = write_csv(tmp_path / "deep" / "dir" / "x.csv", "a,b\n")
+        assert target.read_text() == "a,b\n"

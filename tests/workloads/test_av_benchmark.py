@@ -1,0 +1,119 @@
+"""The AV application substitute: graph consistency and mapping behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.workloads.av_benchmark import (
+    AV_MESSAGES,
+    AV_TASKS,
+    av_flows,
+    av_flowset,
+)
+from repro.workloads.mapping import map_flows, random_mapping
+
+
+class TestApplicationModel:
+    def test_task_count(self):
+        assert len(AV_TASKS) == 38
+        assert len(set(AV_TASKS)) == 38
+
+    def test_message_count_and_uniqueness(self):
+        assert len(AV_MESSAGES) == 43
+        assert len({m.name for m in AV_MESSAGES}) == 43
+
+    def test_messages_reference_known_tasks(self):
+        tasks = set(AV_TASKS)
+        for message in AV_MESSAGES:
+            assert message.src_task in tasks, message.name
+            assert message.dst_task in tasks, message.name
+
+    def test_no_self_messages(self):
+        assert all(m.src_task != m.dst_task for m in AV_MESSAGES)
+
+    def test_every_sensor_feeds_the_pipeline(self):
+        sources = {m.src_task for m in AV_MESSAGES}
+        for driver in (t for t in AV_TASKS if t.endswith("_drv")):
+            assert driver in sources, driver
+
+    def test_actuators_are_fed(self):
+        sinks = {m.dst_task for m in AV_MESSAGES}
+        for actuator in ("steering_ctrl", "throttle_ctrl", "brake_ctrl"):
+            assert actuator in sinks
+
+
+class TestAvFlows:
+    @pytest.fixture
+    def mapping(self):
+        return {task: i % 16 for i, task in enumerate(AV_TASKS)}
+
+    def test_periods_converted_by_clock(self, mapping):
+        flows = {f.name: f for f in av_flows(mapping, clock_hz=1e6)}
+        assert flows["m_imu"].period == 10_000
+        assert flows["m_lidar_f"].period == 100_000
+
+    def test_priorities_rate_monotonic(self, mapping):
+        flows = av_flows(mapping)
+        ordered = sorted(flows, key=lambda f: f.priority)
+        assert [f.period for f in ordered] == sorted(f.period for f in flows)
+
+    def test_length_scale(self, mapping):
+        base = {f.name: f for f in av_flows(mapping)}
+        scaled = {f.name: f for f in av_flows(mapping, length_scale=2.0)}
+        assert scaled["m_lidar_f"].length == 2 * base["m_lidar_f"].length
+
+    def test_missing_task_rejected(self):
+        with pytest.raises(ValueError, match="misses"):
+            av_flows({"lidar_front_drv": 0})
+
+    def test_bad_scale_rejected(self, mapping):
+        with pytest.raises(ValueError):
+            av_flows(mapping, length_scale=0)
+
+    def test_colocated_tasks_make_local_flows(self):
+        everyone_home = {task: 3 for task in AV_TASKS}
+        flows = av_flows(everyone_home)
+        assert all(f.is_local for f in flows)
+
+
+class TestMapping:
+    def test_random_mapping_covers_tasks(self):
+        rng = np.random.default_rng(1)
+        mapping = random_mapping(AV_TASKS, 9, rng)
+        assert set(mapping) == set(AV_TASKS)
+        assert all(0 <= node < 9 for node in mapping.values())
+
+    def test_random_mapping_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            random_mapping(AV_TASKS, 0, np.random.default_rng(0))
+
+    def test_map_flows_rehomes(self):
+        mapping = {task: 0 for task in AV_TASKS}
+        flows = av_flows(mapping)
+        moved = map_flows(
+            flows,
+            {f.name: 1 for f in flows},
+            {f.name: 2 for f in flows},
+        )
+        assert all((f.src, f.dst) == (1, 2) for f in moved)
+
+
+class TestAvFlowset:
+    def test_deterministic_per_mapping_index(self):
+        platform = NoCPlatform(Mesh2D(4, 4), buf=2)
+        a = av_flowset(platform, seed=5, mapping_index=3)
+        b = av_flowset(platform, seed=5, mapping_index=3)
+        c = av_flowset(platform, seed=5, mapping_index=4)
+        assert a.flows == b.flows
+        assert a.flows != c.flows
+
+    def test_small_topology_gets_local_flows(self):
+        platform = NoCPlatform(Mesh2D(2, 2), buf=2)
+        fs = av_flowset(platform, seed=5)
+        assert any(f.is_local for f in fs)
+
+    def test_all_messages_present(self):
+        platform = NoCPlatform(Mesh2D(5, 5), buf=2)
+        fs = av_flowset(platform, seed=5)
+        assert {f.name for f in fs} == {m.name for m in AV_MESSAGES}

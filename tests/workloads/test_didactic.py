@@ -1,0 +1,63 @@
+"""The didactic workload: Table I parameters and Fig. 3 geometry."""
+
+from repro.noc.topology import LinkKind
+from repro.workloads.didactic import (
+    NODE_A,
+    NODE_B,
+    NODE_E,
+    NODE_F,
+    didactic_flows,
+    didactic_flowset,
+    didactic_platform,
+)
+
+
+class TestPlatform:
+    def test_chain_of_six(self):
+        platform = didactic_platform()
+        assert platform.topology.num_nodes == 6
+        assert platform.linkl == 1 and platform.routl == 0
+
+    def test_buffer_parameter(self):
+        assert didactic_platform(buf=10).buf == 10
+
+
+class TestTable1:
+    def test_flow_parameters(self):
+        flows = {f.name: f for f in didactic_flows()}
+        assert (flows["t1"].period, flows["t1"].priority) == (200, 1)
+        assert (flows["t2"].period, flows["t2"].priority) == (4000, 2)
+        assert (flows["t3"].period, flows["t3"].priority) == (6000, 3)
+        assert flows["t1"].length == 60
+        assert flows["t2"].length == 198
+        assert flows["t3"].length == 128
+
+    def test_zero_load_latencies(self):
+        fs = didactic_flowset()
+        assert (fs.c("t1"), fs.c("t2"), fs.c("t3")) == (62, 204, 132)
+
+    def test_route_lengths(self):
+        fs = didactic_flowset()
+        assert (len(fs.route("t1")), len(fs.route("t2")), len(fs.route("t3"))) == (
+            3, 7, 5,
+        )
+
+
+class TestFig3Geometry:
+    def test_placements(self):
+        flows = {f.name: f for f in didactic_flows()}
+        assert (flows["t1"].src, flows["t1"].dst) == (NODE_E, NODE_F)
+        assert (flows["t2"].src, flows["t2"].dst) == (NODE_A, NODE_F)
+        assert (flows["t3"].src, flows["t3"].dst) == (NODE_B, NODE_E)
+
+    def test_t1_t3_share_nothing(self):
+        fs = didactic_flowset()
+        assert not set(fs.route("t1")) & set(fs.route("t3"))
+
+    def test_cd23_is_the_three_middle_links(self):
+        fs = didactic_flowset()
+        shared = set(fs.route("t2")) & set(fs.route("t3"))
+        topology = fs.platform.topology
+        kinds = {topology.link(l).kind for l in shared}
+        assert len(shared) == 3
+        assert kinds == {LinkKind.ROUTER}
