@@ -1,0 +1,27 @@
+# Developer entry points.  All targets assume the repository root as cwd.
+
+PYTHON ?= python
+export PYTHONPATH := src
+export REPRO_SCALE ?= ci
+
+.PHONY: test bench-smoke bench-record bench-figures
+
+## Tier-1 test suite (the gate every PR must keep green).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Fast perf gate: ci-scale hot-path microbenchmarks, then append the
+## wall-clock numbers to BENCH_engine.json so the trajectory across PRs
+## stays comparable.
+bench-smoke:
+	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_engine_hotpath.py -q
+	REPRO_SCALE=ci $(PYTHON) benchmarks/record_engine_bench.py smoke
+
+## Append a BENCH_engine.json entry only (LABEL=<name> to tag it).
+LABEL ?= run
+bench-record:
+	REPRO_SCALE=ci $(PYTHON) benchmarks/record_engine_bench.py $(LABEL)
+
+## Paper-figure benchmarks at the configured REPRO_SCALE.
+bench-figures:
+	$(PYTHON) -m pytest benchmarks/bench_fig4.py benchmarks/bench_fig5.py -q

@@ -1,0 +1,138 @@
+"""Record the engine hot-path micro-benchmarks into BENCH_engine.json.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/record_engine_bench.py [label]
+
+Each invocation appends one entry to ``BENCH_engine.json`` (a JSON list at
+the repository root) with wall-clock timings of the three hot paths the
+analysis kernel optimisation targets:
+
+* ``graph_build_ms``       — :class:`InterferenceGraph` construction at
+  50/200/400 flows on the 4x4 mesh;
+* ``analyse_set_ms``       — one full Figure-4 verdict (graph + SB/XLWX/
+  IBN2/IBN100) for a 200-flow set;
+* ``fig4_ci_s``            — the whole ci-scale Figure 4(a) sweep;
+* ``recurrence_ms``        — one SB and one IBN pass over a 200-flow set
+  with a pre-built graph (isolates the fixed-point engine).
+
+The resulting trajectory lets future PRs compare against every past
+revision; ``make bench-smoke`` runs this plus the pytest-benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.engine import analyze
+from repro.core.interference import InterferenceGraph
+from repro.experiments.scale import get_scale
+from repro.experiments.schedulability_sweep import (
+    analyse_set,
+    fig4_specs,
+    schedulability_sweep,
+)
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flowset
+
+SEED = 20180319
+TARGET = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _flowset(num_flows: int):
+    platform = NoCPlatform(Mesh2D(4, 4), buf=2)
+    return synthetic_flowset(
+        platform, SyntheticConfig(num_flows=num_flows), seed=SEED
+    )
+
+
+def _time_ms(fn, repeats: int = 3) -> float:
+    fn()  # warm caches (routes, imports) outside the measurement
+    best = min(_timed(fn) for _ in range(repeats))
+    return round(best * 1000, 2)
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def collect() -> dict:
+    metrics: dict[str, object] = {}
+
+    builds = {}
+    for n in (50, 200, 400):
+        fs = _flowset(n)
+        builds[str(n)] = _time_ms(lambda: InterferenceGraph(fs))
+    metrics["graph_build_ms"] = builds
+
+    fs200 = _flowset(200)
+    flows = list(fs200.flows)
+    platform = fs200.platform
+    metrics["analyse_set_ms"] = _time_ms(
+        lambda: analyse_set(flows, platform, fig4_specs())
+    )
+
+    graph = InterferenceGraph(fs200)
+    metrics["recurrence_ms"] = {
+        "SB": _time_ms(lambda: analyze(fs200, SBAnalysis(), graph=graph)),
+        "IBN": _time_ms(lambda: analyze(fs200, IBNAnalysis(), graph=graph)),
+    }
+
+    scale = get_scale("ci")
+    metrics["fig4_ci_s"] = round(
+        _timed(
+            lambda: schedulability_sweep(
+                (4, 4),
+                scale.fig4a_flow_counts,
+                scale.fig4_sets_per_point,
+                seed=scale.seed,
+            )
+        ),
+        3,
+    )
+    return metrics
+
+
+def git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv: list[str]) -> int:
+    label = argv[1] if len(argv) > 1 else "run"
+    entry = {
+        "label": label,
+        "revision": git_revision(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "metrics": collect(),
+    }
+    history = []
+    if TARGET.exists():
+        history = json.loads(TARGET.read_text(encoding="utf-8"))
+    history.append(entry)
+    TARGET.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(entry, indent=2))
+    print(f"[appended to {TARGET}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

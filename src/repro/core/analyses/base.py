@@ -47,14 +47,37 @@ class AnalysisContext:
     graph: InterferenceGraph
     flows: tuple[Flow, ...] = field(init=False)
     c: list[int] = field(init=False)
+    #: per-flow ``T_j`` / ``J_j`` as parallel arrays, so the hot loops in
+    #: the engine and the analyses index lists instead of touching Flow
+    #: attributes.
+    period: list[int] = field(init=False)
+    jitter: list[int] = field(init=False)
     response: dict[int, int] = field(default_factory=dict)
     converged: dict[int, bool] = field(default_factory=dict)
     hit_term: dict[tuple[int, int], int] = field(default_factory=dict)
     total: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: memo for IBN's downstream hit counts ``⌈(R_j + J_k)/T_k⌉`` — the
+    #: value depends only on (j, k), not on the analysed flow τi, so it is
+    #: shared across every τi having τj as a direct interferer.
+    downstream_hits: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: Equation 6's per-link factor ``buf·linkl`` on homogeneous platforms
+    #: (None when per-router depths differ and the per-link sum applies).
+    bi_unit: int | None = field(init=False)
+    #: the graph's up/down partition memo table, bound once here so the
+    #: per-pair analysis code probes it without attribute walks (misses
+    #: are filled via ``graph.updown_partition``).
+    updown_cache: dict = field(init=False)
 
     def __post_init__(self):
         self.flows = self.flowset.flows
         self.c = [self.flowset.c(f.name) for f in self.flows]
+        self.period = [f.period for f in self.flows]
+        self.jitter = [f.jitter for f in self.flows]
+        platform = self.flowset.platform
+        self.bi_unit = (
+            platform.buf * platform.linkl if platform.is_homogeneous else None
+        )
+        self.updown_cache = self.graph.updown_cache
 
     def interference_jitter(self, j: int) -> int:
         """``J^I_j = R_j − C_j`` (the fix of Indrusiak et al. [6])."""
@@ -72,11 +95,9 @@ class AnalysisContext:
         ``linkl · Σ_{λ ∈ cd_ij} buf(λ)``, which reduces to the paper's
         formula when all routers share one depth.
         """
+        if self.bi_unit is not None:
+            return self.bi_unit * self.graph.cd_size_by_index(i, j)
         platform = self.flowset.platform
-        if platform.is_homogeneous:
-            return (
-                platform.buf * platform.linkl * self.graph.cd_size_by_index(i, j)
-            )
         return platform.linkl * sum(
             platform.buf_of_link(link)
             for link in self.graph.cd_links_by_index(i, j)

@@ -34,7 +34,6 @@ Two knobs are exposed for ablation studies (defaults follow the paper):
 from __future__ import annotations
 
 from repro.core.analyses.base import Analysis, AnalysisContext
-from repro.util.mathx import ceil_div
 
 
 class IBNAnalysis(Analysis):
@@ -58,35 +57,46 @@ class IBNAnalysis(Analysis):
         self.use_buffer_bound = use_buffer_bound
 
     def downstream_term(self, ctx: AnalysisContext, i: int, j: int) -> int:
-        upstream, downstream = ctx.graph.updown_by_index(i, j)
+        cached = ctx.updown_cache.get((i, j))
+        if cached is None:
+            cached = ctx.graph.updown_partition(i, j)
+        upstream, downstream = cached
         if not downstream:
             return 0
-        if self._suffers_upstream(ctx, i, j, upstream):
+        if upstream or (
+            self.upstream_rule == "any_upstream"
+            and self._any_direct_upstream(ctx, i, j)
+        ):
             # Chopped-up arrival: buffered-interference accounting does not
             # hold, use XLWX's Equation 3 verbatim (same per-pair totals).
-            return sum(ctx.total[(j, k)] for k in downstream)
+            totals = ctx.total
+            fallback = 0
+            for k in downstream:
+                fallback += totals[(j, k)]
+            return fallback
         bi = ctx.buffered_interference(i, j)
         r_j = ctx.response[j]
+        periods, jitters = ctx.period, ctx.jitter
+        hit_term, hits_memo = ctx.hit_term, ctx.downstream_hits
+        use_bound = self.use_buffer_bound
         total = 0
         for k in downstream:
-            flow_k = ctx.flows[k]
-            hits = ceil_div(r_j + flow_k.jitter, flow_k.period)
-            per_hit = ctx.hit_term[(j, k)]
-            if self.use_buffer_bound:
-                per_hit = min(bi, per_hit)
+            key = (j, k)
+            hits = hits_memo.get(key)
+            if hits is None:
+                hits = -(-(r_j + jitters[k]) // periods[k])
+                hits_memo[key] = hits
+            per_hit = hit_term[key]
+            if use_bound and bi < per_hit:
+                per_hit = bi
             total += hits * per_hit
         return total
 
-    def _suffers_upstream(
-        self, ctx: AnalysisContext, i: int, j: int, upstream: tuple[int, ...]
+    def _any_direct_upstream(
+        self, ctx: AnalysisContext, i: int, j: int
     ) -> bool:
-        """Does τj suffer upstream interference w.r.t. its contention with τi?"""
-        if upstream:
-            return True
-        if self.upstream_rule == "pairwise":
-            return False
-        # "any_upstream": also count direct interferers of τi that hit τj
-        # strictly upstream of cd_ij on τj's route.
+        """The "any_upstream" widening: is any *direct* interferer of τi
+        hitting τj strictly upstream of cd_ij on τj's route?"""
         cd_lo, _ = ctx.graph.cd_span_on(j, i)
         for k in ctx.graph.direct_by_index(j):
             if k == i:

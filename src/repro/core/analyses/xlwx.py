@@ -29,5 +29,11 @@ class XLWXAnalysis(Analysis):
     unsafe = False
 
     def downstream_term(self, ctx: AnalysisContext, i: int, j: int) -> int:
-        _, downstream = ctx.graph.updown_by_index(i, j)
-        return sum(ctx.total[(j, k)] for k in downstream)
+        cached = ctx.updown_cache.get((i, j))
+        if cached is None:
+            cached = ctx.graph.updown_partition(i, j)
+        totals = ctx.total
+        term = 0
+        for k in cached[1]:
+            term += totals[(j, k)]
+        return term

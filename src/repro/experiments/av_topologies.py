@@ -8,15 +8,14 @@ Figure 5).
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Sequence
 
-from repro.core.interference import InterferenceGraph
-from repro.core.engine import is_schedulable
 from repro.experiments.schedulability_sweep import (
     AnalysisSpec,
     SweepResult,
     fig4_specs,
+    spec_verdicts,
 )
 from repro.noc.platform import NoCPlatform
 from repro.noc.topology import Mesh2D
@@ -45,13 +44,11 @@ def _study_one_topology(args: tuple) -> tuple[str, dict[str, float]]:
             clock_hz=clock_hz,
             length_scale=length_scale,
         )
-        graph = InterferenceGraph(flowset)
-        for spec in specs:
-            if spec.buf is None or spec.buf == platform.buf:
-                fs = flowset
-            else:
-                fs = flowset.on_platform(platform.with_buffers(spec.buf))
-            counts[spec.label] += is_schedulable(fs, spec.analysis, graph=graph)
+        # Shares one interference graph across the buffer variants and
+        # bisects the pointwise-ordered analysis chain (see
+        # :func:`~repro.experiments.schedulability_sweep.spec_verdicts`).
+        for label, ok in spec_verdicts(flowset, specs).items():
+            counts[label] += ok
     percentages = {
         label: 100.0 * count / mappings for label, count in counts.items()
     }
@@ -70,26 +67,42 @@ def av_topology_study(
     workers: int = 1,
     progress: Callable[[str], None] | None = None,
 ) -> SweepResult:
-    """Run the Figure 5 campaign over the given topologies."""
+    """Run the Figure 5 campaign over the given topologies.
+
+    ``progress`` receives one message per completed topology in serial and
+    parallel runs alike (points can complete out of order under
+    ``workers > 1``; the result keeps the x-axis order regardless).
+    """
     result = SweepResult(x_label="network topology", sets_per_point=mappings)
     jobs = [
         (cols, rows, mappings, seed, small_buf, large_buf, clock_hz,
          length_scale)
         for cols, rows in topologies
     ]
+
+    def _report(outcome: tuple[str, dict[str, float]]) -> None:
+        if progress is None:
+            return
+        label, percentages = outcome
+        rendered = ", ".join(
+            f"{name}={value:.0f}%" for name, value in percentages.items()
+        )
+        progress(f"{label}: {rendered}")
+
+    outcomes: dict[str, dict[str, float]] = {}
     if workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_study_one_topology, jobs))
+            futures = [pool.submit(_study_one_topology, job) for job in jobs]
+            for future in as_completed(futures):
+                outcome = future.result()
+                outcomes[outcome[0]] = outcome[1]
+                _report(outcome)
     else:
-        outcomes = []
         for job in jobs:
-            outcomes.append(_study_one_topology(job))
-            if progress is not None:
-                label, percentages = outcomes[-1]
-                rendered = ", ".join(
-                    f"{name}={value:.0f}%" for name, value in percentages.items()
-                )
-                progress(f"{label}: {rendered}")
-    for label, percentages in outcomes:
-        result.add_point(label, percentages)
+            outcome = _study_one_topology(job)
+            outcomes[outcome[0]] = outcome[1]
+            _report(outcome)
+    for cols, rows in topologies:
+        label = f"{cols}x{rows}"
+        result.add_point(label, outcomes[label])
     return result

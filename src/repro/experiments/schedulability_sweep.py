@@ -10,14 +10,26 @@ size only matters to IBN, so each flow set is analysed on buffer-variant
 copies of the platform while sharing one interference graph (the O(n²)
 part of the cost).
 
-Multiprocessing: points are independent, so the campaign optionally fans
-out over worker processes (``workers=``); results are deterministic either
-way thanks to the per-set seed derivation.
+Per-set verdict chain: the analyses are pointwise ordered
+(``R^SB ≤ R^IBN2 ≤ R^IBN100 ≤ R^XLWX``, see :mod:`repro.core.engine`),
+which makes the verdict vector along the chain monotone — True prefix,
+False suffix.  :func:`spec_verdicts` bisects that boundary, typically
+deciding all four curves with two analysis runs, warm-starting looser
+runs from tighter results when available.  Verdicts are identical to
+running each analysis cold; only the work changes.
+
+Multiprocessing: work is fanned out as ``(point, set-chunk)`` jobs rather
+than whole x-axis points, so campaigns with large ``sets_per_point`` keep
+every worker busy even with few points; per-set seed derivation keeps the
+outcome identical for any worker/chunk configuration.  Workers reuse a
+process-local platform per mesh (and with it the memoized route table),
+and the ``progress`` callback now reports each completed point in
+parallel runs too.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -25,7 +37,7 @@ from repro.core.analyses.base import Analysis
 from repro.core.analyses.ibn import IBNAnalysis
 from repro.core.analyses.sb import SBAnalysis
 from repro.core.analyses.xlwx import XLWXAnalysis
-from repro.core.engine import is_schedulable
+from repro.core.engine import analysis_pointwise_le, analyze, tightness_rank
 from repro.core.interference import InterferenceGraph
 from repro.flows.flowset import FlowSet
 from repro.noc.platform import NoCPlatform
@@ -82,10 +94,111 @@ class SweepResult:
     def max_gap(self, upper: str, lower: str) -> float:
         """Largest pointwise difference ``upper − lower`` (paper's "up to
         58%" style statements)."""
+        for label in (upper, lower):
+            if label not in self.series:
+                available = ", ".join(sorted(self.series)) or "none"
+                raise KeyError(
+                    f"unknown curve {label!r}; available curves: {available}"
+                )
+        if not self.series[upper]:
+            raise ValueError(
+                f"curves {upper!r} and {lower!r} have no data points; "
+                "the sweep has not recorded any x-axis values yet"
+            )
         return max(
             u - l
             for u, l in zip(self.series[upper], self.series[lower])
         )
+
+
+def spec_verdicts(
+    base_flowset: FlowSet,
+    specs: Sequence[AnalysisSpec],
+    *,
+    graph: InterferenceGraph | None = None,
+) -> dict[str, bool]:
+    """Schedulability verdict of one flow set under every spec.
+
+    Shares a single interference graph across all specs (platform copies
+    differ only in buffer depth, which the graph is agnostic to), and
+    exploits the pointwise ordering of the analyses
+    (:func:`~repro.core.engine.analysis_pointwise_le`) twice over:
+
+    * a **True** verdict decides every pointwise-*tighter* spec (its
+      bounds are smaller still), a **False** verdict decides every
+      pointwise-*looser* one (the missed deadline only gets worse);
+    * the verdict vector along the tightness-sorted chain is therefore
+      monotone — True prefix, False suffix — so the undecided boundary is
+      located by **bisection**, typically running 2 of the 4 Figure-4
+      analyses per set instead of all of them;
+    * when a pointwise-tighter result happens to be available it also
+      warm-starts the looser run's fixed points.
+
+    Verdicts are identical to running every spec cold; the dict order
+    follows ``specs``.
+    """
+    base_platform = base_flowset.platform
+    if graph is None:
+        graph = InterferenceGraph(base_flowset)
+    flowsets: list[FlowSet] = []
+    for spec in specs:
+        if spec.buf is None or spec.buf == base_platform.buf:
+            flowsets.append(base_flowset)
+        else:
+            flowsets.append(
+                base_flowset.on_platform(base_platform.with_buffers(spec.buf))
+            )
+    by_tightness = sorted(
+        range(len(specs)),
+        key=lambda idx: (
+            tightness_rank(specs[idx].analysis, flowsets[idx].platform),
+            idx,
+        ),
+    )
+    verdicts: dict[int, bool] = {}
+    sources: list[tuple[int, object]] = []  # (spec index, AnalysisResult)
+
+    def decide(idx: int) -> None:
+        spec, flowset = specs[idx], flowsets[idx]
+        warm = None
+        for tight_idx, tight_result in reversed(sources):
+            if analysis_pointwise_le(
+                specs[tight_idx].analysis,
+                spec.analysis,
+                flowsets[tight_idx].platform,
+                flowset.platform,
+            ):
+                warm = tight_result
+                break
+        result = analyze(
+            flowset, spec.analysis, graph=graph, early_exit=True, warm_from=warm
+        )
+        verdict = result.complete and result.schedulable
+        verdicts[idx] = verdict
+        sources.append((idx, result))
+        # Propagate along the partial order to everything still undecided.
+        for other in by_tightness:
+            if other in verdicts:
+                continue
+            if verdict and analysis_pointwise_le(
+                specs[other].analysis,
+                spec.analysis,
+                flowsets[other].platform,
+                flowset.platform,
+            ):
+                verdicts[other] = True
+            elif not verdict and analysis_pointwise_le(
+                spec.analysis,
+                specs[other].analysis,
+                flowset.platform,
+                flowsets[other].platform,
+            ):
+                verdicts[other] = False
+
+    while len(verdicts) < len(specs):
+        undecided = [idx for idx in by_tightness if idx not in verdicts]
+        decide(undecided[len(undecided) // 2])
+    return {specs[idx].label: verdicts[idx] for idx in range(len(specs))}
 
 
 def analyse_set(
@@ -93,41 +206,70 @@ def analyse_set(
     base_platform: NoCPlatform,
     specs: Sequence[AnalysisSpec],
 ) -> dict[str, bool]:
-    """Schedulability verdict of one flow set under every spec.
+    """Schedulability verdict of one flow set under every spec."""
+    return spec_verdicts(FlowSet(base_platform, flows), specs)
 
-    Shares a single interference graph across all specs; platform copies
-    differ only in buffer depth, which the graph is agnostic to.
+
+#: Process-local platform cache: reusing the platform across chunk jobs
+#: keeps one topology (and hence one memoized route table) per mesh for
+#: the lifetime of the worker, so routes are computed once per worker
+#: instead of once per x-axis point.
+_WORKER_PLATFORMS: dict[tuple[int, int, int], NoCPlatform] = {}
+
+
+def _worker_platform(cols: int, rows: int, buf: int) -> NoCPlatform:
+    key = (cols, rows, buf)
+    platform = _WORKER_PLATFORMS.get(key)
+    if platform is None:
+        platform = NoCPlatform(Mesh2D(cols, rows), buf=buf)
+        _WORKER_PLATFORMS[key] = platform
+    return platform
+
+
+def _sweep_chunk(args: tuple) -> tuple[int, dict[str, int], int]:
+    """Worker: one contiguous chunk of a point's flow sets.
+
+    Returns raw schedulable counts (not percentages) keyed back to the
+    x-axis *position* (robust to duplicate flow counts) so the parent can
+    aggregate chunks; the per-set seed depends only on the global seed
+    and the set index, making results independent of the chunking.
     """
-    base_flowset = FlowSet(base_platform, flows)
-    graph = InterferenceGraph(base_flowset)
-    verdicts: dict[str, bool] = {}
-    for spec in specs:
-        if spec.buf is None or spec.buf == base_platform.buf:
-            flowset = base_flowset
-        else:
-            flowset = base_flowset.on_platform(base_platform.with_buffers(spec.buf))
-        verdicts[spec.label] = is_schedulable(flowset, spec.analysis, graph=graph)
-    return verdicts
-
-
-def _sweep_one_point(args: tuple) -> tuple[int, dict[str, float]]:
-    """Worker: all sets of one x-axis point (picklable top-level helper)."""
-    (cols, rows, num_flows, sets_per_point, seed, config_kwargs,
-     small_buf, large_buf, include_sb) = args
-    platform = NoCPlatform(Mesh2D(cols, rows), buf=small_buf)
+    (point_index, cols, rows, num_flows, set_start, set_count, seed,
+     config_kwargs, small_buf, large_buf, include_sb) = args
+    platform = _worker_platform(cols, rows, small_buf)
     specs = fig4_specs(small_buf, large_buf, include_sb=include_sb)
     config = SyntheticConfig(num_flows=num_flows, **config_kwargs)
     counts = {spec.label: 0 for spec in specs}
-    for set_index in range(sets_per_point):
+    for set_index in range(set_start, set_start + set_count):
         rng = spawn_rng(seed, "synthetic", num_flows, set_index)
         flows = synthetic_flows(config, platform.topology.num_nodes, rng)
-        verdicts = analyse_set(flows, platform, specs)
+        verdicts = spec_verdicts(FlowSet(platform, flows), specs)
         for label, ok in verdicts.items():
             counts[label] += ok
-    percentages = {
-        label: 100.0 * count / sets_per_point for label, count in counts.items()
-    }
-    return num_flows, percentages
+    return point_index, counts, set_count
+
+
+def _chunk_jobs(
+    flow_counts: Sequence[int],
+    sets_per_point: int,
+    chunk_size: int,
+    seed: int,
+    config_kwargs: dict,
+    cols: int,
+    rows: int,
+    small_buf: int,
+    large_buf: int,
+    include_sb: bool,
+) -> list[tuple]:
+    jobs = []
+    for point_index, num_flows in enumerate(flow_counts):
+        for set_start in range(0, sets_per_point, chunk_size):
+            set_count = min(chunk_size, sets_per_point - set_start)
+            jobs.append(
+                (point_index, cols, rows, num_flows, set_start, set_count,
+                 seed, dict(config_kwargs), small_buf, large_buf, include_sb)
+            )
+    return jobs
 
 
 def schedulability_sweep(
@@ -141,34 +283,79 @@ def schedulability_sweep(
     include_sb: bool = True,
     config_kwargs: dict | None = None,
     workers: int = 1,
+    chunk_size: int | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> SweepResult:
     """Run one Figure 4 panel.
 
     ``config_kwargs`` override :class:`SyntheticConfig` fields (e.g.
-    ``clock_hz``); ``workers > 1`` distributes x-axis points over
-    processes.
+    ``clock_hz``); ``workers > 1`` distributes ``(point, set-chunk)`` jobs
+    over processes — ``chunk_size`` (default: about a quarter-worker's
+    share of a point) trades scheduling overhead against load balance.
+    ``progress`` receives one message per completed x-axis point in both
+    serial and parallel runs.  Results are identical for every
+    workers/chunking choice thanks to the per-set seed derivation.
     """
     cols, rows = mesh
-    result = SweepResult(x_label="# flows per flow set", sets_per_point=sets_per_point)
-    jobs = [
-        (cols, rows, n, sets_per_point, seed, dict(config_kwargs or {}),
-         small_buf, large_buf, include_sb)
-        for n in flow_counts
+    labels = [
+        spec.label
+        for spec in fig4_specs(small_buf, large_buf, include_sb=include_sb)
     ]
+    if chunk_size is None:
+        if workers > 1:
+            chunk_size = max(1, -(-sets_per_point // (workers * 4)))
+        else:
+            chunk_size = sets_per_point
+    elif chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    jobs = _chunk_jobs(
+        flow_counts, sets_per_point, chunk_size, seed,
+        dict(config_kwargs or {}), cols, rows, small_buf, large_buf,
+        include_sb,
+    )
+
+    # Aggregate chunk counts per x-axis position; report a point as soon
+    # as all its sets are in (points can finish out of order under
+    # workers).
+    pending: list[tuple[dict[str, int], int]] = [
+        ({label: 0 for label in labels}, 0) for _ in flow_counts
+    ]
+    percentages_by_point: dict[int, dict[str, float]] = {}
+
+    def _absorb(outcome: tuple[int, dict[str, int], int]) -> None:
+        point_index, counts, set_count = outcome
+        totals, done = pending[point_index]
+        for label, count in counts.items():
+            totals[label] += count
+        done += set_count
+        pending[point_index] = (totals, done)
+        if done == sets_per_point:
+            percentages = {
+                label: 100.0 * totals[label] / sets_per_point
+                for label in labels
+            }
+            percentages_by_point[point_index] = percentages
+            if progress is not None:
+                rendered = ", ".join(
+                    f"{label}={value:.0f}%"
+                    for label, value in percentages.items()
+                )
+                progress(
+                    f"{cols}x{rows} n={flow_counts[point_index]}: {rendered}"
+                )
+
     if workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_sweep_one_point, jobs))
+            futures = [pool.submit(_sweep_chunk, job) for job in jobs]
+            for future in as_completed(futures):
+                _absorb(future.result())
     else:
-        outcomes = []
         for job in jobs:
-            outcomes.append(_sweep_one_point(job))
-            if progress is not None:
-                n, percentages = outcomes[-1]
-                rendered = ", ".join(
-                    f"{label}={value:.0f}%" for label, value in percentages.items()
-                )
-                progress(f"{cols}x{rows} n={n}: {rendered}")
-    for num_flows, percentages in outcomes:
-        result.add_point(num_flows, percentages)
+            _absorb(_sweep_chunk(job))
+
+    result = SweepResult(
+        x_label="# flows per flow set", sets_per_point=sets_per_point
+    )
+    for point_index, num_flows in enumerate(flow_counts):
+        result.add_point(num_flows, percentages_by_point[point_index])
     return result

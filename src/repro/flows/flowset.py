@@ -9,6 +9,7 @@ analyses consume.
 
 from __future__ import annotations
 
+import copy
 from typing import Iterable, Iterator
 
 from repro.flows.flow import Flow
@@ -130,7 +131,23 @@ class FlowSet:
 
         Used throughout the experiments to compare buffer sizes: the flows
         (and their priorities) are identical, only ``buf(Ξ)`` changes.
+        When the target platform differs from the current one *only* in
+        buffer depths (same topology, routing, latencies, VC budget) the
+        validated routes and zero-load latencies are carried over instead
+        of being recomputed — the sweep campaigns rebind every random set
+        onto several buffer variants.
         """
+        mine = self.platform
+        if (
+            platform.topology is mine.topology
+            and type(platform.routing) is type(mine.routing)
+            and platform.linkl == mine.linkl
+            and platform.routl == mine.routl
+            and platform.vc_count == mine.vc_count
+        ):
+            clone = copy.copy(self)
+            clone.platform = platform
+            return clone
         return FlowSet(platform, self._flows)
 
     def __repr__(self) -> str:

@@ -70,8 +70,13 @@ class NoCPlatform:
                     raise ValueError(
                         f"buf_map: router {router} depth must be >= 1, got {depth}"
                     )
-        # Route cache: frozen dataclass, so stash it via object.__setattr__.
-        object.__setattr__(self, "_route_cache", {})
+        # Route cache: the routing function's per-topology memo table —
+        # shared by every platform bound to the same (routing, topology)
+        # pair, so buffer-variant copies reuse already-computed routes.
+        # Frozen dataclass, so stash the reference via object.__setattr__.
+        object.__setattr__(
+            self, "_route_cache", self.routing.route_table(self.topology)
+        )
 
     # -- buffer depths -------------------------------------------------------
 
@@ -111,7 +116,7 @@ class NoCPlatform:
         key = (src, dst)
         found = cache.get(key)
         if found is None:
-            found = self.routing.route(self.topology, src, dst)
+            found = self.routing.compute_route(self.topology, src, dst)
             cache[key] = found
         return found
 

@@ -11,6 +11,7 @@ depends on, so alternative deterministic routings can be plugged in.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from weakref import WeakKeyDictionary
 
 from repro.noc.topology import Mesh2D, Topology
 
@@ -25,11 +26,64 @@ class RoutingFunction(ABC):
 
     The route of a node to itself is the empty tuple: such traffic never
     enters the network.
+
+    Routes of the deterministic routings implemented here depend only on
+    the topology wiring and the endpoints — never on the flow set or on
+    router parameters — so :meth:`route` memoizes per ``(src, dst)`` pair
+    in a table keyed by topology.  One routing-function instance shared by
+    several platforms (the ``with_buffers`` variants of the sweep
+    campaigns) therefore computes each route exactly once.  Topologies are
+    immutable after construction, so entries never need invalidating; the
+    table holds its topologies weakly so discarded meshes free their
+    routes.
     """
 
-    @abstractmethod
+    def __init__(self) -> None:
+        self._route_tables: WeakKeyDictionary[
+            Topology, dict[tuple[int, int], tuple[int, ...]]
+        ] = WeakKeyDictionary()
+
+    def __getstate__(self):
+        # The memo table holds weak topology references and is not
+        # picklable (nor worth shipping); platforms and flow sets must
+        # stay picklable for multiprocessing fan-out, so drop it and let
+        # the unpickled instance re-memoize.
+        state = self.__dict__.copy()
+        state.pop("_route_tables", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._route_tables = WeakKeyDictionary()
+
+    def route_table(
+        self, topology: Topology
+    ) -> dict[tuple[int, int], tuple[int, ...]]:
+        """The memo table for one topology (shared across platforms).
+
+        Exposed so :class:`~repro.noc.platform.NoCPlatform` can hold a
+        direct reference and skip the per-call weak lookup.
+        """
+        table = self._route_tables.get(topology)
+        if table is None:
+            table = self._route_tables[topology] = {}
+        return table
+
     def route(self, topology: Topology, src: int, dst: int) -> tuple[int, ...]:
-        """Ordered link ids from node ``src`` to node ``dst``."""
+        """Ordered link ids from node ``src`` to node ``dst`` (memoized)."""
+        table = self.route_table(topology)
+        key = (src, dst)
+        found = table.get(key)
+        if found is None:
+            found = self.compute_route(topology, src, dst)
+            table[key] = found
+        return found
+
+    @abstractmethod
+    def compute_route(
+        self, topology: Topology, src: int, dst: int
+    ) -> tuple[int, ...]:
+        """Compute the route without consulting the memo table."""
 
     @abstractmethod
     def next_output(
@@ -54,7 +108,9 @@ class XYRouting(RoutingFunction):
     reasoning relies on.
     """
 
-    def route(self, topology: Topology, src: int, dst: int) -> tuple[int, ...]:
+    def compute_route(
+        self, topology: Topology, src: int, dst: int
+    ) -> tuple[int, ...]:
         mesh = self._require_mesh(topology)
         if not (0 <= src < mesh.num_nodes and 0 <= dst < mesh.num_nodes):
             raise ValueError(f"nodes ({src}, {dst}) outside {mesh!r}")
@@ -107,7 +163,9 @@ class YXRouting(RoutingFunction):
     schedulability).
     """
 
-    def route(self, topology: Topology, src: int, dst: int) -> tuple[int, ...]:
+    def compute_route(
+        self, topology: Topology, src: int, dst: int
+    ) -> tuple[int, ...]:
         mesh = XYRouting._require_mesh(topology)
         if not (0 <= src < mesh.num_nodes and 0 <= dst < mesh.num_nodes):
             raise ValueError(f"nodes ({src}, {dst}) outside {mesh!r}")

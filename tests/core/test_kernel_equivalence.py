@@ -1,0 +1,348 @@
+"""Kernel equivalence: the optimized hot path vs the seed semantics.
+
+The analysis kernel (bitmask interference graph, warm-started engine,
+bisected verdict chain) promises *byte-identical* results to the plain
+implementation it replaced.  These property-style tests enforce that:
+
+* a reference interference graph built the seed way — frozenset
+  intersections and dict position lookups — must agree with
+  :class:`InterferenceGraph` on every geometry accessor, interference
+  set, up/down partition and suffix count, across meshes, seeds and both
+  discovery gears;
+* :func:`compare`'s warm-started runs must equal cold :func:`analyze`
+  runs field-for-field (every ``FlowResult``, including unconverged
+  iterates and taint flags), across buffer depths and deadline modes;
+* :func:`spec_verdicts`'s bisection/short-circuit chain must equal
+  cold per-spec verdicts;
+* chunked/parallel sweeps must equal the serial sweep.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.interference as interference_module
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.analyses.xlw16 import XLW16Analysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import analyze, compare, is_schedulable
+from repro.core.interference import InterferenceGraph
+from repro.experiments.schedulability_sweep import (
+    fig4_specs,
+    schedulability_sweep,
+    spec_verdicts,
+)
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.util.rng import spawn_rng
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
+
+
+class ReferenceGraph:
+    """The seed implementation's geometry, kept as the oracle.
+
+    Plain frozenset intersections and per-route position dicts — O(n²)
+    and slow, but obviously faithful to the paper's definitions.
+    """
+
+    def __init__(self, flowset):
+        flows = flowset.flows
+        self.routes = [flowset.route(f.name) for f in flows]
+        n = len(flows)
+        link_sets = [frozenset(r) for r in self.routes]
+        positions = [
+            {link: pos + 1 for pos, link in enumerate(route)}
+            for route in self.routes
+        ]
+        self.geometry = {}
+        for a in range(n):
+            for b in range(a + 1, n):
+                shared = link_sets[a] & link_sets[b]
+                if not shared:
+                    continue
+                orders_a = [positions[a][link] for link in shared]
+                orders_b = [positions[b][link] for link in shared]
+                self.geometry[(a, b)] = (
+                    len(shared),
+                    min(orders_a), max(orders_a),
+                    min(orders_b), max(orders_b),
+                )
+        self.direct = [
+            tuple(j for j in range(i) if self._pair(i, j) is not None)
+            for i in range(n)
+        ]
+        suffix = [set() for _ in range(n)]
+        accumulated = set()
+        for index in range(n - 1, -1, -1):
+            suffix[index] = set(accumulated)
+            accumulated.update(self.routes[index])
+        self.lower_shared = [
+            len(set(self.routes[i]) & suffix[i]) for i in range(n)
+        ]
+
+    def _pair(self, i, j):
+        return self.geometry.get((i, j) if i < j else (j, i))
+
+    def cd_size(self, i, j):
+        pair = self._pair(i, j)
+        return 0 if pair is None else pair[0]
+
+    def span_on(self, on, other):
+        pair = self._pair(on, other)
+        if on < other:
+            return pair[1], pair[2]
+        return pair[3], pair[4]
+
+    def updown(self, i, j):
+        direct_i = set(self.direct[i])
+        cd_lo, cd_hi = self.span_on(j, i)
+        upstream, downstream = [], []
+        for k in self.direct[j]:
+            if k in direct_i or k == i:
+                continue
+            k_lo, k_hi = self.span_on(j, k)
+            if k_hi < cd_lo:
+                upstream.append(k)
+            elif k_lo > cd_hi:
+                downstream.append(k)
+        return tuple(upstream), tuple(downstream)
+
+
+def _random_flowset(cols, rows, n, seed, tag="kernel-eq"):
+    platform = NoCPlatform(Mesh2D(cols, rows), buf=2)
+    rng = spawn_rng(seed, tag, cols, rows, n)
+    flows = synthetic_flows(
+        SyntheticConfig(num_flows=n), platform.topology.num_nodes, rng
+    )
+    return FlowSet(platform, flows)
+
+
+def _assert_graph_matches_reference(flowset):
+    graph = InterferenceGraph(flowset)
+    reference = ReferenceGraph(flowset)
+    n = len(flowset.flows)
+    for i in range(n):
+        assert graph.direct_by_index(i) == reference.direct[i]
+        assert graph.lower_priority_shared_links(i) == reference.lower_shared[i]
+        for j in range(n):
+            if i == j:
+                continue
+            assert graph.cd_size_by_index(i, j) == reference.cd_size(i, j)
+            if reference.cd_size(i, j):
+                assert graph.cd_span_on(i, j) == reference.span_on(i, j)
+        for j in graph.direct_by_index(i):
+            assert graph.updown_by_index(i, j) == reference.updown(i, j)
+
+
+class TestGraphEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.sampled_from([(2, 2), (4, 4), (6, 1), (5, 3)]),
+        st.integers(3, 40),
+        st.integers(0, 10**6),
+    )
+    def test_matches_reference_graph(self, mesh, n, seed):
+        _assert_graph_matches_reference(_random_flowset(*mesh, n, seed))
+
+    @pytest.mark.parametrize("n", [80, 150])
+    def test_gears_agree_above_and_below_threshold(self, n, monkeypatch):
+        """Scalar and vectorized table builders produce identical graphs."""
+        flowset = _random_flowset(4, 4, n, seed=7, tag="gears")
+        monkeypatch.setattr(
+            interference_module, "_VECTOR_DISCOVERY_MIN_FLOWS", 10**9
+        )
+        scalar = InterferenceGraph(flowset)
+        monkeypatch.setattr(
+            interference_module, "_VECTOR_DISCOVERY_MIN_FLOWS", 1
+        )
+        vector = InterferenceGraph(flowset)
+        for i in range(n):
+            assert scalar.direct_by_index(i) == vector.direct_by_index(i)
+            assert (
+                scalar.lower_priority_shared_links(i)
+                == vector.lower_priority_shared_links(i)
+            )
+            for j in range(n):
+                assert scalar.cd_size_by_index(i, j) == vector.cd_size_by_index(i, j)
+        assert scalar.direct_masks == vector.direct_masks
+
+    def test_vector_gear_used_at_scale(self):
+        flowset = _random_flowset(4, 4, 100, seed=3, tag="gear-pick")
+        graph = InterferenceGraph(flowset)
+        # the vectorized gear stores numpy-backed lazy rows
+        assert isinstance(graph._cd_size, interference_module._LazyRows)
+
+
+ANALYSES = [SBAnalysis(), XLWXAnalysis(), IBNAnalysis()]
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.sampled_from([(4, 4), (3, 3)]),
+        st.integers(10, 80),
+        st.integers(0, 10**6),
+        st.booleans(),
+    )
+    def test_compare_equals_cold_analyze(self, mesh, n, seed, stop):
+        """Warm-started compare == cold analyze, full FlowResult fields."""
+        flowset = _random_flowset(*mesh, n, seed, tag="engine-eq")
+        warm_results = compare(flowset, ANALYSES, stop_at_deadline=stop)
+        graph = InterferenceGraph(flowset)
+        for analysis in ANALYSES:
+            cold = analyze(flowset, analysis, graph=graph, stop_at_deadline=stop)
+            warm = warm_results[cold.analysis_name]
+            assert warm.flows == cold.flows
+            assert warm.complete == cold.complete
+            assert warm.unsafe == cold.unsafe
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(10, 60), st.integers(0, 10**6), st.sampled_from([2, 4, 100]))
+    def test_warm_from_buffer_variant(self, n, seed, large_buf):
+        """IBN warm-started across buffer depths equals the cold run."""
+        flowset = _random_flowset(4, 4, n, seed, tag="warm-buf")
+        graph = InterferenceGraph(flowset)
+        tight = analyze(flowset, IBNAnalysis(), graph=graph)
+        variant = flowset.on_platform(flowset.platform.with_buffers(large_buf))
+        cold = analyze(variant, IBNAnalysis(), graph=graph)
+        warm = analyze(variant, IBNAnalysis(), graph=graph, warm_from=tight)
+        assert warm.flows == cold.flows
+        assert warm.complete == cold.complete
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(10, 60), st.integers(0, 10**6))
+    def test_xlw16_not_warm_chained_but_identical(self, n, seed):
+        """XLW16 sits outside the warm-start order yet compare still
+        returns its cold result."""
+        flowset = _random_flowset(4, 4, n, seed, tag="xlw16")
+        results = compare(flowset, [XLW16Analysis(), XLWXAnalysis()])
+        graph = InterferenceGraph(flowset)
+        cold = analyze(flowset, XLW16Analysis(), graph=graph,
+                       stop_at_deadline=False)
+        assert results["XLW16"].flows == cold.flows
+
+
+class TestWarmStartEdges:
+    def test_exact_warm_source_into_capped_run(self):
+        """A converged-beyond-deadline exact bound must not fabricate a
+        converged verdict when warm-starting a stop_at_deadline run."""
+        platform = NoCPlatform(Mesh2D(4, 1), buf=2)
+        flowset = FlowSet(
+            platform,
+            [
+                Flow("hi", priority=1, period=110, length=100, src=0, dst=3),
+                Flow("lo", priority=2, period=400, length=200, src=1, dst=3),
+            ],
+        )
+        graph = InterferenceGraph(flowset)
+        exact = analyze(
+            flowset, SBAnalysis(), graph=graph, stop_at_deadline=False
+        )
+        cold = analyze(flowset, SBAnalysis(), graph=graph)
+        warm = analyze(flowset, SBAnalysis(), graph=graph, warm_from=exact)
+        assert warm.flows == cold.flows
+        assert warm["lo"].converged == cold["lo"].converged
+
+    def test_warm_source_with_different_timing_is_ignored(self):
+        """A warm result computed under different linkl/routl could exceed
+        the current fixed point; analyze must fall back to a cold run."""
+        flowset = _random_flowset(4, 4, 20, seed=2, tag="timing")
+        slow_platform = NoCPlatform(
+            flowset.platform.topology, buf=2, linkl=3, routl=1
+        )
+        slow = analyze(flowset.on_platform(slow_platform), SBAnalysis())
+        cold = analyze(flowset, SBAnalysis())
+        warm = analyze(flowset, SBAnalysis(), warm_from=slow)
+        assert warm.flows == cold.flows
+
+    def test_platform_and_flowset_picklable(self):
+        """Multiprocessing fan-out needs picklable platforms/flow sets
+        despite the weak-keyed route memo on the routing function."""
+        import pickle
+
+        flowset = _random_flowset(3, 3, 8, seed=1, tag="pickle")
+        clone = pickle.loads(pickle.dumps(flowset))
+        for flow in flowset.flows:
+            assert clone.route(flow.name) == flowset.route(flow.name)
+        platform = pickle.loads(pickle.dumps(flowset.platform))
+        assert platform.route(0, 5) == flowset.platform.route(0, 5)
+
+
+class TestVerdictChainEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.sampled_from([(4, 4), (8, 8)]),
+        st.integers(20, 150),
+        st.integers(0, 10**6),
+    )
+    def test_bisected_verdicts_equal_cold_verdicts(self, mesh, n, seed):
+        flowset = _random_flowset(*mesh, n, seed, tag="verdicts")
+        specs = fig4_specs()
+        fast = spec_verdicts(flowset, specs)
+        graph = InterferenceGraph(flowset)
+        for spec in specs:
+            if spec.buf is None or spec.buf == flowset.platform.buf:
+                variant = flowset
+            else:
+                variant = flowset.on_platform(
+                    flowset.platform.with_buffers(spec.buf)
+                )
+            assert fast[spec.label] == is_schedulable(
+                variant, spec.analysis, graph=graph
+            ), spec.label
+        assert list(fast) == [spec.label for spec in specs]
+
+
+class TestSweepInvariance:
+    def test_chunked_equals_serial(self):
+        serial = schedulability_sweep((4, 4), [60, 200], 6, seed=99)
+        chunked = schedulability_sweep(
+            (4, 4), [60, 200], 6, seed=99, chunk_size=2
+        )
+        assert serial.series == chunked.series
+        assert serial.x_values == chunked.x_values
+
+    def test_parallel_chunked_equals_serial(self):
+        serial = schedulability_sweep((4, 4), [60, 160], 5, seed=41)
+        parallel = schedulability_sweep(
+            (4, 4), [60, 160], 5, seed=41, workers=2, chunk_size=2
+        )
+        assert serial.series == parallel.series
+
+    def test_duplicate_flow_counts(self):
+        """Duplicate x-axis points keep independent chunk bookkeeping."""
+        single = schedulability_sweep((4, 4), [50], 4, seed=13)
+        doubled = schedulability_sweep(
+            (4, 4), [50, 50], 4, seed=13, workers=2, chunk_size=1
+        )
+        assert doubled.x_values == [50, 50]
+        for label, values in doubled.series.items():
+            assert values == single.series[label] * 2
+
+    def test_progress_reported_with_workers(self):
+        messages: list[str] = []
+        schedulability_sweep(
+            (4, 4), [40, 80], 4, seed=11, workers=2, chunk_size=1,
+            progress=messages.append,
+        )
+        assert len(messages) == 2
+        assert any("n=40" in m for m in messages)
+        assert any("n=80" in m for m in messages)
+
+
+class TestMaxGapErrors:
+    def test_unknown_label_names_available_curves(self):
+        sweep = schedulability_sweep((4, 4), [40], 2, seed=5)
+        with pytest.raises(KeyError, match="unknown curve 'IBN7'.*available"):
+            sweep.max_gap("IBN7", "XLWX")
+
+    def test_empty_series_message(self):
+        from repro.experiments.schedulability_sweep import SweepResult
+
+        empty = SweepResult(x_label="x")
+        empty.series = {"A": [], "B": []}
+        with pytest.raises(ValueError, match="no data points"):
+            empty.max_gap("A", "B")
