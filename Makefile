@@ -4,17 +4,23 @@ PYTHON ?= python
 export PYTHONPATH := src
 export REPRO_SCALE ?= ci
 
-.PHONY: test bench-smoke bench-record bench-figures
+.PHONY: test test-slow bench-smoke bench-record bench-figures
 
-## Tier-1 test suite (the gate every PR must keep green).
+## Tier-1 test suite (the gate every PR must keep green).  Tests marked
+## `slow` (paper-scale simulation sweeps) are deselected here.
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Fast perf gate: ci-scale hot-path microbenchmarks, then append the
-## wall-clock numbers to BENCH_engine.json so the trajectory across PRs
-## stays comparable.
+## The heavy, paper-scale simulation tests only.
+test-slow:
+	$(PYTHON) -m pytest -q -m slow
+
+## Fast perf gate: ci-scale hot-path microbenchmarks (analysis kernel +
+## simulator), then append the wall-clock numbers to BENCH_engine.json so
+## the trajectory across PRs stays comparable.
 bench-smoke:
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_engine_hotpath.py -q
+	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_sim_hotpath.py -q
 	REPRO_SCALE=ci $(PYTHON) benchmarks/record_engine_bench.py smoke
 
 ## Append a BENCH_engine.json entry only (LABEL=<name> to tag it).

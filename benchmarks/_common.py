@@ -9,9 +9,64 @@ them live.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
+
+#: Seed every simulator benchmark scenario derives from.
+SIM_SEED = 20180319
+#: The τ1 phase grid of the didactic offset-search benchmarks.
+DIDACTIC_GRID = range(0, 200, 20)
+DIDACTIC_HORIZON = 6001
+
+
+def timed(fn):
+    """(elapsed_seconds, result) of one call."""
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def mesh_flowset(mesh, num_flows, clock_hz=1e5):
+    """The shared synthetic mesh scenario of the simulator benchmarks."""
+    from repro.noc.platform import NoCPlatform
+    from repro.noc.topology import Mesh2D
+    from repro.workloads.synthetic import SyntheticConfig, synthetic_flowset
+
+    platform = NoCPlatform(Mesh2D(*mesh), buf=2)
+    return synthetic_flowset(
+        platform,
+        SyntheticConfig(num_flows=num_flows, clock_hz=clock_hz),
+        seed=SIM_SEED,
+    )
+
+
+def mesh8x8_scenario():
+    """(flowset, horizon) of the single-large-mesh benchmark run."""
+    flowset = mesh_flowset((8, 8), 30)
+    return flowset, max(f.period for f in flowset.flows) // 4
+
+
+def reference_didactic_search(flowset, grid=DIDACTIC_GRID,
+                              horizon=DIDACTIC_HORIZON):
+    """The frozen oracle swept over the didactic τ1 phases; per-flow maxima.
+
+    The baseline both the speedup gate (bench_sim_hotpath) and the
+    BENCH_engine.json recorder compare the fast search against — keep
+    the scenario changes in one place.
+    """
+    from repro.sim._reference import ReferenceSimulator
+    from repro.sim.traffic import PeriodicReleases
+
+    worst = {}
+    for phase in grid:
+        run = ReferenceSimulator(
+            flowset, PeriodicReleases(offsets={"t1": phase})
+        ).run(horizon)
+        for name, latency in run.observer.worst.items():
+            worst[name] = max(worst.get(name, 0), latency)
+    return worst
 
 
 def emit(name: str, text: str) -> Path:

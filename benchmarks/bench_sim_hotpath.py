@@ -1,0 +1,110 @@
+"""Microbenchmarks for the fast-lane simulator's hot path.
+
+Covers the paths the array-based rework targets, plus direct speedup
+gates against the frozen oracle (:mod:`repro.sim._reference`) so the
+acceptance numbers stay enforced:
+
+* single cycle-accurate runs on the 4×4 and 8×8 meshes (cycles/second
+  reported via ``extra_info``);
+* the didactic release-offset search (the Table II simulation column);
+* fast-vs-reference speedup on both, asserting the ≥3× (didactic
+  search) and ≥2× (single 8×8 run) floors with identical results.
+
+The shared scenarios (seed, grids, the 8×8 run) live in
+``benchmarks/_common.py`` so the recorder
+(``benchmarks/record_engine_bench.py``) measures exactly what these
+gates enforce; wall-clock history lives in ``BENCH_engine.json``.  Run
+this suite via ``make bench-smoke``.
+"""
+
+import pytest
+
+from _common import (
+    DIDACTIC_GRID,
+    DIDACTIC_HORIZON,
+    mesh8x8_scenario,
+    mesh_flowset,
+    reference_didactic_search,
+    timed,
+)
+from repro.sim._reference import ReferenceSimulator
+from repro.sim.simulator import WormholeSimulator
+from repro.sim.traffic import PeriodicReleases
+from repro.sim.worstcase import offset_search
+from repro.workloads.didactic import didactic_flowset
+
+
+def _run(flowset, horizon):
+    sim = WormholeSimulator(flowset, PeriodicReleases())
+    result = sim.run(horizon)
+    result.check_conservation()
+    return result
+
+
+def test_single_run_4x4(benchmark):
+    """One drained periodic run on the Figure 4(a) platform."""
+    flowset = mesh_flowset((4, 4), 24)
+    horizon = max(f.period for f in flowset.flows) // 2
+    result = benchmark(lambda: _run(flowset, horizon))
+    benchmark.extra_info["cycles"] = result.end_time
+    benchmark.extra_info["cycles_per_s"] = round(
+        result.end_time / benchmark.stats.stats.mean
+    )
+
+
+def test_single_run_8x8(benchmark):
+    """One drained periodic run on the larger Figure 4(b) platform."""
+    flowset, horizon = mesh8x8_scenario()
+    result = benchmark(lambda: _run(flowset, horizon))
+    benchmark.extra_info["cycles"] = result.end_time
+    benchmark.extra_info["cycles_per_s"] = round(
+        result.end_time / benchmark.stats.stats.mean
+    )
+
+
+def test_didactic_offset_search(benchmark):
+    """The Table II simulation column: a τ1 phase sweep at ci thinning."""
+    flowset = didactic_flowset(buf=2)
+    benchmark(
+        lambda: offset_search(
+            flowset,
+            {"t1": DIDACTIC_GRID},
+            release_horizon=DIDACTIC_HORIZON,
+        )
+    )
+
+
+@pytest.mark.parametrize("buf", [2, 10])
+def test_didactic_search_speedup_vs_reference(buf):
+    """Fast offset search ≥3× the frozen oracle, byte-identical maxima."""
+    flowset = didactic_flowset(buf=buf)
+    fast_s, fast = timed(
+        lambda: offset_search(
+            flowset,
+            {"t1": DIDACTIC_GRID},
+            release_horizon=DIDACTIC_HORIZON,
+        )
+    )
+    ref_s, ref_worst = timed(lambda: reference_didactic_search(flowset))
+    assert fast.worst == ref_worst
+    speedup = ref_s / fast_s
+    print(f"\ndidactic search buf={buf}: {ref_s:.2f}s -> {fast_s:.2f}s "
+          f"({speedup:.1f}x)")
+    assert speedup >= 3.0, f"didactic offset search only {speedup:.1f}x"
+
+
+def test_mesh8x8_speedup_vs_reference():
+    """Single large-mesh run ≥2× the frozen oracle, identical outcome."""
+    flowset, horizon = mesh8x8_scenario()
+    fast_s, fast = timed(
+        lambda: WormholeSimulator(flowset, PeriodicReleases()).run(horizon)
+    )
+    ref_s, ref = timed(
+        lambda: ReferenceSimulator(flowset, PeriodicReleases()).run(horizon)
+    )
+    assert dict(fast.observer.worst) == dict(ref.observer.worst)
+    assert fast.delivered_flits == ref.delivered_flits
+    assert fast.end_time == ref.end_time
+    speedup = ref_s / fast_s
+    print(f"\n8x8 run: {ref_s:.2f}s -> {fast_s:.2f}s ({speedup:.1f}x)")
+    assert speedup >= 2.0, f"8x8 single run only {speedup:.1f}x"

@@ -14,7 +14,11 @@ analysis kernel optimisation targets:
   IBN2/IBN100) for a 200-flow set;
 * ``fig4_ci_s``            — the whole ci-scale Figure 4(a) sweep;
 * ``recurrence_ms``        — one SB and one IBN pass over a 200-flow set
-  with a pre-built graph (isolates the fixed-point engine).
+  with a pre-built graph (isolates the fixed-point engine);
+* ``sim``                  — the fast-lane simulator block: the didactic
+  release-offset search and a single 8×8 periodic run, each timed on
+  the fast simulator and on the frozen oracle
+  (:mod:`repro.sim._reference`), with the resulting speedups.
 
 The resulting trajectory lets future PRs compare against every past
 revision; ``make bench-smoke`` runs this plus the pytest-benchmark suite.
@@ -38,8 +42,20 @@ from repro.experiments.schedulability_sweep import (
     fig4_specs,
     schedulability_sweep,
 )
+from _common import (
+    DIDACTIC_GRID,
+    DIDACTIC_HORIZON,
+    mesh8x8_scenario,
+    reference_didactic_search,
+    timed,
+)
 from repro.noc.platform import NoCPlatform
 from repro.noc.topology import Mesh2D
+from repro.sim._reference import ReferenceSimulator
+from repro.sim.simulator import WormholeSimulator
+from repro.sim.traffic import PeriodicReleases
+from repro.sim.worstcase import offset_search
+from repro.workloads.didactic import didactic_flowset
 from repro.workloads.synthetic import SyntheticConfig, synthetic_flowset
 
 SEED = 20180319
@@ -99,7 +115,49 @@ def collect() -> dict:
         ),
         3,
     )
+
+    metrics["sim"] = _sim_metrics()
     return metrics
+
+
+def _sim_metrics() -> dict:
+    """Fast-simulator wall clocks plus speedups over the frozen oracle.
+
+    Scenarios are shared with ``bench_sim_hotpath.py`` via
+    ``benchmarks/_common.py`` so the recorded speedups measure exactly
+    what the benchmark gates enforce.
+    """
+    sim: dict[str, float] = {}
+    didactic = didactic_flowset(buf=2)
+    fast_s, _ = timed(
+        lambda: offset_search(
+            didactic,
+            {"t1": DIDACTIC_GRID},
+            release_horizon=DIDACTIC_HORIZON,
+        )
+    )
+    sim["didactic_search_s"] = round(fast_s, 3)
+    ref_s, _ = timed(lambda: reference_didactic_search(didactic))
+    sim["didactic_search_reference_s"] = round(ref_s, 3)
+    sim["didactic_search_speedup"] = round(
+        sim["didactic_search_reference_s"] / sim["didactic_search_s"], 2
+    )
+
+    mesh_fs, horizon = mesh8x8_scenario()
+    fast = WormholeSimulator(mesh_fs, PeriodicReleases())
+    fast_s, fast_result = timed(lambda: fast.run(horizon))
+    sim["mesh8x8_run_s"] = round(fast_s, 3)
+    sim["mesh8x8_cycles_per_s"] = round(
+        fast_result.end_time / sim["mesh8x8_run_s"]
+    )
+    ref_s, _ = timed(
+        lambda: ReferenceSimulator(mesh_fs, PeriodicReleases()).run(horizon)
+    )
+    sim["mesh8x8_reference_s"] = round(ref_s, 3)
+    sim["mesh8x8_speedup"] = round(
+        sim["mesh8x8_reference_s"] / sim["mesh8x8_run_s"], 2
+    )
+    return sim
 
 
 def git_revision() -> str:

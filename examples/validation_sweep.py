@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Validate the analytical bounds against the fast-lane simulator.
+
+Sweeps the worst *observed* latency (release-offset search on the
+cycle-accurate simulator) against the SB / IBN / XLWX bounds across
+buffer depths, on the paper's didactic scenario plus small synthetic
+flow sets — the generalisation of Table II's simulation columns.
+
+The campaign size follows the ``REPRO_SCALE`` preset::
+
+    REPRO_SCALE=ci      python examples/validation_sweep.py   # seconds
+    REPRO_SCALE=default python examples/validation_sweep.py   # ~a minute
+    REPRO_SCALE=paper   python examples/validation_sweep.py --workers 8
+
+Expected outcome: zero safe-bound violations (IBN/XLWX always dominate
+observation) and at least one MPB row — the didactic τ3 with deep
+buffers observed *above* SB's optimistic bound.
+"""
+
+import argparse
+import sys
+
+from repro.experiments.scale import get_scale
+from repro.experiments.validation_sweep import (
+    render_validation,
+    validation_sweep,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="scale preset: ci, default or paper (default: $REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the parallel offset searches",
+    )
+    args = parser.parse_args()
+    scale = get_scale(args.scale)
+
+    print(f"Running the validation sweep at scale={scale.name} "
+          f"(depths {scale.validation_buffer_depths}) ...")
+    result = validation_sweep(
+        scale.validation_buffer_depths,
+        seed=scale.seed,
+        didactic_offset_step=scale.didactic_offset_step,
+        synthetic_sets=scale.validation_synthetic_sets,
+        workers=args.workers,
+        progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+    )
+    print(render_validation(
+        result, title="Validation: worst observed latency vs bounds"
+    ))
+
+    violations = result.violations()
+    if violations:
+        print(f"\nFAILED: {len(violations)} safe-bound violations")
+        return 1
+    print(f"\nOK: all {len(result.rows)} rows within the safe bounds; "
+          f"{len(result.mpb_rows())} rows demonstrate MPB beyond SB.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,9 +6,12 @@ Usage::
     python -m repro analyze traffic.json --analysis all --buf 16
     python -m repro sizing traffic.json                   # buffer headroom
     python -m repro experiments fig4a --scale default     # campaign runner
+    python -m repro experiments validate --workers 4      # sim vs bounds
 
 ``analyze`` reads the JSON format of :mod:`repro.io`; ``experiments``
-forwards to :mod:`repro.experiments.runner`.
+forwards to :mod:`repro.experiments.runner` (its ``validate`` campaign
+sweeps simulated worst cases against the SB/IBN/XLWX bounds across
+buffer depths; honour ``REPRO_SCALE=ci|default|paper`` or ``--scale``).
 """
 
 from __future__ import annotations

@@ -8,6 +8,7 @@ latencies under a τ1 release-offset sweep (the paper's ``R^sim`` columns).
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.analyses.ibn import IBNAnalysis
@@ -66,11 +67,14 @@ def didactic_tables(
     with_simulation: bool = True,
     offset_step: int = 1,
     release_horizon: int = 6001,
+    workers: int = 1,
 ) -> DidacticTables:
     """Recompute Tables I and II.
 
     ``offset_step`` thins the τ1 offset sweep (1 = every phase, the paper's
     exhaustive setting; larger steps trade fidelity for speed).
+    ``workers`` parallelises the sweep's simulations without changing its
+    outcome.
     """
     tables = DidacticTables()
     flows = didactic_flows()
@@ -105,14 +109,25 @@ def didactic_tables(
     tables.table2["R_IBN_b2"] = column(flowset2, IBNAnalysis())
 
     if with_simulation:
-        for buf, label in ((10, "R_sim_b10"), (2, "R_sim_b2")):
-            flowset = didactic_flowset(buf=buf)
-            search = offset_search(
-                flowset,
-                {"t1": range(0, flows[0].period, offset_step)},
-                release_horizon=release_horizon,
-            )
-            tables.table2[label] = {
-                name: search.worst_latency(name) for name in FLOW_ORDER
-            }
+        # One pool shared by both buffer-depth sweeps (pool start-up and
+        # worker spin-up are paid once; results are worker-count
+        # independent).
+        executor = None
+        if workers > 1:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        try:
+            for buf, label in ((10, "R_sim_b10"), (2, "R_sim_b2")):
+                flowset = didactic_flowset(buf=buf)
+                search = offset_search(
+                    flowset,
+                    {"t1": range(0, flows[0].period, offset_step)},
+                    release_horizon=release_horizon,
+                    executor=executor,
+                )
+                tables.table2[label] = {
+                    name: search.worst_latency(name) for name in FLOW_ORDER
+                }
+        finally:
+            if executor is not None:
+                executor.shutdown()
     return tables

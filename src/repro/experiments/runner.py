@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments.runner fig4b
     python -m repro.experiments.runner fig5
     python -m repro.experiments.runner buffers
+    python -m repro.experiments.runner validate [--workers 8]
     python -m repro.experiments.runner all --csv-dir results/
 
 Each command prints the regenerated table/figure as text (rows + ASCII
@@ -35,7 +36,9 @@ def _progress(message: str) -> None:
 
 def run_table2(scale: Scale, workers: int, csv_dir: Path | None) -> None:
     """``table2``: regenerate Tables I & II with the scale's offset sweep."""
-    tables = didactic_tables(offset_step=scale.didactic_offset_step)
+    tables = didactic_tables(
+        offset_step=scale.didactic_offset_step, workers=workers
+    )
     print(tables.render())
     print()
     print("Paper's Table II (for comparison):")
@@ -125,8 +128,37 @@ def run_buffers(scale: Scale, workers: int, csv_dir: Path | None) -> None:
         write_csv(csv_dir / "buffer_sweep.csv", sweep_csv(result))
 
 
+def run_validate(scale: Scale, workers: int, csv_dir: Path | None) -> None:
+    """``validate``: simulated worst case vs SB/IBN/XLWX across depths."""
+    from repro.experiments.validation_sweep import (
+        render_validation,
+        validation_sweep,
+    )
+
+    result = validation_sweep(
+        scale.validation_buffer_depths,
+        seed=scale.seed,
+        didactic_offset_step=scale.didactic_offset_step,
+        synthetic_sets=scale.validation_synthetic_sets,
+        workers=workers,
+        progress=_progress,
+    )
+    print(render_validation(
+        result, title="Validation: worst observed latency vs bounds"
+    ))
+    violations = result.violations()
+    if violations:
+        print(f"\nWARNING: {len(violations)} safe-bound violations!")
+    else:
+        print("\nAll observations within the safe IBN/XLWX bounds; "
+              f"{len(result.mpb_rows())} rows exceed SB (MPB).")
+    if csv_dir is not None:
+        write_csv(csv_dir / "validation.csv", result.to_csv())
+
+
 _COMMANDS = {
     "table2": run_table2,
+    "validate": run_validate,
     "fig4a": lambda s, w, c: run_fig4(s, w, c, panel="a"),
     "fig4b": lambda s, w, c: run_fig4(s, w, c, panel="b"),
     "fig5": run_fig5,

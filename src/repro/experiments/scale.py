@@ -53,6 +53,10 @@ class Scale:
     #: that IBN's verdict actually depends on the depth.
     buffer_flow_count: int = 320
     seed: int = field(default=20180319)  # DATE'18 conference date
+    #: bound-vs-observed validation sweep: buffer depths simulated and
+    #: random synthetic sets per depth (didactic always included).
+    validation_buffer_depths: tuple[int, ...] = (2, 10)
+    validation_synthetic_sets: int = 2
 
     @property
     def is_paper(self) -> bool:
@@ -70,6 +74,8 @@ _PRESETS = {
         didactic_offset_step=20,
         buffer_depths=(2, 16, 100),
         buffer_sets=5,
+        validation_buffer_depths=(2, 10),
+        validation_synthetic_sets=2,
     ),
     "default": Scale(
         name="default",
@@ -81,6 +87,8 @@ _PRESETS = {
         didactic_offset_step=4,
         buffer_depths=(2, 4, 8, 16, 32, 64, 100),
         buffer_sets=20,
+        validation_buffer_depths=(2, 4, 10, 16),
+        validation_synthetic_sets=5,
     ),
     "paper": Scale(
         name="paper",
@@ -92,6 +100,8 @@ _PRESETS = {
         didactic_offset_step=1,
         buffer_depths=(2, 4, 8, 16, 32, 64, 100),
         buffer_sets=100,
+        validation_buffer_depths=(2, 4, 8, 10, 16, 32),
+        validation_synthetic_sets=10,
     ),
 }
 

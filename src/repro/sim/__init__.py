@@ -14,15 +14,20 @@ The simulator serves two purposes in the reproduction:
   exceed the optimistic ones (SB) in MPB scenarios.
 
 The main entry point is :class:`~repro.sim.simulator.WormholeSimulator`.
+The implementation is the fast-lane rework described in DESIGN.md's
+"Simulation performance" section — flat array state, monotone event
+deques, a parallel pruned offset search — and is kept cycle-identical
+to the frozen pre-optimisation oracle in :mod:`repro.sim._reference`.
 """
 
 from repro.sim.traffic import PeriodicReleases, ReleasePlan, single_shot
 from repro.sim.observer import LatencyObserver, PacketRecord
 from repro.sim.simulator import SimulationResult, WormholeSimulator
 from repro.sim.trace import FlitTracer, SendEvent, link_timeline, packet_journey
-from repro.sim.worstcase import offset_search, simulate_offsets
+from repro.sim.worstcase import SearchResult, offset_search, simulate_offsets
 
 __all__ = [
+    "SearchResult",
     "PeriodicReleases",
     "ReleasePlan",
     "single_shot",

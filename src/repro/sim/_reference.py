@@ -1,0 +1,342 @@
+"""Frozen pre-optimisation simulator, kept as the equivalence oracle.
+
+This module preserves, verbatim in behaviour, the simulator the repository
+shipped before the fast-lane rework of :mod:`repro.sim.network` and
+:mod:`repro.sim.simulator`: dict-of-deque VC buffers keyed ``(link_id,
+flow)``, a single ``heapq`` event queue with globally sequenced events,
+a full rescan of every buffer per cycle, and name-keyed ``dict.get``
+counter updates.  It is deliberately slow and deliberately untouched by
+future optimisation passes.
+
+``tests/sim/test_simulator_equivalence.py`` drives the fast simulator and
+this oracle over the didactic workload, randomized synthetic scenarios,
+and the credit-delay/linkl/routl parameter space, asserting identical
+per-flow worst latencies, delivered-flit counts and end times.  Any
+behavioural change to the hot path must keep this suite green; if the
+*model* itself ever changes (not just its implementation), this oracle
+must be re-frozen in the same commit and the change called out.
+
+Nothing here is exported through :mod:`repro.sim`'s public API.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.flows.flowset import FlowSet
+from repro.noc.topology import LinkKind
+from repro.sim.observer import LatencyObserver
+from repro.sim.packet import Flit, Packet
+from repro.sim.simulator import SimulationResult
+from repro.sim.traffic import ReleasePlan
+
+_ARRIVE = 0
+_CREDIT = 1
+_WAKE = 2
+
+
+class ReferenceNetworkState:
+    """The seed's mutable wormhole state (dict-of-deque buffers)."""
+
+    def __init__(self, flowset: FlowSet, *, credit_delay: int = 1):
+        if credit_delay < 0:
+            raise ValueError(f"credit_delay must be >= 0, got {credit_delay}")
+        self.flowset = flowset
+        self.platform = flowset.platform
+        self.credit_delay = credit_delay
+        topology = self.platform.topology
+
+        flows = flowset.flows
+        self.num_flows = len(flows)
+        self.priority_of = [f.priority for f in flows]
+        self.next_link: list[dict[int | None, int | None]] = []
+        self.routes: list[tuple[int, ...]] = []
+        for flow in flows:
+            route = flowset.route(flow.name)
+            table: dict[int | None, int | None] = {}
+            if route:
+                table[None] = route[0]
+                for here, nxt in zip(route, route[1:]):
+                    table[here] = nxt
+                table[route[-1]] = None
+            self.next_link.append(table)
+            self.routes.append(route)
+
+        self.buffered_link = [
+            topology.link(link.id).kind is not LinkKind.EJECTION
+            for link in topology.links
+        ]
+        self.buffers: dict[tuple[int, int], deque] = {}
+        self.credits: dict[tuple[int, int], int] = {}
+        self.source_queue: list[deque[Packet]] = [deque() for _ in flows]
+        self.injected_of_head: list[int] = [0] * self.num_flows
+        self.flits_in_network = 0
+
+    def capacity(self, link_id: int) -> int:
+        """Depth of the VC buffers at the downstream end of ``link_id``."""
+        return self.platform.buf_of_link(link_id)
+
+    def credit(self, link_id: int, flow: int) -> int:
+        """Remaining credit for sending flow ``flow`` onto ``link_id``."""
+        key = (link_id, flow)
+        found = self.credits.get(key)
+        if found is None:
+            found = self.capacity(link_id)
+            self.credits[key] = found
+        return found
+
+    def take_credit(self, link_id: int, flow: int) -> None:
+        """Reserve one downstream buffer slot (a flit is being sent)."""
+        remaining = self.credit(link_id, flow)
+        if remaining <= 0:
+            raise AssertionError(
+                f"sent on link {link_id} for flow {flow} without credit"
+            )
+        self.credits[(link_id, flow)] = remaining - 1
+
+    def return_credit(self, link_id: int, flow: int) -> None:
+        """Free one downstream slot (a flit left the downstream buffer)."""
+        key = (link_id, flow)
+        capacity = self.capacity(link_id)
+        self.credits[key] = self.credits.get(key, capacity) + 1
+        if self.credits[key] > capacity:
+            raise AssertionError(
+                f"credit overflow on link {link_id} flow {flow}: "
+                f"{self.credits[key]} > buf={capacity}"
+            )
+
+    def buffer(self, link_id: int, flow: int) -> deque:
+        """The FIFO at the downstream end of ``link_id`` for one VC."""
+        key = (link_id, flow)
+        found = self.buffers.get(key)
+        if found is None:
+            found = deque()
+            self.buffers[key] = found
+        return found
+
+    def enqueue_flit(
+        self, link_id: int, flow: int, flit: Flit, ready_time: int
+    ) -> None:
+        """Flit arrives into the downstream buffer of ``link_id``."""
+        dq = self.buffer(link_id, flow)
+        if len(dq) >= self.capacity(link_id):
+            raise AssertionError(
+                f"buffer overflow on link {link_id} flow {flow}; "
+                "credit flow control should prevent this"
+            )
+        dq.append((flit, ready_time))
+
+    def release(self, packet: Packet) -> None:
+        """A packet becomes ready at its source node."""
+        self.source_queue[packet.flow_index].append(packet)
+
+    def pop_source_flit(self, flow: int) -> Flit:
+        """Consume the next source flit, advancing the packet queue."""
+        queue = self.source_queue[flow]
+        packet = queue[0]
+        flit = Flit(packet, self.injected_of_head[flow])
+        self.injected_of_head[flow] += 1
+        if self.injected_of_head[flow] == packet.length:
+            queue.popleft()
+            self.injected_of_head[flow] = 0
+        return flit
+
+    @property
+    def is_empty(self) -> bool:
+        """No flits buffered, in flight, or awaiting injection."""
+        return (
+            self.flits_in_network == 0
+            and all(not q for q in self.source_queue)
+            and all(not dq for dq in self.buffers.values())
+        )
+
+
+class ReferenceSimulator:
+    """The seed's cycle-accurate loop, kept as the oracle."""
+
+    def __init__(
+        self,
+        flowset: FlowSet,
+        releases: ReleasePlan,
+        *,
+        credit_delay: int = 1,
+        observer: LatencyObserver | None = None,
+        tracer=None,
+    ):
+        self.flowset = flowset
+        self.releases = releases
+        self.credit_delay = credit_delay
+        self.observer = observer if observer is not None else LatencyObserver()
+        self.tracer = tracer
+
+    def run(
+        self,
+        release_horizon: int,
+        *,
+        drain_limit: int | None = None,
+    ) -> SimulationResult:
+        """Simulate all releases before ``release_horizon`` and drain."""
+        flowset = self.flowset
+        platform = flowset.platform
+        state = ReferenceNetworkState(flowset, credit_delay=self.credit_delay)
+        observer = self.observer
+        result = SimulationResult(observer=observer)
+        linkl, routl = platform.linkl, platform.routl
+        ejection = [not buffered for buffered in state.buffered_link]
+        priority_of = state.priority_of
+        flow_names = [f.name for f in flowset.flows]
+
+        if drain_limit is None:
+            max_period = max(f.period for f in flowset.flows)
+            drain_limit = release_horizon + 10 * max_period + 10 * linkl
+
+        pending_releases: list[Packet] = []
+        for index in range(state.num_flows):
+            for packet in self.releases.releases(flowset, index, release_horizon):
+                pending_releases.append(packet)
+                name = flow_names[index]
+                result.released_packets[name] = (
+                    result.released_packets.get(name, 0) + 1
+                )
+                result.released_flits[name] = (
+                    result.released_flits.get(name, 0) + packet.length
+                )
+        pending_releases.sort(key=lambda p: (p.release_time, p.flow_index, p.seq))
+        release_ptr = 0
+
+        events: list[tuple[int, int, int, tuple]] = []
+        event_seq = 0
+
+        def push_event(time: int, kind: int, data: tuple) -> None:
+            nonlocal event_seq
+            heapq.heappush(events, (time, event_seq, kind, data))
+            event_seq += 1
+
+        link_free: dict[int, int] = {}
+        now = 0
+
+        while True:
+            if now > drain_limit:
+                result.drained = False
+                break
+            if (
+                release_ptr >= len(pending_releases)
+                and not events
+                and state.is_empty
+            ):
+                break
+
+            while events and events[0][0] <= now:
+                _, _, kind, data = heapq.heappop(events)
+                if kind == _ARRIVE:
+                    out_link, flow, flit = data
+                    if ejection[out_link]:
+                        state.flits_in_network -= 1
+                        name = flow_names[flow]
+                        result.delivered_flits[name] = (
+                            result.delivered_flits.get(name, 0) + 1
+                        )
+                        if flit.is_tail:
+                            observer.on_delivery(name, flit.packet, now)
+                    else:
+                        ready = now + routl if flit.is_header else now
+                        state.enqueue_flit(out_link, flow, flit, ready)
+                        if ready > now:
+                            push_event(ready, _WAKE, ())
+                elif kind == _CREDIT:
+                    link_id, flow = data
+                    state.return_credit(link_id, flow)
+
+            while (
+                release_ptr < len(pending_releases)
+                and pending_releases[release_ptr].release_time == now
+            ):
+                packet = pending_releases[release_ptr]
+                release_ptr += 1
+                flow = packet.flow_index
+                if flowset.flows[flow].is_local:
+                    observer.on_delivery(flow_names[flow], packet, now)
+                    name = flow_names[flow]
+                    result.delivered_flits[name] = (
+                        result.delivered_flits.get(name, 0) + packet.length
+                    )
+                else:
+                    state.release(packet)
+
+            requests: dict[int, list[tuple[int, int, tuple | None]]] = {}
+            for (link_id, flow), dq in state.buffers.items():
+                if not dq:
+                    continue
+                flit, ready = dq[0]
+                if ready > now:
+                    continue
+                out = state.next_link[flow][link_id]
+                if out is None:
+                    raise AssertionError("flit beyond its ejection link")
+                requests.setdefault(out, []).append(
+                    (priority_of[flow], flow, (link_id, flow))
+                )
+            for flow in range(state.num_flows):
+                queue = state.source_queue[flow]
+                if not queue or queue[0].release_time > now:
+                    continue
+                out = state.next_link[flow][None]
+                requests.setdefault(out, []).append(
+                    (priority_of[flow], flow, None)
+                )
+
+            sent_any = False
+            for out, candidates in requests.items():
+                if link_free.get(out, 0) > now:
+                    continue
+                candidates.sort(key=lambda c: c[0])
+                for _, flow, buffer_key in candidates:
+                    needs_credit = state.buffered_link[out]
+                    if needs_credit and state.credit(out, flow) <= 0:
+                        continue
+                    if buffer_key is None:
+                        flit = state.pop_source_flit(flow)
+                        state.flits_in_network += 1
+                    else:
+                        flit, _ = state.buffers[buffer_key].popleft()
+                        if self.credit_delay == 0:
+                            state.return_credit(*buffer_key)
+                        else:
+                            push_event(
+                                now + self.credit_delay, _CREDIT, buffer_key
+                            )
+                    if needs_credit:
+                        state.take_credit(out, flow)
+                    push_event(now + linkl, _ARRIVE, (out, flow, flit))
+                    link_free[out] = now + linkl
+                    result.flits_per_link[out] = (
+                        result.flits_per_link.get(out, 0) + 1
+                    )
+                    if self.tracer is not None:
+                        self.tracer.on_send(
+                            now, out, flow, flit,
+                            None if buffer_key is None else buffer_key[0],
+                        )
+                    sent_any = True
+                    break
+
+            if sent_any:
+                now += 1
+                continue
+            next_times = []
+            if events:
+                next_times.append(events[0][0])
+            if release_ptr < len(pending_releases):
+                next_times.append(pending_releases[release_ptr].release_time)
+            if not next_times:
+                if not state.is_empty:
+                    raise AssertionError(
+                        f"network stalled at cycle {now} with flits in place "
+                        "and no future events; arbitration bug"
+                    )
+                break
+            now = max(now + 1, min(next_times))
+
+        result.end_time = now
+        return result

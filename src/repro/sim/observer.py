@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.sim.packet import Packet
@@ -34,7 +35,7 @@ class LatencyObserver:
 
     keep_records: bool = False
     worst: dict[str, int] = field(default_factory=dict)
-    delivered: dict[str, int] = field(default_factory=dict)
+    delivered: Counter = field(default_factory=Counter)
     records: list[PacketRecord] = field(default_factory=list)
 
     def on_delivery(self, flow_name: str, packet: Packet, time: int) -> None:
@@ -47,7 +48,7 @@ class LatencyObserver:
         previous = self.worst.get(flow_name, 0)
         if latency > previous:
             self.worst[flow_name] = latency
-        self.delivered[flow_name] = self.delivered.get(flow_name, 0) + 1
+        self.delivered[flow_name] += 1
         if self.keep_records:
             self.records.append(
                 PacketRecord(

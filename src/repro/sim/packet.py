@@ -7,6 +7,14 @@ state in real hardware — here implicitly, since every flow owns its VC).
 
 Flits are small immutable records; the simulator moves them one link at a
 time and never copies payload.
+
+Hot-path note: the fast simulator never materialises :class:`Flit`
+objects while flits move — buffers and in-flight events carry bare
+``(ready_time, flit_index, packet)`` tuples, deriving header/tail-ness
+by comparing the index against ``packet.length`` (a :class:`Flit` is
+built only for the optional tracer hook).  Both records are slotted
+dataclasses so the per-packet attribute reads the loop does issue stay
+off the instance-dict path.
 """
 
 from __future__ import annotations
@@ -14,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Packet:
     """One released packet instance of a flow."""
 
@@ -30,7 +38,7 @@ class Packet:
             raise ValueError("release times are non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flit:
     """One flit of one packet.
 

@@ -15,27 +15,39 @@ Each cycle has strict phases:
    priority); sending reserves a downstream slot (credit decrement),
    frees the upstream slot (credit return to the previous link after
    ``credit_delay``) and occupies the link for ``linkl`` cycles;
-5. advance time — by one cycle after activity, otherwise jump straight to
-   the next scheduled event or release (idle periods cost nothing).
+5. advance time — straight to the next scheduled event or release (idle
+   periods cost nothing; cycles in which every candidate is blocked are
+   skipped the same way, since every unblocking is itself an event).
 
 The loop ends when all releases are in, the network has drained and no
 events remain, or when ``drain_limit`` is hit (overload guard).
+
+Fast-lane implementation (see DESIGN.md, "Simulation performance"): the
+event heap of the original simulator is replaced by three monotone
+deques — every arrival is scheduled exactly ``linkl`` ahead, every
+credit return exactly ``credit_delay`` ahead and every routing wake-up
+``routl`` ahead, so each stream is already time-sorted and same-time
+events commute; arbitration only visits the incrementally maintained
+``occupied``/``source_active`` sets; per-link state is flat arrays; and
+per-flit counters accumulate in flow/link-indexed arrays that are
+rendered to name-keyed dicts once, at the result boundary.  Behaviour is
+cycle-identical to :mod:`repro.sim._reference`, which the equivalence
+suite enforces.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
+
+from collections import deque
 
 from repro.flows.flowset import FlowSet
 from repro.sim.network import NetworkState
 from repro.sim.observer import LatencyObserver
-from repro.sim.packet import Packet
+from repro.sim.packet import Flit, Packet
 from repro.sim.traffic import ReleasePlan
 
-_ARRIVE = 0
-_CREDIT = 1
-_WAKE = 2
+_NEVER = float("inf")
 
 
 @dataclass
@@ -56,8 +68,13 @@ class SimulationResult:
         return self.observer.worst_latency(flow_name)
 
     def link_utilization(self, link_id: int, linkl: int = 1) -> float:
-        """Fraction of the run a link spent transmitting flits."""
-        if self.end_time <= 0:
+        """Fraction of the run a link spent transmitting flits.
+
+        Zero-length runs (nothing released, or truncated at time 0) and
+        non-positive ``linkl`` consistently report 0.0 instead of
+        dividing by zero.
+        """
+        if self.end_time <= 0 or linkl <= 0:
             return 0.0
         busy = self.flits_per_link.get(link_id, 0) * linkl
         return min(1.0, busy / self.end_time)
@@ -84,6 +101,11 @@ class SimulationResult:
 class WormholeSimulator:
     """Cycle-accurate priority-preemptive wormhole NoC simulator.
 
+    ``debug=True`` re-enables the per-flit conservation and occupancy
+    invariants (credit underflow/overflow, buffer overflow, post-drain
+    occupancy accounting) that the fast path otherwise skips; results are
+    identical either way, debug runs are merely slower.
+
     >>> from repro.workloads import didactic_flowset
     >>> from repro.sim import single_shot
     >>> fs = didactic_flowset(buf=2)
@@ -100,6 +122,7 @@ class WormholeSimulator:
         credit_delay: int = 1,
         observer: LatencyObserver | None = None,
         tracer=None,
+        debug: bool = False,
     ):
         self.flowset = flowset
         self.releases = releases
@@ -107,6 +130,7 @@ class WormholeSimulator:
         self.observer = observer if observer is not None else LatencyObserver()
         #: optional :class:`repro.sim.trace.FlitTracer` receiving every send
         self.tracer = tracer
+        self.debug = debug
 
     def run(
         self,
@@ -123,170 +147,290 @@ class WormholeSimulator:
         flowset = self.flowset
         platform = flowset.platform
         state = NetworkState(flowset, credit_delay=self.credit_delay)
+        tables = state.tables
         observer = self.observer
+        on_delivery = observer.on_delivery
         result = SimulationResult(observer=observer)
         linkl, routl = platform.linkl, platform.routl
-        ejection = [not buffered for buffered in state.buffered_link]
-        priority_of = state.priority_of
-        flow_names = [f.name for f in flowset.flows]
+        credit_delay = self.credit_delay
+        tracer = self.tracer
+        debug = self.debug
+
+        nf = state.num_flows
+        ejection = tables.ejection
+        buffered = tables.buffered
+        capacity = tables.capacity
+        prio = tables.priority_of
+        is_local = tables.is_local
+        names = tables.flow_names
+        first_link = tables.first_link
+        next_of = tables.next_of
+        credits = state.credits
+        buffers = state.buffers
+        occupied = state.occupied
+        source_active = state.source_active
+        source_queue = state.source_queue
+        injected = state.injected_of_head
+        slot_seq = state.slot_seq
+        track_order = credit_delay == 0  # visit order is observable then
 
         if drain_limit is None:
             max_period = max(f.period for f in flowset.flows)
             drain_limit = release_horizon + 10 * max_period + 10 * linkl
 
-        # All releases, globally sorted by time.
-        pending_releases: list[Packet] = []
-        for index in range(state.num_flows):
+        # All releases, globally sorted by time; per-flow counters live in
+        # arrays and become name-keyed dicts only at the result boundary.
+        released_packets = [0] * nf
+        released_flits = [0] * nf
+        delivered = [0] * nf
+        flits_per_link = [0] * state.num_links
+        pending: list[Packet] = []
+        for index in range(nf):
             for packet in self.releases.releases(flowset, index, release_horizon):
-                pending_releases.append(packet)
-                name = flow_names[index]
-                result.released_packets[name] = (
-                    result.released_packets.get(name, 0) + 1
-                )
-                result.released_flits[name] = (
-                    result.released_flits.get(name, 0) + packet.length
-                )
-        pending_releases.sort(key=lambda p: (p.release_time, p.flow_index, p.seq))
+                pending.append(packet)
+                released_packets[index] += 1
+                released_flits[index] += packet.length
+        pending.sort(key=lambda p: (p.release_time, p.flow_index, p.seq))
         release_ptr = 0
+        num_releases = len(pending)
 
-        events: list[tuple[int, int, int, tuple]] = []  # (time, seq, kind, data)
-        event_seq = 0
+        # Three monotone event streams instead of one heap: each kind is
+        # scheduled a *fixed* distance ahead of the non-decreasing clock,
+        # so append order is time order and pops are O(1).
+        arrive_q: deque = deque()   # (time, out_link, flow, flit_idx, packet)
+        credit_q: deque = deque()   # (time, slot)
+        wake_q: deque = deque()     # bare times, coalesced on push
 
-        def push_event(time: int, kind: int, data: tuple) -> None:
-            nonlocal event_seq
-            heapq.heappush(events, (time, event_seq, kind, data))
-            event_seq += 1
-
-        link_free: dict[int, int] = {}
+        busy_until = [0] * state.num_links
+        flits_in_network = 0
         now = 0
+
+        _BIG = 1 << 60
+
+        def _discovery_key(entry: tuple[int, list[int]]) -> int:
+            """Reference visit order: FIFO-creation order, then sources."""
+            best = _BIG << 1
+            for cand in entry[1]:
+                key = (
+                    slot_seq.get(cand, _BIG)
+                    if cand >= 0
+                    else _BIG + (-1 - cand)
+                )
+                if key < best:
+                    best = key
+            return best
 
         while True:
             if now > drain_limit:
                 result.drained = False
                 break
             if (
-                release_ptr >= len(pending_releases)
-                and not events
-                and state.is_empty
+                release_ptr >= num_releases
+                and not arrive_q
+                and not credit_q
+                and not wake_q
+                and flits_in_network == 0
+                and not source_active
             ):
                 break
 
-            # Phase 1: events due (defensively: also any stragglers).
-            while events and events[0][0] <= now:
-                _, _, kind, data = heapq.heappop(events)
-                if kind == _ARRIVE:
-                    out_link, flow, flit = data
-                    if ejection[out_link]:
-                        state.flits_in_network -= 1
-                        name = flow_names[flow]
-                        result.delivered_flits[name] = (
-                            result.delivered_flits.get(name, 0) + 1
+            # Phase 1: events due.  Same-timestamp events commute (they
+            # touch disjoint state), so the three streams drain in any
+            # order.
+            while arrive_q and arrive_q[0][0] <= now:
+                _, out, flow, fidx, packet = arrive_q.popleft()
+                if ejection[out]:
+                    flits_in_network -= 1
+                    delivered[flow] += 1
+                    if fidx == packet.length - 1:
+                        on_delivery(names[flow], packet, now)
+                else:
+                    slot = out * nf + flow
+                    dq = buffers[slot]
+                    if debug and len(dq) >= capacity[out]:
+                        raise AssertionError(
+                            f"buffer overflow on link {out} flow {flow}; "
+                            "credit flow control should prevent this"
                         )
-                        if flit.is_tail:
-                            observer.on_delivery(name, flit.packet, now)
+                    if fidx == 0 and routl:
+                        ready = now + routl
+                        if not wake_q or wake_q[-1] != ready:
+                            wake_q.append(ready)
                     else:
-                        ready = now + routl if flit.is_header else now
-                        state.enqueue_flit(out_link, flow, flit, ready)
-                        if ready > now:
-                            push_event(ready, _WAKE, ())
-                elif kind == _CREDIT:
-                    link_id, flow = data
-                    state.return_credit(link_id, flow)
-                # _WAKE: state unchanged; its purpose is to un-idle the loop.
+                        ready = now
+                    dq.append((ready, fidx, packet))
+                    if len(dq) == 1:
+                        occupied.add(slot)
+                        if track_order and slot not in slot_seq:
+                            slot_seq[slot] = len(slot_seq)
+            while credit_q and credit_q[0][0] <= now:
+                slot = credit_q.popleft()[1]
+                credits[slot] += 1
+                if debug and credits[slot] > capacity[slot // nf]:
+                    raise AssertionError(
+                        f"credit overflow on link {slot // nf} flow "
+                        f"{slot % nf}: {credits[slot]} > "
+                        f"buf={capacity[slot // nf]}"
+                    )
+            while wake_q and wake_q[0] <= now:
+                wake_q.popleft()
 
             # Phase 2: releases due now.
             while (
-                release_ptr < len(pending_releases)
-                and pending_releases[release_ptr].release_time == now
+                release_ptr < num_releases
+                and pending[release_ptr].release_time <= now
             ):
-                packet = pending_releases[release_ptr]
+                packet = pending[release_ptr]
                 release_ptr += 1
                 flow = packet.flow_index
-                if flowset.flows[flow].is_local:
-                    observer.on_delivery(flow_names[flow], packet, now)
-                    name = flow_names[flow]
-                    result.delivered_flits[name] = (
-                        result.delivered_flits.get(name, 0) + packet.length
-                    )
+                if is_local[flow]:
+                    on_delivery(names[flow], packet, now)
+                    delivered[flow] += packet.length
                 else:
-                    state.release(packet)
+                    source_queue[flow].append(packet)
+                    source_active.add(flow)
 
-            # Phase 3: collect per-link requests.
-            requests: dict[int, list[tuple[int, int, tuple | None]]] = {}
-            for (link_id, flow), dq in state.buffers.items():
-                if not dq:
+            # Phase 3: collect per-link requests.  Buffer candidates are
+            # encoded as their slot, source candidates as ``-1 - flow``.
+            requests: dict[int, list[int]] = {}
+            for slot in occupied:
+                dq = buffers[slot]
+                if dq[0][0] > now:
                     continue
-                flit, ready = dq[0]
-                if ready > now:
-                    continue
-                out = state.next_link[flow][link_id]
-                if out is None:
-                    raise AssertionError("flit beyond its ejection link")
-                requests.setdefault(out, []).append(
-                    (priority_of[flow], flow, (link_id, flow))
-                )
-            for flow in range(state.num_flows):
-                queue = state.source_queue[flow]
-                if not queue or queue[0].release_time > now:
-                    continue
-                out = state.next_link[flow][None]
-                requests.setdefault(out, []).append(
-                    (priority_of[flow], flow, None)
-                )
+                out = next_of[slot]
+                cands = requests.get(out)
+                if cands is None:
+                    requests[out] = [slot]
+                else:
+                    cands.append(slot)
+            for flow in source_active:
+                out = first_link[flow]
+                cands = requests.get(out)
+                if cands is None:
+                    requests[out] = [-1 - flow]
+                else:
+                    cands.append(-1 - flow)
 
-            # Phase 4: arbitration + sends.
+            # Phase 4: arbitration + sends.  With a delayed credit return
+            # the links' arbitrations are independent, so visit order is
+            # free; with credit_delay == 0 an upstream credit comes back
+            # within the cycle and the order is observable — then links
+            # are visited in the reference's discovery order (buffers in
+            # FIFO-creation order, then sources in flow order).
+            items = requests.items()
+            if track_order and len(requests) > 1:
+                items = sorted(items, key=_discovery_key)
             sent_any = False
-            for out, candidates in requests.items():
-                if link_free.get(out, 0) > now:
+            for out, cands in items:
+                if busy_until[out] > now:
                     continue
-                candidates.sort(key=lambda c: c[0])
-                for _, flow, buffer_key in candidates:
-                    needs_credit = state.buffered_link[out]
-                    if needs_credit and state.credit(out, flow) <= 0:
-                        continue  # blocked upstream: yield to next priority
-                    if buffer_key is None:
-                        flit = state.pop_source_flit(flow)
-                        state.flits_in_network += 1
+                needs_credit = buffered[out]
+                base = out * nf
+                best = None
+                best_prio = 1 << 60
+                for cand in cands:
+                    flow = cand % nf if cand >= 0 else -1 - cand
+                    p = prio[flow]
+                    if p < best_prio:
+                        if needs_credit and credits[base + flow] <= 0:
+                            continue  # blocked upstream: yield priority
+                        best = cand
+                        best_prio = p
+                        best_flow = flow
+                if best is None:
+                    continue
+                if best < 0:
+                    # inject from the source queue
+                    queue = source_queue[best_flow]
+                    packet = queue[0]
+                    fidx = injected[best_flow]
+                    if fidx + 1 == packet.length:
+                        queue.popleft()
+                        injected[best_flow] = 0
+                        if not queue:
+                            source_active.discard(best_flow)
                     else:
-                        flit, _ = state.buffers[buffer_key].popleft()
-                        if self.credit_delay == 0:
-                            state.return_credit(*buffer_key)
-                        else:
-                            push_event(
-                                now + self.credit_delay, _CREDIT, buffer_key
-                            )
-                    if needs_credit:
-                        state.take_credit(out, flow)
-                    push_event(now + linkl, _ARRIVE, (out, flow, flit))
-                    link_free[out] = now + linkl
-                    result.flits_per_link[out] = (
-                        result.flits_per_link.get(out, 0) + 1
-                    )
-                    if self.tracer is not None:
-                        self.tracer.on_send(
-                            now, out, flow, flit,
-                            None if buffer_key is None else buffer_key[0],
+                        injected[best_flow] = fidx + 1
+                    flits_in_network += 1
+                else:
+                    dq = buffers[best]
+                    _, fidx, packet = dq.popleft()
+                    if not dq:
+                        occupied.discard(best)
+                    if credit_delay == 0:
+                        credits[best] += 1
+                    else:
+                        credit_q.append((now + credit_delay, best))
+                if needs_credit:
+                    if debug and credits[base + best_flow] <= 0:
+                        raise AssertionError(
+                            f"sent on link {out} for flow {best_flow} "
+                            "without credit"
                         )
-                    sent_any = True
-                    break
+                    credits[base + best_flow] -= 1
+                arrive_q.append((now + linkl, out, best_flow, fidx, packet))
+                busy_until[out] = now + linkl
+                flits_per_link[out] += 1
+                if tracer is not None:
+                    tracer.on_send(
+                        now, out, best_flow, Flit(packet, fidx),
+                        None if best < 0 else best // nf,
+                    )
+                sent_any = True
 
-            # Phase 5: advance time.
-            if sent_any:
-                now += 1
-                continue
-            next_times = []
-            if events:
-                next_times.append(events[0][0])
-            if release_ptr < len(pending_releases):
-                next_times.append(pending_releases[release_ptr].release_time)
-            if not next_times:
-                if not state.is_empty:
+            # Phase 5: advance time.  With delayed credit returns every
+            # blocked candidate is unblocked by an *event* (the link
+            # frees with the in-flight arrival, credit with its return,
+            # readiness with its wake), so after a send the loop can jump
+            # straight to the next event/release without skipping a send
+            # opportunity.  With credit_delay == 0 a send returns credit
+            # within the cycle — an unblocking no event records — so a
+            # sending cycle must walk to now + 1 exactly like the
+            # reference (for linkl == 1 the two coincide anyway: the
+            # send's own arrival is due then).
+            nt = _NEVER
+            if arrive_q:
+                nt = arrive_q[0][0]
+            if credit_q and credit_q[0][0] < nt:
+                nt = credit_q[0][0]
+            if wake_q and wake_q[0] < nt:
+                nt = wake_q[0]
+            if (
+                release_ptr < num_releases
+                and pending[release_ptr].release_time < nt
+            ):
+                nt = pending[release_ptr].release_time
+            if nt == _NEVER:
+                if flits_in_network or source_active:
                     raise AssertionError(
                         f"network stalled at cycle {now} with flits in place "
                         "and no future events; arbitration bug"
                     )
                 break
-            now = max(now + 1, min(next_times))
+            # After a send the reference walks one cycle before jumping;
+            # clamping the jump at the drain limit reproduces its
+            # truncation point (and hence end_time) exactly.
+            if sent_any and (track_order or nt > drain_limit):
+                now += 1
+            else:
+                now = nt
 
+        state.flits_in_network = flits_in_network
+        if debug and result.drained:
+            state.check_buffer_occupancy()
         result.end_time = now
+        result.released_packets = {
+            names[i]: count
+            for i, count in enumerate(released_packets) if count
+        }
+        result.released_flits = {
+            names[i]: count
+            for i, count in enumerate(released_flits) if count
+        }
+        result.delivered_flits = {
+            names[i]: count for i, count in enumerate(delivered) if count
+        }
+        result.flits_per_link = {
+            link: count for link, count in enumerate(flits_per_link) if count
+        }
         return result

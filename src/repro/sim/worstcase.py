@@ -8,14 +8,37 @@ flow"), this module sweeps release offsets — the dominant lever for
 exposing multi-point progressive blocking — and keeps per-flow maxima.
 
 The search is exhaustive over the supplied offset grid (a Cartesian
-product), so its cost is the product of grid sizes times the horizon;
-didactic-scale scenarios sweep a full period of the fast interfering flow
-in seconds.
+product), so its cost is the product of grid sizes times the horizon.
+Two levers keep large grids tractable without changing the result:
+
+* **Dominance pruning** — when *every* networked flow is varied, two
+  phasings that differ by a uniform time shift present the same relative
+  release pattern; the shifted run is the canonical run with its last
+  ``Δ`` cycles of releases truncated, so (in the anomaly-free
+  ``linkl == 1`` regime, where a flit in transit never occupies a cycle
+  another priority needs) its per-flow worst latencies are pointwise
+  ``≤`` the canonical run's.  Skipping shifted phasings therefore never
+  changes the per-flow maxima.  Pruning auto-enables exactly in that
+  regime — and only for **ascending** offset grids, where the canonical
+  phasing precedes its shifts in product order so the recorded
+  maximising offsets keep the serial sweep's first-strict-max
+  tie-break.  It can be forced on/off with ``prune_shifts`` (forcing it
+  on with non-ascending grids keeps the maxima exact but may record a
+  shifted phasing on ties).
+* **Parallel chunking** — the (pruned) phasing list is split into
+  contiguous chunks fanned out over a ``ProcessPoolExecutor``.  Workers
+  receive the flow set once, at pool start-up (the worker-local caching
+  pattern of ``schedulability_sweep``), so per-chunk traffic is a few
+  offset tuples.  Chunk maxima are folded back **in chunk order** with
+  the same strictly-greater update rule as the serial loop, so the
+  result — including the recorded maximising offsets — is identical for
+  every ``workers``/``chunk_size`` configuration.
 """
 
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -32,6 +55,8 @@ class SearchResult:
     worst: dict[str, int] = field(default_factory=dict)
     worst_offsets: dict[str, dict[str, int]] = field(default_factory=dict)
     runs: int = 0
+    #: phasings skipped as pure time-shifts of an earlier phasing.
+    pruned: int = 0
     all_drained: bool = True
 
     def worst_latency(self, flow_name: str) -> int:
@@ -58,6 +83,75 @@ def simulate_offsets(
     return dict(result.observer.worst)
 
 
+def _is_shifted(
+    combo: tuple[int, ...], grid_sets: list[set[int]]
+) -> bool:
+    """Is this phasing a positive uniform shift of an enumerated one?
+
+    True when some ``Δ > 0`` maps every coordinate onto its own grid:
+    the shifted-down combo is then part of the sweep (it precedes this
+    one in product order) and dominates it.
+    """
+    first = combo[0]
+    deltas = (first - g for g in grid_sets[0] if g < first)
+    return any(
+        all(o - delta in gs for o, gs in zip(combo[1:], grid_sets[1:]))
+        for delta in deltas
+    )
+
+
+#: Worker-local search context, installed once per worker process by the
+#: pool initializer so the flow set (and its cached routes and slot
+#: tables) is unpickled once per worker instead of once per chunk.
+_WORKER_SEARCH: dict = {}
+
+
+def _init_search_worker(
+    flowset: FlowSet, release_horizon: int, credit_delay: int
+) -> None:
+    _WORKER_SEARCH["flowset"] = flowset
+    _WORKER_SEARCH["release_horizon"] = release_horizon
+    _WORKER_SEARCH["credit_delay"] = credit_delay
+
+
+def _search_chunk(
+    args: tuple,
+    flowset: FlowSet | None = None,
+    release_horizon: int | None = None,
+    credit_delay: int | None = None,
+) -> tuple[int, dict[str, int], dict[str, dict[str, int]], int]:
+    """One contiguous chunk of phasings; returns the chunk's maxima.
+
+    The serial path passes the context explicitly; pool workers read
+    either the chunk's trailing inline context (shared ``executor``) or
+    the process-local one installed by :func:`_init_search_worker`.
+    """
+    chunk_index, names, combos, base_offsets, inline_context = args
+    if flowset is None:
+        if inline_context is not None:
+            flowset, release_horizon, credit_delay = inline_context
+        else:
+            flowset = _WORKER_SEARCH["flowset"]
+            release_horizon = _WORKER_SEARCH["release_horizon"]
+            credit_delay = _WORKER_SEARCH["credit_delay"]
+    worst: dict[str, int] = {}
+    worst_offsets: dict[str, dict[str, int]] = {}
+    for combo in combos:
+        offsets = dict(base_offsets)
+        offsets.update(zip(names, combo))
+        observed = simulate_offsets(
+            flowset,
+            offsets,
+            release_horizon=release_horizon,
+            credit_delay=credit_delay,
+        )
+        for flow_name, latency in observed.items():
+            if latency > worst.get(flow_name, -1):
+                worst[flow_name] = latency
+                worst_offsets[flow_name] = offsets
+    return chunk_index, worst, worst_offsets, len(combos)
+
+
 def offset_search(
     flowset: FlowSet,
     vary: Mapping[str, Sequence[int]],
@@ -65,12 +159,25 @@ def offset_search(
     release_horizon: int,
     base_offsets: Mapping[str, int] | None = None,
     credit_delay: int = 1,
+    workers: int = 1,
+    chunk_size: int | None = None,
+    prune_shifts: bool | None = None,
+    executor: ProcessPoolExecutor | None = None,
 ) -> SearchResult:
     """Exhaustively sweep the offset grid and keep per-flow maxima.
 
     ``vary`` maps flow names to the offsets to try (e.g. every phase of a
     fast interferer's period); flows not listed use ``base_offsets``
-    (default 0).
+    (default 0).  ``workers > 1`` distributes contiguous phasing chunks
+    over processes; ``prune_shifts`` controls shift-dominance pruning
+    (default: automatic, see the module docstring).  Results — maxima
+    *and* the recorded maximising offsets — are identical for every
+    workers/chunking/pruning configuration.
+
+    Callers issuing many searches (campaigns) can pass a shared
+    ``executor`` to amortise pool start-up; chunks then carry their own
+    context instead of relying on the pool initializer, so any plain
+    ``ProcessPoolExecutor`` works.
 
     >>> from repro.workloads import didactic_flowset
     >>> fs = didactic_flowset(buf=2)
@@ -78,24 +185,93 @@ def offset_search(
     >>> r.runs
     10
     """
-    names = list(vary)
+    names = tuple(vary)
     grids = [list(vary[name]) for name in names]
     for name, grid in zip(names, grids):
         if not grid:
             raise ValueError(f"empty offset grid for flow {name!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
     search = SearchResult()
-    for combo in itertools.product(*grids):
-        offsets = dict(base_offsets or {})
-        offsets.update(zip(names, combo))
-        worst = simulate_offsets(
-            flowset,
-            offsets,
-            release_horizon=release_horizon,
-            credit_delay=credit_delay,
+    if prune_shifts is None:
+        networked = {f.name for f in flowset.flows if not f.is_local}
+        prune_shifts = (
+            flowset.platform.linkl == 1
+            and networked <= set(names)
+            and all(
+                grid == sorted(set(grid)) for grid in grids
+            )  # ascending: canonical phasings precede their shifts
         )
-        search.runs += 1
+
+    def phasings():
+        """Stream the (pruned) product lazily — grids can be huge."""
+        if not prune_shifts:
+            yield from itertools.product(*grids)
+            return
+        grid_sets = [set(grid) for grid in grids]
+        for combo in itertools.product(*grids):
+            if _is_shifted(combo, grid_sets):
+                search.pruned += 1
+            else:
+                yield combo
+
+    total = 1
+    for grid in grids:
+        total *= len(grid)
+    base = dict(base_offsets or {})
+    if chunk_size is None:
+        pool_width = (
+            getattr(executor, "_max_workers", workers)
+            if executor is not None else workers
+        )
+        if pool_width > 1:
+            chunk_size = max(1, -(-total // (pool_width * 4)))
+        else:
+            # Serial runs still batch (bounded memory on huge grids);
+            # the chunk-ordered fold makes chunking invisible in the
+            # result.
+            chunk_size = min(total, 1024)
+
+    def chunks(inline_context):
+        stream = phasings()
+        for index in itertools.count():
+            batch = list(itertools.islice(stream, chunk_size))
+            if not batch:
+                return
+            yield (index, names, batch, base, inline_context)
+
+    if executor is not None:
+        context = (flowset, release_horizon, credit_delay)
+        outcomes = list(executor.map(_search_chunk, chunks(context)))
+    elif workers > 1 and total > chunk_size:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_search_worker,
+            initargs=(flowset, release_horizon, credit_delay),
+        ) as pool:
+            outcomes = list(pool.map(_search_chunk, chunks(None)))
+    else:
+        outcomes = [
+            _search_chunk(
+                chunk,
+                flowset=flowset,
+                release_horizon=release_horizon,
+                credit_delay=credit_delay,
+            )
+            for chunk in chunks(None)
+        ]
+
+    # Fold chunk maxima in chunk order: identical to the serial sweep,
+    # including which offsets get recorded on ties (first strict max).
+    for _, worst, worst_offsets, runs in sorted(outcomes):
+        search.runs += runs
         for flow_name, latency in worst.items():
             if latency > search.worst.get(flow_name, -1):
                 search.worst[flow_name] = latency
-                search.worst_offsets[flow_name] = dict(offsets)
+                search.worst_offsets[flow_name] = dict(
+                    worst_offsets[flow_name]
+                )
     return search

@@ -62,3 +62,76 @@ class TestOffsetSearch:
     def test_unknown_latency_zero(self, didactic2):
         result = offset_search(didactic2, {"t1": (0,)}, release_horizon=1)
         assert result.worst_latency("ghost") == 0
+
+    def test_bad_workers_rejected(self, didactic2):
+        with pytest.raises(ValueError, match="workers"):
+            offset_search(didactic2, {"t1": (0,)}, release_horizon=1, workers=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            offset_search(
+                didactic2, {"t1": (0,)}, release_horizon=1, chunk_size=0
+            )
+
+
+class TestShiftPruning:
+    """Dominance pruning of uniformly time-shifted phasings."""
+
+    def test_not_pruned_when_some_flow_is_fixed(self, didactic2):
+        # t2/t3 keep offset 0, so shifting t1 alone changes the relative
+        # phasing: every grid point must run.
+        result = offset_search(
+            didactic2, {"t1": range(0, 40, 10)}, release_horizon=1
+        )
+        assert result.runs == 4 and result.pruned == 0
+
+    def test_pruned_when_all_flows_vary(self, didactic2):
+        vary = {name: (0, 10) for name in ("t1", "t2", "t3")}
+        result = offset_search(didactic2, vary, release_horizon=1)
+        # (10,10,10) is (0,0,0) shifted by 10 -> pruned; all other
+        # combos pin at least one flow to its minimum.
+        assert result.pruned == 1
+        assert result.runs == 7
+
+    def test_prune_preserves_maxima(self, didactic2):
+        vary = {
+            "t1": range(0, 60, 20),
+            "t2": range(0, 60, 20),
+            "t3": range(0, 60, 20),
+        }
+        full = offset_search(
+            didactic2, vary, release_horizon=6001, prune_shifts=False
+        )
+        pruned = offset_search(
+            didactic2, vary, release_horizon=6001, prune_shifts=True
+        )
+        assert pruned.pruned > 0
+        assert pruned.worst == full.worst
+
+    def test_forced_off(self, didactic2):
+        vary = {name: (0, 10) for name in ("t1", "t2", "t3")}
+        result = offset_search(
+            didactic2, vary, release_horizon=1, prune_shifts=False
+        )
+        assert result.runs == 8 and result.pruned == 0
+
+    def test_prune_preserves_recorded_offsets(self, didactic2):
+        # With ascending grids the canonical phasing precedes its
+        # shifts, so even the maximising offsets recorded on ties are
+        # identical with and without pruning.
+        vary = {
+            "t1": range(0, 60, 20),
+            "t2": range(0, 60, 20),
+            "t3": range(0, 60, 20),
+        }
+        full = offset_search(
+            didactic2, vary, release_horizon=6001, prune_shifts=False
+        )
+        pruned = offset_search(didactic2, vary, release_horizon=6001)
+        assert pruned.worst_offsets == full.worst_offsets
+
+    def test_auto_prune_requires_ascending_grids(self, didactic2):
+        # Descending grids put shifted phasings first in product order,
+        # which would change the recorded offsets on ties — so the
+        # automatic mode declines to prune them.
+        vary = {name: (20, 0) for name in ("t1", "t2", "t3")}
+        result = offset_search(didactic2, vary, release_horizon=1)
+        assert result.runs == 8 and result.pruned == 0
