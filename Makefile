@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 export REPRO_SCALE ?= ci
 
-.PHONY: test test-slow bench-smoke bench-record bench-figures
+.PHONY: test test-slow bench-smoke bench-record bench-figures campaign-smoke
 
 ## Tier-1 test suite (the gate every PR must keep green).  Tests marked
 ## `slow` (paper-scale simulation sweeps) are deselected here.
@@ -15,10 +15,27 @@ test:
 test-slow:
 	$(PYTHON) -m pytest -q -m slow
 
+## End-to-end campaign-engine smoke: expand (dry run), run a tiny spec
+## into a fresh result store with every exporter, then re-run to prove
+## resume replays all jobs from the store.
+CAMPAIGN_SMOKE_DIR ?= .campaign-smoke
+campaign-smoke:
+	rm -rf $(CAMPAIGN_SMOKE_DIR)
+	$(PYTHON) -m repro campaign examples/specs/campaign_smoke.json --dry-run
+	$(PYTHON) -m repro campaign examples/specs/campaign_smoke.json \
+		--run-dir $(CAMPAIGN_SMOKE_DIR)/run \
+		--csv-dir $(CAMPAIGN_SMOKE_DIR)/csv \
+		--json-dir $(CAMPAIGN_SMOKE_DIR)/json
+	$(PYTHON) -m repro campaign examples/specs/campaign_smoke.json \
+		--run-dir $(CAMPAIGN_SMOKE_DIR)/run \
+		--csv-dir $(CAMPAIGN_SMOKE_DIR)/csv \
+		--json-dir $(CAMPAIGN_SMOKE_DIR)/json
+
 ## Fast perf gate: ci-scale hot-path microbenchmarks (analysis kernel +
-## simulator), then append the wall-clock numbers to BENCH_engine.json so
-## the trajectory across PRs stays comparable.
-bench-smoke:
+## simulator) plus the campaign-engine smoke, then append the wall-clock
+## numbers to BENCH_engine.json so the trajectory across PRs stays
+## comparable.
+bench-smoke: campaign-smoke
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_engine_hotpath.py -q
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_sim_hotpath.py -q
 	REPRO_SCALE=ci $(PYTHON) benchmarks/record_engine_bench.py smoke

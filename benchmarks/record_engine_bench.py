@@ -19,6 +19,10 @@ analysis kernel optimisation targets:
   release-offset search and a single 8×8 periodic run, each timed on
   the fast simulator and on the frozen oracle
   (:mod:`repro.sim._reference`), with the resulting speedups.
+* ``campaign``             — the campaign engine at smoke scale: jobs/sec
+  through the scheduler for the ``examples/specs/campaign_smoke.json``
+  spec (cold in-memory run) and the wall clock of a fully-stored resume
+  replay (expansion + store load + aggregation, zero jobs executed).
 
 The resulting trajectory lets future PRs compare against every past
 revision; ``make bench-smoke`` runs this plus the pytest-benchmark suite.
@@ -117,7 +121,33 @@ def collect() -> dict:
     )
 
     metrics["sim"] = _sim_metrics()
+    metrics["campaign"] = _campaign_metrics()
     return metrics
+
+
+def _campaign_metrics() -> dict:
+    """Campaign-engine throughput on the smoke spec (see Makefile)."""
+    import tempfile
+
+    from repro.campaigns.engine import run_campaign
+    from repro.campaigns.spec import load_spec
+
+    spec_path = (
+        Path(__file__).resolve().parent.parent
+        / "examples" / "specs" / "campaign_smoke.json"
+    )
+    spec = load_spec(spec_path)
+    cold_s, cold = timed(lambda: run_campaign(spec))
+    with tempfile.TemporaryDirectory() as run_dir:
+        run_campaign(spec, store=run_dir)
+        resume_s, resumed = timed(lambda: run_campaign(spec, store=run_dir))
+    assert resumed.stats.jobs_run == 0, "resume replay executed jobs"
+    return {
+        "jobs": cold.stats.jobs_total,
+        "run_s": round(cold_s, 3),
+        "jobs_per_s": round(cold.stats.jobs_total / cold_s, 2),
+        "resume_replay_s": round(resume_s, 3),
+    }
 
 
 def _sim_metrics() -> dict:

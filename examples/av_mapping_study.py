@@ -24,7 +24,9 @@ def campaign() -> None:
         [(2, 2), (3, 3), (4, 4), (5, 5), (6, 6), (8, 8), (10, 10)],
         mappings=10,
         seed=SEED,
-        progress=lambda message: print(f"  .. {message}"),
+        progress=lambda event: print(
+            f"  .. [{event.finished}/{event.total}] {event.label}"
+        ),
     )
     print()
     print(render_sweep(result, title="Figure 5, reduced scale"))

@@ -19,7 +19,9 @@ def main() -> None:
         flow_counts=[40, 100, 160, 220, 280, 340, 400],
         sets_per_point=10,
         seed=20180319,
-        progress=lambda message: print(f"  .. {message}"),
+        progress=lambda event: print(
+            f"  .. [{event.finished}/{event.total}] {event.label}"
+        ),
     )
     print()
     print(render_sweep(result, title="Figure 4(a), reduced scale"))

@@ -20,6 +20,7 @@ buffers observed *above* SB's optimistic bound.
 import argparse
 import sys
 
+from repro.campaigns.progress import stderr_progress
 from repro.experiments.scale import get_scale
 from repro.experiments.validation_sweep import (
     render_validation,
@@ -49,7 +50,7 @@ def main() -> int:
         didactic_offset_step=scale.didactic_offset_step,
         synthetic_sets=scale.validation_synthetic_sets,
         workers=args.workers,
-        progress=lambda message: print(f"  .. {message}", file=sys.stderr),
+        progress=stderr_progress,
     )
     print(render_validation(
         result, title="Validation: worst observed latency vs bounds"

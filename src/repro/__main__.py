@@ -7,11 +7,17 @@ Usage::
     python -m repro sizing traffic.json                   # buffer headroom
     python -m repro experiments fig4a --scale default     # campaign runner
     python -m repro experiments validate --workers 4      # sim vs bounds
+    python -m repro campaign spec.json --run-dir runs/x   # declarative run
 
 ``analyze`` reads the JSON format of :mod:`repro.io`; ``experiments``
 forwards to :mod:`repro.experiments.runner` (its ``validate`` campaign
 sweeps simulated worst cases against the SB/IBN/XLWX bounds across
 buffer depths; honour ``REPRO_SCALE=ci|default|paper`` or ``--scale``).
+``campaign`` runs a declarative :class:`repro.campaigns.CampaignSpec`
+JSON document on the campaign engine: ``--run-dir`` makes the run
+resumable (re-running skips every job already in the content-addressed
+result store), ``--csv-dir``/``--json-dir`` select exporters, and
+``--dry-run`` prints the expanded job list without running anything.
 """
 
 from __future__ import annotations
@@ -89,6 +95,41 @@ def cmd_sizing(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    """``campaign``: run a declarative spec file on the campaign engine."""
+    from repro.campaigns.engine import expand_jobs, run_campaign
+    from repro.campaigns.export import CsvExporter, JsonExporter, TextExporter
+    from repro.campaigns.progress import stderr_progress
+    from repro.campaigns.spec import load_spec
+
+    spec = load_spec(args.spec)
+    if args.dry_run:
+        jobs = expand_jobs(spec)
+        print(f"campaign {spec.name!r} (kind={spec.kind}): {len(jobs)} jobs")
+        for job in jobs:
+            print(f"  {job.job_id[:12]}  {job.label or job.kind}")
+        return 0
+    run = run_campaign(
+        spec,
+        store=args.run_dir,
+        workers=args.workers,
+        progress=stderr_progress,
+    )
+    TextExporter().export(run)
+    if args.csv_dir is not None:
+        CsvExporter(args.csv_dir).export(run)
+    if args.json_dir is not None:
+        JsonExporter(args.json_dir).export(run)
+    stats = run.stats
+    print(
+        f"[{stats.jobs_total} jobs: {stats.jobs_run} run, "
+        f"{stats.jobs_skipped} resumed from store, "
+        f"{stats.elapsed_s:.1f}s]",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -122,6 +163,29 @@ def main(argv: list[str] | None = None) -> int:
     p_exp = sub.add_parser("experiments", help="paper campaign runner")
     p_exp.add_argument("rest", nargs=argparse.REMAINDER)
     p_exp.set_defaults(func=None)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="run a declarative campaign spec (JSON file)"
+    )
+    p_campaign.add_argument("spec", help="campaign spec JSON (see repro.campaigns)")
+    p_campaign.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    p_campaign.add_argument(
+        "--run-dir", default=None,
+        help="result-store directory; reuse it to resume a killed run",
+    )
+    p_campaign.add_argument(
+        "--csv-dir", default=None, help="write <name>.csv here"
+    )
+    p_campaign.add_argument(
+        "--json-dir", default=None, help="write <name>.json here"
+    )
+    p_campaign.add_argument(
+        "--dry-run", action="store_true",
+        help="print the expanded job list instead of running",
+    )
+    p_campaign.set_defaults(func=cmd_campaign)
 
     args = parser.parse_args(argv)
     if args.command == "experiments":

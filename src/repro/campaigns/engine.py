@@ -1,0 +1,67 @@
+"""Campaign orchestration: spec -> plan -> schedule -> aggregate.
+
+:func:`run_campaign` is the one entry point every experiment and the
+CLI go through: resolve the spec's kind, expand it into the
+deterministic job list, run whatever the result store does not already
+hold, and fold the per-job results into the kind's domain object
+(a ``SweepResult``, ``DidacticTables``, ``ValidationResult``...).
+
+Because expansion and aggregation are pure functions of the spec and
+the job results are content-addressed, re-running a killed campaign
+with the same spec and run directory picks up exactly where it stopped
+and reproduces the final tables byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.campaigns import registry
+from repro.campaigns.progress import Progress
+from repro.campaigns.scheduler import RunStats, Scheduler
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import MemoryStore, open_store
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """Everything one campaign run produced."""
+
+    spec: CampaignSpec
+    result: Any
+    stats: RunStats
+
+    def render(self) -> str:
+        """The campaign's full text report (delegates to its kind)."""
+        return registry.get_kind(self.spec.kind).render(self.spec, self.result)
+
+
+def expand_jobs(spec: CampaignSpec) -> list:
+    """The spec's deterministic job list (dry runs, tests, tooling)."""
+    return registry.get_kind(spec.kind).plan(spec).jobs
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    store: MemoryStore | str | Path | None = None,
+    workers: int = 1,
+    progress: Progress | None = None,
+) -> CampaignRun:
+    """Run (or resume) one campaign end to end.
+
+    ``store`` may be a store instance, a run-directory path (making the
+    campaign resumable across processes), or ``None`` for an ephemeral
+    in-memory run.  ``workers`` sizes the shared process pool; results
+    are identical for every worker count.
+    """
+    kind = registry.get_kind(spec.kind)
+    plan = kind.plan(spec)
+    backing = open_store(store)
+    backing.prepare(spec)
+    scheduler = Scheduler(workers=workers, progress=progress)
+    results, stats = scheduler.run(plan.jobs, backing)
+    result = kind.aggregate(spec, plan, results)
+    return CampaignRun(spec=spec, result=result, stats=stats)

@@ -1,0 +1,87 @@
+"""Pluggable exporters: one place campaign results leave the engine.
+
+The pre-engine experiments each hand-rolled their own printing and CSV
+writing; the exporter layer collapses that plumbing into three small
+classes sharing one protocol — ``export(run)`` on a finished
+:class:`~repro.campaigns.engine.CampaignRun`:
+
+* :class:`TextExporter` — the campaign's full text report (tables +
+  ASCII charts), byte-identical to the historical runner output;
+* :class:`CsvExporter` — ``<name>.csv`` via the kind's ``to_csv`` hook;
+* :class:`JsonExporter` — ``<name>.json`` carrying the spec, run stats
+  and the kind's structured result payload.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import IO
+
+from repro.campaigns import registry
+from repro.campaigns.engine import CampaignRun
+from repro.util.csvout import write_csv
+
+RESULT_FORMAT = "repro-campaign-result/1"
+
+
+class TextExporter:
+    """Print the rendered report (rows + ascii_chart) to a stream."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.stream = stream
+
+    def export(self, run: CampaignRun) -> None:
+        """Write the kind's rendered text for this run."""
+        print(run.render(), file=self.stream or sys.stdout)
+
+
+class CsvExporter:
+    """Write ``<csv_dir>/<spec.name>.csv`` when the kind exports CSV."""
+
+    def __init__(self, csv_dir: str | Path) -> None:
+        self.csv_dir = Path(csv_dir)
+
+    def export(self, run: CampaignRun) -> Path | None:
+        """Write the CSV file; returns its path (None when unsupported)."""
+        kind = registry.get_kind(run.spec.kind)
+        if kind.to_csv is None:
+            return None
+        return write_csv(
+            self.csv_dir / f"{run.spec.name}.csv",
+            kind.to_csv(run.spec, run.result),
+        )
+
+
+class JsonExporter:
+    """Write ``<json_dir>/<spec.name>.json`` with spec + stats + result."""
+
+    def __init__(self, json_dir: str | Path) -> None:
+        self.json_dir = Path(json_dir)
+
+    def export(self, run: CampaignRun) -> Path:
+        """Write the JSON document; returns its path."""
+        kind = registry.get_kind(run.spec.kind)
+        payload = {
+            "format": RESULT_FORMAT,
+            "spec": run.spec.to_dict(),
+            "stats": {
+                "jobs_total": run.stats.jobs_total,
+                "jobs_skipped": run.stats.jobs_skipped,
+                "jobs_run": run.stats.jobs_run,
+                "elapsed_s": round(run.stats.elapsed_s, 3),
+            },
+            "result": (
+                kind.to_jsonable(run.spec, run.result)
+                if kind.to_jsonable is not None
+                else None
+            ),
+        }
+        self.json_dir.mkdir(parents=True, exist_ok=True)
+        target = self.json_dir / f"{run.spec.name}.json"
+        target.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target

@@ -1,0 +1,55 @@
+"""The one progress protocol shared by every campaign.
+
+Before the campaign engine, each experiment carried its own ad-hoc
+``progress: Callable[[str], None]`` printer with hand-rolled messages.
+The scheduler now emits one :class:`ProgressEvent` per completed job
+(and one opening event when a resumed campaign skips stored jobs), so a
+single callback type serves every campaign and carries the numbers a
+front end actually wants: jobs done / total, how many were satisfied
+from the result store, and an ETA extrapolated from the jobs finished
+so far.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One scheduler heartbeat.
+
+    ``done`` counts jobs executed in this run, ``skipped`` the jobs
+    replayed from the store, ``total`` the campaign's unique jobs; the
+    invariant ``done + skipped <= total`` always holds and equality
+    marks the final event.  ``eta_s`` is ``None`` until at least one job
+    has finished in this run.
+    """
+
+    done: int
+    total: int
+    skipped: int
+    label: str
+    elapsed_s: float
+    eta_s: float | None
+
+    @property
+    def finished(self) -> int:
+        """Jobs accounted for so far (executed + replayed)."""
+        return self.done + self.skipped
+
+
+#: The callback protocol: anything accepting a :class:`ProgressEvent`.
+Progress = Callable[[ProgressEvent], None]
+
+
+def stderr_progress(event: ProgressEvent) -> None:
+    """Default printer: one stderr line per event, with counts and ETA."""
+    eta = f", eta {event.eta_s:.0f}s" if event.eta_s is not None else ""
+    label = f" {event.label}" if event.label else ""
+    print(
+        f"  .. [{event.finished}/{event.total}]{label}{eta}",
+        file=sys.stderr,
+    )

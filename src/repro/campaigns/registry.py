@@ -1,0 +1,129 @@
+"""Registries binding campaign kinds and job executors to their code.
+
+Two registries, both keyed by plain strings so that specs and stored
+jobs stay pure data:
+
+* **job executors** — ``@job_executor("sched_chunk")`` registers the
+  worker-side function for one job kind.  Scheduler worker processes
+  resolve executors by name, importing the builtin experiment modules
+  on first use (:func:`load_builtins`), so a job line in a store is
+  runnable by any process that can import ``repro``.
+* **campaign kinds** — a :class:`CampaignKind` bundles the five hooks a
+  declarative campaign needs: ``plan`` (spec -> deterministic job list
+  plus aggregation scaffolding), ``aggregate`` (job results -> domain
+  result object), ``render`` (result -> the exact text the runner
+  prints), ``to_csv`` and ``to_jsonable`` (exporter payloads).
+
+The experiment modules under :mod:`repro.experiments` register their
+kinds at import time; :func:`load_builtins` imports them lazily to keep
+``repro.campaigns`` free of import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.campaigns.spec import CampaignSpec, Job
+
+_EXECUTORS: dict[str, Callable[[Mapping[str, Any]], Any]] = {}
+_KINDS: dict[str, "CampaignKind"] = {}
+_BUILTINS_LOADED = False
+
+#: Experiment modules that register builtin campaign kinds on import.
+_BUILTIN_MODULES = (
+    "repro.experiments.schedulability_sweep",
+    "repro.experiments.av_topologies",
+    "repro.experiments.buffer_sweep",
+    "repro.experiments.routing_study",
+    "repro.experiments.didactic_table",
+    "repro.experiments.validation_sweep",
+)
+
+
+@dataclass
+class Plan:
+    """A spec expanded into jobs, plus kind-private aggregation context."""
+
+    jobs: list[Job]
+    context: Any = None
+
+
+@dataclass(frozen=True)
+class CampaignKind:
+    """One campaign family: how to expand, aggregate and export it."""
+
+    name: str
+    plan: Callable[[CampaignSpec], Plan]
+    aggregate: Callable[[CampaignSpec, Plan, Mapping[str, Any]], Any]
+    render: Callable[[CampaignSpec, Any], str]
+    to_csv: Callable[[CampaignSpec, Any], str] | None = None
+    to_jsonable: Callable[[CampaignSpec, Any], Any] | None = None
+
+
+def job_executor(kind: str):
+    """Class decorator-style registration of one job kind's executor."""
+
+    def register(fn: Callable[[Mapping[str, Any]], Any]):
+        if kind in _EXECUTORS and _EXECUTORS[kind] is not fn:
+            raise ValueError(f"job kind {kind!r} registered twice")
+        _EXECUTORS[kind] = fn
+        return fn
+
+    return register
+
+
+def register_kind(kind: CampaignKind) -> CampaignKind:
+    """Register one campaign kind (idempotent per kind object)."""
+    existing = _KINDS.get(kind.name)
+    if existing is not None and existing is not kind:
+        raise ValueError(f"campaign kind {kind.name!r} registered twice")
+    _KINDS[kind.name] = kind
+    return kind
+
+
+def load_builtins() -> None:
+    """Import the builtin experiment modules (registering their kinds)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+    _BUILTINS_LOADED = True
+
+
+def get_kind(name: str) -> CampaignKind:
+    """Resolve a campaign kind by name (builtins loaded on demand)."""
+    load_builtins()
+    try:
+        return _KINDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown campaign kind {name!r}; "
+            f"available kinds: {', '.join(sorted(_KINDS))}"
+        ) from None
+
+
+def get_executor(kind: str) -> Callable[[Mapping[str, Any]], Any]:
+    """Resolve a job executor by kind (builtins loaded on demand)."""
+    load_builtins()
+    try:
+        return _EXECUTORS[kind]
+    except KeyError:
+        raise ValueError(
+            f"no executor registered for job kind {kind!r}; "
+            f"known kinds: {', '.join(sorted(_EXECUTORS))}"
+        ) from None
+
+
+def execute_job(kind: str, params: Mapping[str, Any]) -> Any:
+    """Run one job in the current process (used serially and by workers)."""
+    return get_executor(kind)(params)
+
+
+def kind_names() -> Sequence[str]:
+    """All registered campaign kinds (builtins included)."""
+    load_builtins()
+    return tuple(sorted(_KINDS))

@@ -1,0 +1,180 @@
+"""The shared scheduler: one process pool for every campaign's jobs.
+
+The scheduler is where all six experiments' hand-rolled worker pools
+collapsed into one code path.  It takes the deterministic job list a
+spec expands to, drops every job whose content address is already in
+the result store (resume), deduplicates identical jobs within the run
+(two x-axis points with the same parameters share one computation), and
+fans the remainder out over a single :class:`ProcessPoolExecutor` —
+emitting one :class:`~repro.campaigns.progress.ProgressEvent` per
+completion.
+
+Worker processes resolve executors through the registry and reuse
+process-local platforms via :func:`worker_platform` (the pattern
+pioneered by ``schedulability_sweep._worker_platform``): one topology —
+and with it one memoized route table — per (mesh, routing) for the
+lifetime of the worker, whatever mix of campaigns flows through the
+pool.
+
+Determinism: results are keyed by content address and aggregation folds
+them in job-list order, so worker counts, chunk completion order and
+cold-vs-resumed runs all produce identical campaign results.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.campaigns import registry
+from repro.campaigns.progress import Progress, ProgressEvent
+from repro.campaigns.store import MemoryStore
+from repro.noc.platform import NoCPlatform
+from repro.noc.routing import RoutingFunction, XYRouting, YXRouting
+from repro.noc.topology import Mesh2D
+
+#: Process-local platform cache (see module docstring).  Keyed by
+#: (cols, rows, buf, routing name); workers keep one platform per key —
+#: and one shared topology per mesh, so buffer-depth variants of the
+#: same mesh reuse a single memoized route table.
+_WORKER_PLATFORMS: dict[tuple, NoCPlatform] = {}
+_WORKER_MESHES: dict[tuple[int, int], Mesh2D] = {}
+
+_ROUTING_TYPES: dict[str, type[RoutingFunction]] = {
+    "xy": XYRouting,
+    "yx": YXRouting,
+}
+#: One routing-function instance per name — route tables live on the
+#: instance (keyed weakly by topology), so sharing it is what lets
+#: buffer variants share routes.
+_WORKER_ROUTINGS: dict[str, RoutingFunction] = {}
+
+
+def worker_platform(
+    cols: int, rows: int, buf: int, routing: str = "xy"
+) -> NoCPlatform:
+    """A process-local, route-cache-sharing mesh platform."""
+    key = (cols, rows, buf, routing)
+    platform = _WORKER_PLATFORMS.get(key)
+    if platform is None:
+        mesh = _WORKER_MESHES.get((cols, rows))
+        if mesh is None:
+            mesh = _WORKER_MESHES.setdefault((cols, rows), Mesh2D(cols, rows))
+        router = _WORKER_ROUTINGS.get(routing)
+        if router is None:
+            router = _WORKER_ROUTINGS.setdefault(
+                routing, _ROUTING_TYPES[routing]()
+            )
+        platform = NoCPlatform(mesh, buf=buf, routing=router)
+        _WORKER_PLATFORMS[key] = platform
+    return platform
+
+
+def _pool_execute(payload: tuple[str, str, dict]) -> tuple[str, Any]:
+    """Worker entry point: run one job, keyed back by content address."""
+    job_id, kind, params = payload
+    return job_id, registry.execute_job(kind, params)
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Accounting of one scheduler pass over a campaign's job list."""
+
+    jobs_total: int
+    jobs_skipped: int
+    jobs_run: int
+    elapsed_s: float
+
+    @property
+    def resumed(self) -> bool:
+        """True when at least one job was replayed from the store."""
+        return self.jobs_skipped > 0
+
+
+class Scheduler:
+    """Expand-once, run-anywhere job scheduler over one shared pool."""
+
+    def __init__(
+        self, *, workers: int = 1, progress: Progress | None = None
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.progress = progress
+
+    def run(
+        self, jobs: Sequence, store: MemoryStore
+    ) -> tuple[dict[str, Any], RunStats]:
+        """Execute every job not already stored; return results + stats.
+
+        The returned mapping covers each distinct job id exactly once,
+        whether its result was computed now or replayed from the store.
+        """
+        start = time.perf_counter()
+        stored = store.load()
+        needed: dict[str, Any] = {}  # job_id -> Job, insertion-ordered
+        for job in jobs:
+            needed.setdefault(job.job_id, job)
+        todo = {
+            job_id: job
+            for job_id, job in needed.items()
+            if job_id not in stored
+        }
+        skipped = len(needed) - len(todo)
+        results = {
+            job_id: stored[job_id] for job_id in needed if job_id in stored
+        }
+        done = 0
+
+        def emit(label: str) -> None:
+            if self.progress is None:
+                return
+            elapsed = time.perf_counter() - start
+            eta = None
+            if 0 < done and todo:
+                eta = elapsed / done * (len(todo) - done)
+            self.progress(
+                ProgressEvent(
+                    done=done,
+                    total=len(needed),
+                    skipped=skipped,
+                    label=label,
+                    elapsed_s=elapsed,
+                    eta_s=eta,
+                )
+            )
+
+        if skipped:
+            emit(f"resumed: {skipped} stored jobs skipped")
+
+        def absorb(job_id: str, result: Any) -> None:
+            nonlocal done
+            done += 1
+            results[job_id] = store.put(job_id, result)
+
+        if self.workers > 1 and len(todo) > 1:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = {
+                    pool.submit(
+                        _pool_execute, (job_id, job.kind, job.params)
+                    ): job
+                    for job_id, job in todo.items()
+                }
+                for future in as_completed(futures):
+                    job_id, result = future.result()
+                    absorb(job_id, result)
+                    emit(futures[future].label)
+        else:
+            for job_id, job in todo.items():
+                absorb(job_id, registry.execute_job(job.kind, job.params))
+                emit(job.label)
+
+        stats = RunStats(
+            jobs_total=len(needed),
+            jobs_skipped=skipped,
+            jobs_run=done,
+            elapsed_s=time.perf_counter() - start,
+        )
+        return results, stats

@@ -1,0 +1,198 @@
+"""Declarative campaign specifications and content-addressed jobs.
+
+A :class:`CampaignSpec` is pure data: a campaign *kind* (which family of
+experiment — ``schedulability``, ``av_topologies``, ``buffer_sweep``,
+``routing``, ``didactic_table``, ``validation``), a name used for export
+files, and a kind-specific ``params`` mapping describing the evaluation
+grid (topologies × flow counts × buffer depths × seeds × analysis
+points).  Specs are expressible from Python and as JSON documents
+(``python -m repro campaign spec.json``), and everything downstream —
+job expansion, scheduling, storage, aggregation — is a deterministic
+function of the spec.
+
+Jobs are content-addressed: :func:`job_hash` fingerprints the canonical
+JSON of ``{kind, params}``, so a job's identity is exactly the
+computation it denotes.  **Stability rules** (see DESIGN.md): params
+hold only semantic inputs (never worker counts, timestamps, or paths);
+chunk boundaries are derived from spec fields alone so the same spec
+always expands to the same job set; params are normalised through JSON
+before hashing so tuples vs lists cannot split the address space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+SPEC_FORMAT = "repro-campaign/1"
+
+
+def canonical_json(data: Any) -> str:
+    """Canonical JSON text: sorted keys, compact separators, finite floats.
+
+    The canonical form is the hashing substrate, so it must be stable
+    across processes and Python versions: ``sort_keys`` fixes object
+    order, compact separators fix whitespace, and ``allow_nan=False``
+    rejects values whose text form is not valid JSON.
+
+    >>> canonical_json({"b": (1, 2), "a": None})
+    '{"a":null,"b":[1,2]}'
+    """
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def jsonable(data: Any) -> Any:
+    """Normalise nested data through a JSON round-trip (tuples -> lists)."""
+    return json.loads(canonical_json(data))
+
+
+def job_hash(kind: str, params: Mapping[str, Any]) -> str:
+    """The stable content address of one job.
+
+    >>> job_hash("demo", {"n": 1}) == job_hash("demo", {"n": 1})
+    True
+    >>> job_hash("demo", {"n": 1}) == job_hash("demo", {"n": 2})
+    False
+    """
+    payload = canonical_json({"kind": kind, "params": jsonable(params)})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(eq=False)
+class Job:
+    """One schedulable unit of work: an executor kind plus its inputs.
+
+    ``params`` must be JSON-able (they are normalised at construction);
+    ``label`` is a human-readable description used for progress lines
+    and is deliberately **excluded** from the content address.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.params = jsonable(self.params)
+        self._job_id: str | None = None
+
+    @property
+    def job_id(self) -> str:
+        """Content address of this job (cached)."""
+        if self._job_id is None:
+            self._job_id = job_hash(self.kind, self.params)
+        return self._job_id
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative campaign: kind + name + grid parameters.
+
+    >>> spec = CampaignSpec(kind="schedulability", name="fig4a",
+    ...                     params={"mesh": [4, 4]})
+    >>> CampaignSpec.from_dict(spec.to_dict()) == spec
+    True
+    """
+
+    kind: str
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or any(sep in self.name for sep in "/\\"):
+            raise ValueError(
+                f"campaign name must be a plain file stem, got {self.name!r}"
+            )
+        # Freeze the params into their canonical (JSON-normalised) form
+        # so equality, hashing and serialisation all agree.
+        object.__setattr__(self, "params", jsonable(dict(self.params)))
+
+    def to_dict(self) -> dict:
+        """Serialise to the on-disk JSON document shape."""
+        return {
+            "format": SPEC_FORMAT,
+            "kind": self.kind,
+            "name": self.name,
+            "params": jsonable(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` data (format-checked)."""
+        declared = data.get("format")
+        if declared != SPEC_FORMAT:
+            raise ValueError(
+                f"unsupported campaign format {declared!r}; "
+                f"expected {SPEC_FORMAT!r}"
+            )
+        for key in ("kind", "name"):
+            if not isinstance(data.get(key), str):
+                raise ValueError(f"campaign spec needs a string {key!r} field")
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ValueError("campaign spec 'params' must be an object")
+        return cls(kind=data["kind"], name=data["name"], params=dict(params))
+
+    def canonical(self) -> str:
+        """Canonical JSON text of the whole spec (provenance records)."""
+        return canonical_json(self.to_dict())
+
+
+_MISSING = object()
+
+
+def spec_param(spec: CampaignSpec, name: str, default: Any = _MISSING) -> Any:
+    """A spec parameter, with a campaign-level error when absent.
+
+    Plans read required fields through this so that hand-written JSON
+    specs fail with a message naming the spec and the field instead of
+    a raw ``KeyError`` deep inside expansion.
+    """
+    value = spec.params.get(name, _MISSING)
+    if value is _MISSING:
+        if default is not _MISSING:
+            return default
+        raise ValueError(
+            f"campaign {spec.name!r} (kind={spec.kind}) is missing "
+            f"required parameter {name!r}"
+        )
+    return value
+
+
+def chunk_size_param(spec: CampaignSpec, name: str = "chunk_size") -> int | None:
+    """Validated optional chunk size (``None`` -> kind default).
+
+    Guards the JSON spec path the Python builders cannot: a malformed
+    ``chunk_size`` would otherwise expand to an empty job list and a
+    silently all-zero campaign.
+    """
+    value = spec.params.get(name)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ValueError(
+            f"campaign {spec.name!r}: {name} must be a positive integer "
+            f"or null, got {value!r}"
+        )
+    return value
+
+
+def save_spec(spec: CampaignSpec, path: str | Path) -> Path:
+    """Write a spec as pretty-printed JSON."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_spec(path: str | Path) -> CampaignSpec:
+    """Read a campaign spec document (``python -m repro campaign ...``)."""
+    return CampaignSpec.from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )

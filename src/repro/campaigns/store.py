@@ -1,0 +1,127 @@
+"""Content-addressed result stores: what makes campaigns resumable.
+
+A :class:`ResultStore` persists one JSON line per completed job under a
+run directory — ``{"job": <hash>, "result": {...}}`` appended to
+``results.jsonl`` as soon as the job finishes.  Because lines are
+keyed by the job's content address (:func:`repro.campaigns.spec.job_hash`)
+and appended atomically-enough (one ``write`` of one line), a campaign
+killed mid-run can simply be re-run: the scheduler skips every job
+whose hash is already present and recomputes only the rest, and the
+final aggregation is byte-identical to an uninterrupted run because
+results are JSON-normalised the moment they are produced — a fresh
+result and a replayed one are the same object either way.
+
+:class:`MemoryStore` is the ephemeral variant used when no run
+directory is given (one-shot campaigns, tests).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.campaigns.spec import jsonable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.campaigns.spec import CampaignSpec
+
+RESULTS_NAME = "results.jsonl"
+SPEC_NAME = "spec.json"
+
+
+class MemoryStore:
+    """Ephemeral in-process store with the :class:`ResultStore` interface."""
+
+    def __init__(self) -> None:
+        self._results: dict[str, Any] = {}
+
+    def prepare(self, spec: "CampaignSpec") -> None:
+        """No provenance to write for an in-memory run."""
+
+    def load(self) -> dict[str, Any]:
+        """All stored results, keyed by job hash."""
+        return dict(self._results)
+
+    def put(self, job_id: str, result: Any) -> Any:
+        """Record one finished job; returns the normalised result."""
+        normalised = jsonable(result)
+        self._results[job_id] = normalised
+        return normalised
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+class ResultStore(MemoryStore):
+    """JSONL-backed store under a run directory; append-only, resumable."""
+
+    def __init__(self, run_dir: str | Path) -> None:
+        super().__init__()
+        self.run_dir = Path(run_dir)
+        self.path = self.run_dir / RESULTS_NAME
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._results = dict(self._read_lines())
+
+    def prepare(self, spec: "CampaignSpec") -> None:
+        """Pin the run directory to one campaign.
+
+        Writes ``spec.json`` on first use and refuses to resume when the
+        directory already belongs to a *different* spec — mixing two
+        campaigns' results in one store would silently corrupt both.
+        """
+        spec_path = self.run_dir / SPEC_NAME
+        canonical = spec.canonical()
+        if spec_path.exists():
+            existing = spec_path.read_text(encoding="utf-8").strip()
+            if existing != canonical:
+                raise ValueError(
+                    f"{self.run_dir} already holds results for a different "
+                    "campaign spec; use a fresh --run-dir"
+                )
+            return
+        spec_path.write_text(canonical + "\n", encoding="utf-8")
+
+    def _read_lines(self) -> Iterator[tuple[str, Any]]:
+        """Replay the JSONL, tolerating a torn final line (killed run)."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A write interrupted mid-line; everything before it
+                    # is intact, the torn job simply reruns.
+                    continue
+                if isinstance(record, dict) and "job" in record:
+                    yield record["job"], record.get("result")
+
+    def put(self, job_id: str, result: Any) -> Any:
+        """Append one result line and mirror it in memory."""
+        normalised = jsonable(result)
+        line = json.dumps(
+            {"job": job_id, "result": normalised},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+        self._results[job_id] = normalised
+        return normalised
+
+
+def open_store(target: "MemoryStore | str | Path | None") -> MemoryStore:
+    """Coerce ``None`` / path-likes / stores into a store instance."""
+    if target is None:
+        return MemoryStore()
+    if isinstance(target, MemoryStore):
+        return target
+    return ResultStore(target)

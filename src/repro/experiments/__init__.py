@@ -1,16 +1,25 @@
 """Experiment harness: one module per paper table/figure.
 
+Every experiment here is a campaign-kind on the campaign engine
+(:mod:`repro.campaigns`): each module registers its declarative spec
+builder, job executor and aggregation, and also keeps its historical
+one-call function (``schedulability_sweep(...)`` etc.) as an ephemeral
+engine run.
+
 * :mod:`repro.experiments.didactic_table` — Tables I & II (Section V);
 * :mod:`repro.experiments.schedulability_sweep` — Figure 4(a)/(b);
 * :mod:`repro.experiments.av_topologies` — Figure 5;
 * :mod:`repro.experiments.buffer_sweep` — the Section VI buffer-size
   claim (2..100 flit buffers, monotone schedulability);
+* :mod:`repro.experiments.validation_sweep` — simulated worst cases
+  versus the SB/IBN/XLWX bounds across buffer depths;
+* :mod:`repro.experiments.sim_jobs` — the shared simulation job kind;
 * :mod:`repro.experiments.scale` — reduced/full-scale presets selected by
   the ``REPRO_SCALE`` environment variable;
 * :mod:`repro.experiments.report` — chart/CSV rendering of campaign
   results;
 * :mod:`repro.experiments.runner` — ``python -m repro.experiments.runner``
-  command-line front end.
+  command-line front end (thin dispatch over campaign specs).
 """
 
 from repro.experiments.scale import Scale, get_scale
@@ -18,16 +27,23 @@ from repro.experiments.schedulability_sweep import (
     AnalysisSpec,
     SweepResult,
     fig4_specs,
+    schedulability_spec,
     schedulability_sweep,
 )
-from repro.experiments.av_topologies import av_topology_study, FIG5_TOPOLOGIES
-from repro.experiments.buffer_sweep import buffer_sweep
-from repro.experiments.didactic_table import didactic_tables
-from repro.experiments.routing_study import routing_comparison
+from repro.experiments.av_topologies import (
+    av_topologies_spec,
+    av_topology_study,
+    FIG5_TOPOLOGIES,
+)
+from repro.experiments.buffer_sweep import buffer_sweep, buffer_sweep_spec
+from repro.experiments.didactic_table import didactic_table_spec, didactic_tables
+from repro.experiments.routing_study import routing_comparison, routing_spec
+from repro.experiments.validation_sweep import validation_spec, validation_sweep
 from repro.experiments.stats import Interval, wilson_interval
 
 __all__ = [
     "routing_comparison",
+    "routing_spec",
     "Interval",
     "wilson_interval",
     "Scale",
@@ -35,9 +51,15 @@ __all__ = [
     "AnalysisSpec",
     "SweepResult",
     "fig4_specs",
+    "schedulability_spec",
     "schedulability_sweep",
+    "av_topologies_spec",
     "av_topology_study",
     "FIG5_TOPOLOGIES",
     "buffer_sweep",
+    "buffer_sweep_spec",
+    "didactic_table_spec",
     "didactic_tables",
+    "validation_spec",
+    "validation_sweep",
 ]

@@ -4,21 +4,30 @@ For every topology, generate ``mappings`` random task-to-core mappings of
 the AV application, and report the percentage of mappings deemed fully
 schedulable by XLWX, IBN2 and IBN100 (SB is omitted, as in the paper's
 Figure 5).
+
+Runs on the campaign engine: :func:`av_topologies_spec` declares the
+study, one content-addressed job per topology; identical topologies in
+the grid share one stored result, and interrupted studies resume from
+the result store.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, Sequence
+from typing import Mapping, Sequence
 
+from repro.campaigns.progress import Progress
+from repro.campaigns.registry import CampaignKind, Plan, register_kind
+from repro.campaigns.scheduler import worker_platform
+from repro.campaigns.spec import CampaignSpec, Job, spec_param
+from repro.campaigns import registry as _registry
 from repro.experiments.schedulability_sweep import (
-    AnalysisSpec,
     SweepResult,
     fig4_specs,
+    render_gap_notes,
     spec_verdicts,
+    sweep_csv_export,
+    sweep_to_jsonable,
 )
-from repro.noc.platform import NoCPlatform
-from repro.noc.topology import Mesh2D
 from repro.workloads.av_benchmark import DEFAULT_CLOCK_HZ, av_flowset
 
 #: The paper's 26 topologies (x-axis order of Figure 5).
@@ -30,29 +39,141 @@ FIG5_TOPOLOGIES: tuple[tuple[int, int], ...] = (
 )
 
 
-def _study_one_topology(args: tuple) -> tuple[str, dict[str, float]]:
-    (cols, rows, mappings, seed, small_buf, large_buf, clock_hz,
-     length_scale) = args
-    platform = NoCPlatform(Mesh2D(cols, rows), buf=small_buf)
-    specs = fig4_specs(small_buf, large_buf, include_sb=False)
+@_registry.job_executor("av_topology")
+def run_av_topology(params: Mapping) -> dict:
+    """Worker: every mapping of the AV application on one topology.
+
+    Shares one interference graph across the buffer variants and
+    bisects the pointwise-ordered analysis chain (see
+    :func:`~repro.experiments.schedulability_sweep.spec_verdicts`).
+    """
+    cols, rows = params["mesh"]
+    platform = worker_platform(cols, rows, params["small_buf"])
+    specs = fig4_specs(
+        params["small_buf"], params["large_buf"], include_sb=False
+    )
     counts = {spec.label: 0 for spec in specs}
-    for mapping_index in range(mappings):
+    for mapping_index in range(params["mappings"]):
         flowset = av_flowset(
             platform,
-            seed=seed,
+            seed=params["seed"],
             mapping_index=mapping_index,
-            clock_hz=clock_hz,
-            length_scale=length_scale,
+            clock_hz=params["clock_hz"],
+            length_scale=params["length_scale"],
         )
-        # Shares one interference graph across the buffer variants and
-        # bisects the pointwise-ordered analysis chain (see
-        # :func:`~repro.experiments.schedulability_sweep.spec_verdicts`).
         for label, ok in spec_verdicts(flowset, specs).items():
             counts[label] += ok
-    percentages = {
-        label: 100.0 * count / mappings for label, count in counts.items()
+    return {"counts": counts, "mappings": params["mappings"]}
+
+
+def av_topologies_spec(
+    topologies: Sequence[tuple[int, int]],
+    mappings: int,
+    *,
+    seed: int,
+    name: str = "fig5",
+    small_buf: int = 2,
+    large_buf: int = 100,
+    clock_hz: float = DEFAULT_CLOCK_HZ,
+    length_scale: float = 2.0,
+    title: str | None = None,
+    gap_notes: Sequence[Mapping] = (),
+) -> CampaignSpec:
+    """Declare one Figure-5-style topology study as a campaign spec."""
+    return CampaignSpec(
+        kind="av_topologies",
+        name=name,
+        params={
+            "topologies": [list(mesh) for mesh in topologies],
+            "mappings": mappings,
+            "seed": seed,
+            "small_buf": small_buf,
+            "large_buf": large_buf,
+            "clock_hz": clock_hz,
+            "length_scale": length_scale,
+            "title": title,
+            "gap_notes": [dict(note) for note in gap_notes],
+        },
+    )
+
+
+def _av_params(spec: CampaignSpec) -> dict:
+    """Validated spec parameters with kind defaults (JSON specs too)."""
+    return {
+        "topologies": spec_param(spec, "topologies"),
+        "mappings": spec_param(spec, "mappings"),
+        "seed": spec_param(spec, "seed"),
+        "small_buf": spec_param(spec, "small_buf", 2),
+        "large_buf": spec_param(spec, "large_buf", 100),
+        "clock_hz": spec_param(spec, "clock_hz", DEFAULT_CLOCK_HZ),
+        "length_scale": spec_param(spec, "length_scale", 2.0),
     }
-    return f"{cols}x{rows}", percentages
+
+
+def _av_plan(spec: CampaignSpec) -> Plan:
+    p = _av_params(spec)
+    jobs = [
+        Job(
+            kind="av_topology",
+            params={
+                "mesh": mesh,
+                "mappings": p["mappings"],
+                "seed": p["seed"],
+                "small_buf": p["small_buf"],
+                "large_buf": p["large_buf"],
+                "clock_hz": p["clock_hz"],
+                "length_scale": p["length_scale"],
+            },
+            label=f"{spec.name} {mesh[0]}x{mesh[1]} ({p['mappings']} mappings)",
+        )
+        for mesh in p["topologies"]
+    ]
+    return Plan(jobs=jobs, context=jobs)
+
+
+def _av_aggregate(
+    spec: CampaignSpec, plan: Plan, results: Mapping[str, Mapping]
+) -> SweepResult:
+    p = _av_params(spec)
+    mappings = p["mappings"]
+    # Stored counts come back with JSON-sorted keys; impose the curve
+    # order of the figure (XLWX, IBN2, IBN100) explicitly.
+    labels = [
+        s.label
+        for s in fig4_specs(p["small_buf"], p["large_buf"], include_sb=False)
+    ]
+    result = SweepResult(x_label="network topology", sets_per_point=mappings)
+    for mesh, job in zip(p["topologies"], plan.context):
+        counts = results[job.job_id]["counts"]
+        result.add_point(
+            f"{mesh[0]}x{mesh[1]}",
+            {label: 100.0 * counts[label] / mappings for label in labels},
+        )
+    return result
+
+
+def _av_render(spec: CampaignSpec, result: SweepResult) -> str:
+    from repro.experiments.report import render_sweep
+
+    title = spec.params.get("title") or "% schedulable AV mappings"
+    lines = [render_sweep(result, title=title)]
+    notes = spec.params.get("gap_notes") or []
+    if notes:
+        lines.append("")
+        lines.extend(render_gap_notes(result, notes))
+    return "\n".join(lines)
+
+
+AV_TOPOLOGIES_KIND = register_kind(
+    CampaignKind(
+        name="av_topologies",
+        plan=_av_plan,
+        aggregate=_av_aggregate,
+        render=_av_render,
+        to_csv=sweep_csv_export,
+        to_jsonable=sweep_to_jsonable,
+    )
+)
 
 
 def av_topology_study(
@@ -65,44 +186,24 @@ def av_topology_study(
     clock_hz: float = DEFAULT_CLOCK_HZ,
     length_scale: float = 2.0,
     workers: int = 1,
-    progress: Callable[[str], None] | None = None,
+    progress: Progress | None = None,
 ) -> SweepResult:
     """Run the Figure 5 campaign over the given topologies.
 
-    ``progress`` receives one message per completed topology in serial and
-    parallel runs alike (points can complete out of order under
-    ``workers > 1``; the result keeps the x-axis order regardless).
+    An ephemeral campaign-engine run; ``progress`` receives one
+    :class:`~repro.campaigns.progress.ProgressEvent` per completed
+    topology (topologies can complete out of order under ``workers >
+    1``; the result keeps the x-axis order regardless).
     """
-    result = SweepResult(x_label="network topology", sets_per_point=mappings)
-    jobs = [
-        (cols, rows, mappings, seed, small_buf, large_buf, clock_hz,
-         length_scale)
-        for cols, rows in topologies
-    ]
+    from repro.campaigns.engine import run_campaign
 
-    def _report(outcome: tuple[str, dict[str, float]]) -> None:
-        if progress is None:
-            return
-        label, percentages = outcome
-        rendered = ", ".join(
-            f"{name}={value:.0f}%" for name, value in percentages.items()
-        )
-        progress(f"{label}: {rendered}")
-
-    outcomes: dict[str, dict[str, float]] = {}
-    if workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_study_one_topology, job) for job in jobs]
-            for future in as_completed(futures):
-                outcome = future.result()
-                outcomes[outcome[0]] = outcome[1]
-                _report(outcome)
-    else:
-        for job in jobs:
-            outcome = _study_one_topology(job)
-            outcomes[outcome[0]] = outcome[1]
-            _report(outcome)
-    for cols, rows in topologies:
-        label = f"{cols}x{rows}"
-        result.add_point(label, outcomes[label])
-    return result
+    spec = av_topologies_spec(
+        topologies,
+        mappings,
+        seed=seed,
+        small_buf=small_buf,
+        large_buf=large_buf,
+        clock_hz=clock_hz,
+        length_scale=length_scale,
+    )
+    return run_campaign(spec, workers=workers, progress=progress).result

@@ -4,19 +4,28 @@ Regenerates the didactic example end-to-end: the flow parameters of
 Table I, the SB/XLWX/IBN bounds of Table II for 2- and 10-flit buffers,
 and — when ``with_simulation`` — the worst observed cycle-accurate
 latencies under a τ1 release-offset sweep (the paper's ``R^sim`` columns).
+
+Runs on the campaign engine: :func:`didactic_table_spec` expands the
+offset sweep of each buffer depth into content-addressed ``sim_chunk``
+jobs (the analysis columns are recomputed at aggregation time — they
+cost microseconds), so paper-scale exhaustive sweeps parallelise over
+the shared scheduler pool and resume from a result store.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Mapping
 
+from repro.campaigns.progress import Progress
+from repro.campaigns.registry import CampaignKind, Plan, register_kind
+from repro.campaigns.spec import CampaignSpec, chunk_size_param, spec_param
 from repro.core.analyses.ibn import IBNAnalysis
 from repro.core.analyses.sb import SBAnalysis
 from repro.core.analyses.xlwx import XLWXAnalysis
 from repro.core.engine import analyze
 from repro.core.interference import InterferenceGraph
-from repro.sim.worstcase import offset_search
+from repro.experiments.sim_jobs import expand_sim_chunks, fold_worst
 from repro.workloads.didactic import didactic_flows, didactic_flowset
 
 #: Paper values for Table II's analysis columns (exact oracle).
@@ -31,6 +40,9 @@ PAPER_TABLE2 = {
 }
 
 FLOW_ORDER = ("t1", "t2", "t3")
+
+#: The simulation columns' buffer depths, in the paper's column order.
+SIM_BUFS = ((10, "R_sim_b10"), (2, "R_sim_b2"))
 
 
 @dataclass
@@ -62,20 +74,8 @@ class DidacticTables:
         return "\n".join(lines)
 
 
-def didactic_tables(
-    *,
-    with_simulation: bool = True,
-    offset_step: int = 1,
-    release_horizon: int = 6001,
-    workers: int = 1,
-) -> DidacticTables:
-    """Recompute Tables I and II.
-
-    ``offset_step`` thins the τ1 offset sweep (1 = every phase, the paper's
-    exhaustive setting; larger steps trade fidelity for speed).
-    ``workers`` parallelises the sweep's simulations without changing its
-    outcome.
-    """
+def _analysis_tables() -> DidacticTables:
+    """Table I plus the four analysis columns of Table II."""
     tables = DidacticTables()
     flows = didactic_flows()
     flowset2 = didactic_flowset(buf=2)
@@ -107,27 +107,128 @@ def didactic_tables(
     tables.table2["R_XLWX"] = column(flowset2, XLWXAnalysis())
     tables.table2["R_IBN_b10"] = column(flowset10, IBNAnalysis())
     tables.table2["R_IBN_b2"] = column(flowset2, IBNAnalysis())
-
-    if with_simulation:
-        # One pool shared by both buffer-depth sweeps (pool start-up and
-        # worker spin-up are paid once; results are worker-count
-        # independent).
-        executor = None
-        if workers > 1:
-            executor = ProcessPoolExecutor(max_workers=workers)
-        try:
-            for buf, label in ((10, "R_sim_b10"), (2, "R_sim_b2")):
-                flowset = didactic_flowset(buf=buf)
-                search = offset_search(
-                    flowset,
-                    {"t1": range(0, flows[0].period, offset_step)},
-                    release_horizon=release_horizon,
-                    executor=executor,
-                )
-                tables.table2[label] = {
-                    name: search.worst_latency(name) for name in FLOW_ORDER
-                }
-        finally:
-            if executor is not None:
-                executor.shutdown()
     return tables
+
+
+def didactic_table_spec(
+    *,
+    name: str = "table2",
+    with_simulation: bool = True,
+    offset_step: int = 1,
+    release_horizon: int = 6001,
+    chunk_size: int | None = None,
+    with_paper_note: bool = True,
+) -> CampaignSpec:
+    """Declare the Table I/II regeneration as a campaign spec."""
+    return CampaignSpec(
+        kind="didactic_table",
+        name=name,
+        params={
+            "with_simulation": with_simulation,
+            "offset_step": offset_step,
+            "release_horizon": release_horizon,
+            "chunk_size": chunk_size,
+            "with_paper_note": with_paper_note,
+        },
+    )
+
+
+def _didactic_params(spec: CampaignSpec) -> dict:
+    """Validated spec parameters with kind defaults (JSON specs too)."""
+    return {
+        "with_simulation": spec_param(spec, "with_simulation", True),
+        "offset_step": spec_param(spec, "offset_step", 1),
+        "release_horizon": spec_param(spec, "release_horizon", 6001),
+        "chunk_size": chunk_size_param(spec),
+    }
+
+
+def _didactic_plan(spec: CampaignSpec) -> Plan:
+    """Expand each simulated buffer depth's τ1 sweep into sim chunks."""
+    p = _didactic_params(spec)
+    if not p["with_simulation"]:
+        return Plan(jobs=[], context=[])
+    flows = didactic_flows()
+    groups = []
+    for buf, label in SIM_BUFS:
+        jobs, _ = expand_sim_chunks(
+            spec.name,
+            f"buf={buf}",
+            {"kind": "didactic", "buf": buf},
+            didactic_flowset(buf=buf),
+            {"t1": range(0, flows[0].period, p["offset_step"])},
+            p["release_horizon"],
+            p["chunk_size"],
+        )
+        groups.append({"label": label, "jobs": jobs})
+    return Plan(
+        jobs=[job for group in groups for job in group["jobs"]],
+        context=groups,
+    )
+
+
+def _didactic_aggregate(
+    spec: CampaignSpec, plan: Plan, results: Mapping[str, Mapping]
+) -> DidacticTables:
+    tables = _analysis_tables()
+    for group in plan.context:
+        worst = fold_worst([results[job.job_id] for job in group["jobs"]])
+        tables.table2[group["label"]] = {
+            name: worst.get(name, 0) for name in FLOW_ORDER
+        }
+    return tables
+
+
+def _didactic_render(spec: CampaignSpec, tables: DidacticTables) -> str:
+    lines = [tables.render()]
+    if spec.params.get("with_paper_note", True):
+        lines.append("")
+        lines.append("Paper's Table II (for comparison):")
+        for label, values in PAPER_TABLE2.items():
+            rendered = "  ".join(f"{k}={v}" for k, v in values.items())
+            lines.append(f"  {label:<18} {rendered}")
+    return "\n".join(lines)
+
+
+def _didactic_jsonable(spec: CampaignSpec, tables: DidacticTables) -> dict:
+    return {
+        "table1_rows": [list(row) for row in tables.table1_rows],
+        "table2": tables.table2,
+    }
+
+
+DIDACTIC_TABLE_KIND = register_kind(
+    CampaignKind(
+        name="didactic_table",
+        plan=_didactic_plan,
+        aggregate=_didactic_aggregate,
+        render=_didactic_render,
+        to_csv=None,
+        to_jsonable=_didactic_jsonable,
+    )
+)
+
+
+def didactic_tables(
+    *,
+    with_simulation: bool = True,
+    offset_step: int = 1,
+    release_horizon: int = 6001,
+    workers: int = 1,
+    progress: Progress | None = None,
+) -> DidacticTables:
+    """Recompute Tables I and II (an ephemeral campaign-engine run).
+
+    ``offset_step`` thins the τ1 offset sweep (1 = every phase, the paper's
+    exhaustive setting; larger steps trade fidelity for speed).
+    ``workers`` parallelises the sweep's simulations without changing its
+    outcome.
+    """
+    from repro.campaigns.engine import run_campaign
+
+    spec = didactic_table_spec(
+        with_simulation=with_simulation,
+        offset_step=offset_step,
+        release_horizon=release_horizon,
+    )
+    return run_campaign(spec, workers=workers, progress=progress).result

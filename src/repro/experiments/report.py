@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
-from repro.experiments.schedulability_sweep import SweepResult
+from typing import TYPE_CHECKING
+
 from repro.util.ascii_chart import ascii_chart
 from repro.util.csvout import series_to_csv
+
+if TYPE_CHECKING:  # import cycle guard: sweeps import this module
+    from repro.experiments.schedulability_sweep import SweepResult
 
 
 def sweep_rows(result: SweepResult) -> str:

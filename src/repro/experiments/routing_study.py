@@ -5,23 +5,200 @@ any schedulability difference is purely a *contention placement* effect —
 the same flows share different links.  This study runs the Figure 4
 recipe under both routings and reports the IBN2 and XLWX curves for each,
 quantifying how much the routing choice moves the analyses' verdicts.
+
+Runs on the campaign engine: one content-addressed job per
+``(point, set-chunk)``; each job analyses the same traffic under both
+routings so the XY/YX comparison always sees identical flow sets.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Mapping, Sequence
 
+from repro.campaigns.progress import Progress
+from repro.campaigns.registry import CampaignKind, Plan, register_kind
+from repro.campaigns.scheduler import worker_platform
+from repro.campaigns.spec import (
+    CampaignSpec,
+    Job,
+    chunk_size_param,
+    spec_param,
+)
+from repro.campaigns import registry as _registry
 from repro.core.analyses.ibn import IBNAnalysis
 from repro.core.analyses.xlwx import XLWXAnalysis
 from repro.core.engine import is_schedulable
 from repro.core.interference import InterferenceGraph
-from repro.experiments.schedulability_sweep import SweepResult
+from repro.experiments.schedulability_sweep import (
+    SweepResult,
+    default_chunk_size,
+    sweep_csv_export,
+    sweep_to_jsonable,
+)
 from repro.flows.flowset import FlowSet
-from repro.noc.platform import NoCPlatform
-from repro.noc.routing import XYRouting, YXRouting
-from repro.noc.topology import Mesh2D
 from repro.util.rng import spawn_rng
 from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
+
+_ROUTING_LABELS = ("XY", "YX")
+_ANALYSES = {"IBN": IBNAnalysis, "XLWX": XLWXAnalysis}
+
+
+@_registry.job_executor("routing_chunk")
+def run_routing_chunk(params: Mapping) -> dict:
+    """Worker: XY-vs-YX verdicts over one chunk of flow sets."""
+    cols, rows = params["mesh"]
+    buf = params["buf"]
+    num_flows = params["num_flows"]
+    platforms = {
+        label: worker_platform(cols, rows, buf, routing=label.lower())
+        for label in _ROUTING_LABELS
+    }
+    analyses = {label: cls() for label, cls in _ANALYSES.items()}
+    config = SyntheticConfig(num_flows=num_flows, **params["config"])
+    num_nodes = platforms["XY"].topology.num_nodes
+    counts = {
+        f"{analysis_label}-{routing_label}": 0
+        for analysis_label in analyses
+        for routing_label in platforms
+    }
+    set_start = params["set_start"]
+    for set_index in range(set_start, set_start + params["set_count"]):
+        rng = spawn_rng(params["seed"], "synthetic", num_flows, set_index)
+        flows = synthetic_flows(config, num_nodes, rng)
+        for routing_label, platform in platforms.items():
+            flowset = FlowSet(platform, flows)
+            graph = InterferenceGraph(flowset)
+            for analysis_label, analysis in analyses.items():
+                key = f"{analysis_label}-{routing_label}"
+                counts[key] += is_schedulable(flowset, analysis, graph=graph)
+    return {"counts": counts, "sets": params["set_count"]}
+
+
+def routing_spec(
+    mesh: tuple[int, int],
+    flow_counts: Sequence[int],
+    sets_per_point: int,
+    *,
+    seed: int,
+    name: str = "routing",
+    buf: int = 2,
+    config_kwargs: dict | None = None,
+    chunk_size: int | None = None,
+    title: str | None = None,
+) -> CampaignSpec:
+    """Declare the routing-sensitivity ablation as a campaign spec."""
+    return CampaignSpec(
+        kind="routing",
+        name=name,
+        params={
+            "mesh": list(mesh),
+            "flow_counts": list(flow_counts),
+            "sets_per_point": sets_per_point,
+            "seed": seed,
+            "buf": buf,
+            "config": dict(config_kwargs or {}),
+            "chunk_size": chunk_size,
+            "title": title,
+        },
+    )
+
+
+def _routing_params(spec: CampaignSpec) -> dict:
+    """Validated spec parameters with kind defaults (JSON specs too)."""
+    return {
+        "mesh": spec_param(spec, "mesh"),
+        "flow_counts": spec_param(spec, "flow_counts"),
+        "sets_per_point": spec_param(spec, "sets_per_point"),
+        "seed": spec_param(spec, "seed"),
+        "buf": spec_param(spec, "buf", 2),
+        "config": spec_param(spec, "config", {}),
+        "chunk_size": chunk_size_param(spec),
+    }
+
+
+def _routing_plan(spec: CampaignSpec) -> Plan:
+    p = _routing_params(spec)
+    cols, rows = p["mesh"]
+    chunk_size = p["chunk_size"] or default_chunk_size(
+        p["sets_per_point"]
+    )
+    point_jobs: list[list[Job]] = []
+    for num_flows in p["flow_counts"]:
+        chunks = []
+        for set_start in range(0, p["sets_per_point"], chunk_size):
+            set_count = min(chunk_size, p["sets_per_point"] - set_start)
+            chunks.append(
+                Job(
+                    kind="routing_chunk",
+                    params={
+                        "mesh": [cols, rows],
+                        "num_flows": num_flows,
+                        "set_start": set_start,
+                        "set_count": set_count,
+                        "seed": p["seed"],
+                        "buf": p["buf"],
+                        "config": p["config"],
+                    },
+                    label=(
+                        f"{spec.name} {cols}x{rows} n={num_flows} "
+                        f"sets {set_start}+{set_count}"
+                    ),
+                )
+            )
+        point_jobs.append(chunks)
+    return Plan(
+        jobs=[job for chunks in point_jobs for job in chunks],
+        context=point_jobs,
+    )
+
+
+def _routing_aggregate(
+    spec: CampaignSpec, plan: Plan, results: Mapping[str, Mapping]
+) -> SweepResult:
+    p = _routing_params(spec)
+    labels = [
+        f"{analysis_label}-{routing_label}"
+        for analysis_label in _ANALYSES
+        for routing_label in _ROUTING_LABELS
+    ]
+    result = SweepResult(
+        x_label="# flows per flow set", sets_per_point=p["sets_per_point"]
+    )
+    for num_flows, chunks in zip(p["flow_counts"], plan.context):
+        totals = {label: 0 for label in labels}
+        for job in chunks:
+            for label, count in results[job.job_id]["counts"].items():
+                totals[label] += count
+        result.add_point(
+            num_flows,
+            {
+                label: 100.0 * totals[label] / p["sets_per_point"]
+                for label in labels
+            },
+        )
+    return result
+
+
+def _routing_render(spec: CampaignSpec, result: SweepResult) -> str:
+    from repro.experiments.report import render_sweep
+
+    cols, rows = spec_param(spec, "mesh")
+    title = spec.params.get("title") or (
+        f"Routing sensitivity (XY vs YX) on {cols}x{rows}"
+    )
+    return render_sweep(result, title=title)
+
+
+ROUTING_KIND = register_kind(
+    CampaignKind(
+        name="routing",
+        plan=_routing_plan,
+        aggregate=_routing_aggregate,
+        render=_routing_render,
+        to_csv=sweep_csv_export,
+        to_jsonable=sweep_to_jsonable,
+    )
+)
 
 
 def routing_comparison(
@@ -32,45 +209,18 @@ def routing_comparison(
     seed: int,
     buf: int = 2,
     config_kwargs: dict | None = None,
-    progress: Callable[[str], None] | None = None,
+    workers: int = 1,
+    progress: Progress | None = None,
 ) -> SweepResult:
     """% schedulable flow sets under XY vs YX routing (IBN and XLWX)."""
-    cols, rows = mesh
-    topology = Mesh2D(cols, rows)
-    platforms = {
-        "XY": NoCPlatform(topology, buf=buf, routing=XYRouting()),
-        "YX": NoCPlatform(topology, buf=buf, routing=YXRouting()),
-    }
-    analyses = {"IBN": IBNAnalysis(), "XLWX": XLWXAnalysis()}
-    result = SweepResult(
-        x_label="# flows per flow set", sets_per_point=sets_per_point
+    from repro.campaigns.engine import run_campaign
+
+    spec = routing_spec(
+        mesh,
+        flow_counts,
+        sets_per_point,
+        seed=seed,
+        buf=buf,
+        config_kwargs=config_kwargs,
     )
-    for num_flows in flow_counts:
-        config = SyntheticConfig(num_flows=num_flows, **(config_kwargs or {}))
-        counts = {
-            f"{analysis_label}-{routing_label}": 0
-            for analysis_label in analyses
-            for routing_label in platforms
-        }
-        for set_index in range(sets_per_point):
-            rng = spawn_rng(seed, "synthetic", num_flows, set_index)
-            flows = synthetic_flows(config, topology.num_nodes, rng)
-            for routing_label, platform in platforms.items():
-                flowset = FlowSet(platform, flows)
-                graph = InterferenceGraph(flowset)
-                for analysis_label, analysis in analyses.items():
-                    key = f"{analysis_label}-{routing_label}"
-                    counts[key] += is_schedulable(
-                        flowset, analysis, graph=graph
-                    )
-        percentages = {
-            key: 100.0 * count / sets_per_point
-            for key, count in counts.items()
-        }
-        result.add_point(num_flows, percentages)
-        if progress is not None:
-            rendered = ", ".join(
-                f"{key}={value:.0f}%" for key, value in percentages.items()
-            )
-            progress(f"{cols}x{rows} n={num_flows}: {rendered}")
-    return result
+    return run_campaign(spec, workers=workers, progress=progress).result

@@ -7,11 +7,17 @@ Usage::
     python -m repro.experiments.runner fig4b
     python -m repro.experiments.runner fig5
     python -m repro.experiments.runner buffers
+    python -m repro.experiments.runner routing
     python -m repro.experiments.runner validate [--workers 8]
-    python -m repro.experiments.runner all --csv-dir results/
+    python -m repro.experiments.runner all --csv-dir results/ [--run-dir runs/]
 
-Each command prints the regenerated table/figure as text (rows + ASCII
-chart) and optionally writes CSV files for external plotting.
+Each command is a declarative :class:`~repro.campaigns.CampaignSpec`
+built from the scale preset and handed to the campaign engine; the
+rendered table/figure goes to stdout through the shared exporter layer,
+``--csv-dir`` adds CSV files (the directory is created if missing), and
+``--run-dir`` makes runs resumable: killed campaigns pick up where they
+stopped, skipping every job already in the per-command result store.
+``all`` keeps going when a command fails and exits non-zero if any did.
 """
 
 from __future__ import annotations
@@ -19,152 +25,136 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 from pathlib import Path
 
-from repro.experiments.av_topologies import av_topology_study
-from repro.experiments.buffer_sweep import buffer_sweep
-from repro.experiments.didactic_table import PAPER_TABLE2, didactic_tables
-from repro.experiments.report import render_sweep, sweep_csv
+from repro.campaigns.engine import run_campaign
+from repro.campaigns.export import CsvExporter, TextExporter
+from repro.campaigns.progress import stderr_progress
+from repro.campaigns.spec import CampaignSpec
+from repro.experiments.av_topologies import av_topologies_spec
+from repro.experiments.buffer_sweep import buffer_sweep_spec
+from repro.experiments.didactic_table import didactic_table_spec
+from repro.experiments.routing_study import routing_spec
 from repro.experiments.scale import Scale, get_scale
-from repro.experiments.schedulability_sweep import schedulability_sweep
-from repro.util.csvout import write_csv
+from repro.experiments.schedulability_sweep import schedulability_spec
+from repro.experiments.validation_sweep import validation_spec
 
 
-def _progress(message: str) -> None:
-    print(f"  .. {message}", file=sys.stderr)
-
-
-def run_table2(scale: Scale, workers: int, csv_dir: Path | None) -> None:
-    """``table2``: regenerate Tables I & II with the scale's offset sweep."""
-    tables = didactic_tables(
-        offset_step=scale.didactic_offset_step, workers=workers
-    )
-    print(tables.render())
-    print()
-    print("Paper's Table II (for comparison):")
-    for label, values in PAPER_TABLE2.items():
-        rendered = "  ".join(f"{k}={v}" for k, v in values.items())
-        print(f"  {label:<18} {rendered}")
-
-
-def run_fig4(
-    scale: Scale, workers: int, csv_dir: Path | None, *, panel: str
-) -> None:
+def _fig4_spec(scale: Scale, panel: str) -> CampaignSpec:
     """``fig4a``/``fig4b``: one Figure 4 panel at the chosen scale."""
     if panel == "a":
         mesh, counts = (4, 4), scale.fig4a_flow_counts
     else:
         mesh, counts = (8, 8), scale.fig4b_flow_counts
-    result = schedulability_sweep(
+    return schedulability_spec(
         mesh,
         counts,
         scale.fig4_sets_per_point,
         seed=scale.seed,
-        workers=workers,
-        progress=_progress,
+        name=f"fig4{panel}",
+        title=(
+            f"Figure 4({panel}): % schedulable flow sets on "
+            f"{mesh[0]}x{mesh[1]}"
+        ),
+        gap_notes=[
+            {
+                "label": "XLWX->IBN2",
+                "upper": "IBN2",
+                "lower": "XLWX",
+                "paper": "58" if panel == "a" else "45",
+            },
+            {
+                "label": "IBN100->IBN2",
+                "upper": "IBN2",
+                "lower": "IBN100",
+                "paper": "8",
+            },
+        ],
     )
-    title = f"Figure 4({panel}): % schedulable flow sets on {mesh[0]}x{mesh[1]}"
-    print(render_sweep(result, title=title))
-    print()
-    print(f"max XLWX->IBN2 gap: {result.max_gap('IBN2', 'XLWX'):.1f}% "
-          f"(paper: up to {'58' if panel == 'a' else '45'}%)")
-    print(f"max IBN100->IBN2 gap: {result.max_gap('IBN2', 'IBN100'):.1f}% "
-          f"(paper: up to 8%)")
-    if csv_dir is not None:
-        write_csv(csv_dir / f"fig4{panel}.csv", sweep_csv(result))
 
 
-def run_fig5(scale: Scale, workers: int, csv_dir: Path | None) -> None:
+def _fig5_spec(scale: Scale) -> CampaignSpec:
     """``fig5``: the AV-benchmark topology study."""
-    result = av_topology_study(
+    return av_topologies_spec(
         scale.fig5_topologies,
         scale.fig5_mappings,
         seed=scale.seed,
-        workers=workers,
-        progress=_progress,
+        name="fig5",
+        title="Figure 5: % schedulable AV mappings",
+        gap_notes=[
+            {"label": "XLWX->IBN2", "upper": "IBN2", "lower": "XLWX",
+             "paper": "67"},
+            {"label": "IBN100->IBN2", "upper": "IBN2", "lower": "IBN100",
+             "paper": "6"},
+        ],
     )
-    print(render_sweep(result, title="Figure 5: % schedulable AV mappings"))
-    print()
-    print(f"max XLWX->IBN2 gap: {result.max_gap('IBN2', 'XLWX'):.1f}% "
-          "(paper: up to 67%)")
-    print(f"max IBN100->IBN2 gap: {result.max_gap('IBN2', 'IBN100'):.1f}% "
-          "(paper: up to 6%)")
-    if csv_dir is not None:
-        write_csv(csv_dir / "fig5.csv", sweep_csv(result))
 
 
-def run_routing(scale: Scale, workers: int, csv_dir: Path | None) -> None:
+def _routing_spec(scale: Scale) -> CampaignSpec:
     """``routing``: XY-vs-YX sensitivity ablation."""
-    from repro.experiments.routing_study import routing_comparison
-
     counts = scale.fig4a_flow_counts[: max(3, len(scale.fig4a_flow_counts) // 2)]
-    result = routing_comparison(
-        (4, 4),
-        counts,
-        scale.fig4_sets_per_point,
-        seed=scale.seed,
-        progress=_progress,
+    return routing_spec(
+        (4, 4), counts, scale.fig4_sets_per_point, seed=scale.seed
     )
-    print(render_sweep(result, title="Routing sensitivity (XY vs YX) on 4x4"))
-    if csv_dir is not None:
-        write_csv(csv_dir / "routing.csv", sweep_csv(result))
 
 
-def run_buffers(scale: Scale, workers: int, csv_dir: Path | None) -> None:
+def _buffers_spec(scale: Scale) -> CampaignSpec:
     """``buffers``: the Section VI buffer-depth sweep."""
-    result = buffer_sweep(
+    return buffer_sweep_spec(
         (4, 4),
         scale.buffer_depths,
         scale.buffer_flow_count,
         scale.buffer_sets,
         seed=scale.seed,
-        progress=_progress,
     )
-    print(render_sweep(
-        result,
-        title=f"Buffer-depth ablation (IBN, {scale.buffer_flow_count} flows on 4x4)",
-    ))
-    if csv_dir is not None:
-        write_csv(csv_dir / "buffer_sweep.csv", sweep_csv(result))
 
 
-def run_validate(scale: Scale, workers: int, csv_dir: Path | None) -> None:
+def _validate_spec(scale: Scale) -> CampaignSpec:
     """``validate``: simulated worst case vs SB/IBN/XLWX across depths."""
-    from repro.experiments.validation_sweep import (
-        render_validation,
-        validation_sweep,
-    )
-
-    result = validation_sweep(
+    return validation_spec(
         scale.validation_buffer_depths,
         seed=scale.seed,
         didactic_offset_step=scale.didactic_offset_step,
         synthetic_sets=scale.validation_synthetic_sets,
-        workers=workers,
-        progress=_progress,
     )
-    print(render_validation(
-        result, title="Validation: worst observed latency vs bounds"
-    ))
-    violations = result.violations()
-    if violations:
-        print(f"\nWARNING: {len(violations)} safe-bound violations!")
-    else:
-        print("\nAll observations within the safe IBN/XLWX bounds; "
-              f"{len(result.mpb_rows())} rows exceed SB (MPB).")
-    if csv_dir is not None:
-        write_csv(csv_dir / "validation.csv", result.to_csv())
 
 
+def _table2_spec(scale: Scale) -> CampaignSpec:
+    """``table2``: regenerate Tables I & II with the scale's offset sweep."""
+    return didactic_table_spec(offset_step=scale.didactic_offset_step)
+
+
+#: command -> spec builder; the engine and exporters do the rest.
 _COMMANDS = {
-    "table2": run_table2,
-    "validate": run_validate,
-    "fig4a": lambda s, w, c: run_fig4(s, w, c, panel="a"),
-    "fig4b": lambda s, w, c: run_fig4(s, w, c, panel="b"),
-    "fig5": run_fig5,
-    "buffers": run_buffers,
-    "routing": run_routing,
+    "table2": _table2_spec,
+    "validate": _validate_spec,
+    "fig4a": lambda scale: _fig4_spec(scale, "a"),
+    "fig4b": lambda scale: _fig4_spec(scale, "b"),
+    "fig5": _fig5_spec,
+    "buffers": _buffers_spec,
+    "routing": _routing_spec,
 }
+
+
+def run_command(
+    name: str,
+    scale: Scale,
+    workers: int,
+    csv_dir: Path | None,
+    run_dir: Path | None,
+) -> None:
+    """Build one command's spec, run it and export the results."""
+    spec = _COMMANDS[name](scale)
+    run = run_campaign(
+        spec,
+        store=None if run_dir is None else run_dir / spec.name,
+        workers=workers,
+        progress=stderr_progress,
+    )
+    TextExporter().export(run)
+    if csv_dir is not None:
+        CsvExporter(csv_dir).export(run)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -189,14 +179,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--csv-dir", type=Path, default=None, help="also write CSV files here"
     )
+    parser.add_argument(
+        "--run-dir", type=Path, default=None,
+        help="result-store root making each command's campaign resumable",
+    )
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
     chosen = list(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    failures = []
     for name in chosen:
         start = time.time()
         print(f"=== {name} (scale={scale.name}) ===")
-        _COMMANDS[name](scale, args.workers, args.csv_dir)
+        try:
+            run_command(name, scale, args.workers, args.csv_dir, args.run_dir)
+        except Exception:
+            # `all` campaigns keep going: one broken experiment should
+            # not lose the completed ones or the remaining runs.
+            if args.experiment != "all":
+                raise
+            failures.append(name)
+            print(f"=== {name} FAILED ===", file=sys.stderr)
+            traceback.print_exc()
         print(f"=== {name} done in {time.time() - start:.1f}s ===\n")
+    if failures:
+        print(
+            f"{len(failures)} command(s) failed: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -18,21 +18,33 @@ deciding all four curves with two analysis runs, warm-starting looser
 runs from tighter results when available.  Verdicts are identical to
 running each analysis cold; only the work changes.
 
-Multiprocessing: work is fanned out as ``(point, set-chunk)`` jobs rather
-than whole x-axis points, so campaigns with large ``sets_per_point`` keep
-every worker busy even with few points; per-set seed derivation keeps the
-outcome identical for any worker/chunk configuration.  Workers reuse a
-process-local platform per mesh (and with it the memoized route table),
-and the ``progress`` callback now reports each completed point in
-parallel runs too.
+Orchestration: this experiment runs on the campaign engine
+(:mod:`repro.campaigns`).  :func:`schedulability_spec` describes the
+whole sweep declaratively; it expands into deterministic
+``(point, set-chunk)`` jobs whose per-set seed derivation keeps the
+outcome identical for any worker/chunk configuration, and identical
+chunks (duplicate x-axis points) share one content-addressed result.
+Workers reuse a process-local platform per mesh — and with it the
+memoized route table — via
+:func:`repro.campaigns.scheduler.worker_platform`.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Mapping, Sequence
 
+from repro.campaigns.progress import Progress
+from repro.campaigns.registry import CampaignKind, Plan, register_kind
+from repro.campaigns.scheduler import worker_platform
+from repro.campaigns.spec import (
+    CampaignSpec,
+    Job,
+    chunk_size_param,
+    spec_param,
+)
+from repro.campaigns import registry as _registry
 from repro.core.analyses.base import Analysis
 from repro.core.analyses.ibn import IBNAnalysis
 from repro.core.analyses.sb import SBAnalysis
@@ -41,7 +53,6 @@ from repro.core.engine import analysis_pointwise_le, analyze, tightness_rank
 from repro.core.interference import InterferenceGraph
 from repro.flows.flowset import FlowSet
 from repro.noc.platform import NoCPlatform
-from repro.noc.topology import Mesh2D
 from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
 from repro.util.rng import spawn_rng
 
@@ -210,66 +221,223 @@ def analyse_set(
     return spec_verdicts(FlowSet(base_platform, flows), specs)
 
 
-#: Process-local platform cache: reusing the platform across chunk jobs
-#: keeps one topology (and hence one memoized route table) per mesh for
-#: the lifetime of the worker, so routes are computed once per worker
-#: instead of once per x-axis point.
-_WORKER_PLATFORMS: dict[tuple[int, int, int], NoCPlatform] = {}
+# ---------------------------------------------------------------------------
+# Campaign kind: declarative spec, job executor, aggregation, rendering.
+# ---------------------------------------------------------------------------
+
+def default_chunk_size(sets_per_point: int) -> int:
+    """Deterministic chunk width: at most 8 chunks per x-axis point.
+
+    Depends only on the spec (never on worker counts) so a spec always
+    expands to the same content-addressed job set — the property resume
+    relies on.
+    """
+    return max(1, -(-sets_per_point // 8))
 
 
-def _worker_platform(cols: int, rows: int, buf: int) -> NoCPlatform:
-    key = (cols, rows, buf)
-    platform = _WORKER_PLATFORMS.get(key)
-    if platform is None:
-        platform = NoCPlatform(Mesh2D(cols, rows), buf=buf)
-        _WORKER_PLATFORMS[key] = platform
-    return platform
-
-
-def _sweep_chunk(args: tuple) -> tuple[int, dict[str, int], int]:
+@_registry.job_executor("sched_chunk")
+def run_sched_chunk(params: Mapping) -> dict:
     """Worker: one contiguous chunk of a point's flow sets.
 
-    Returns raw schedulable counts (not percentages) keyed back to the
-    x-axis *position* (robust to duplicate flow counts) so the parent can
-    aggregate chunks; the per-set seed depends only on the global seed
-    and the set index, making results independent of the chunking.
+    Returns raw schedulable counts (not percentages); the per-set seed
+    depends only on the campaign seed and the set index, making results
+    independent of the chunking.
     """
-    (point_index, cols, rows, num_flows, set_start, set_count, seed,
-     config_kwargs, small_buf, large_buf, include_sb) = args
-    platform = _worker_platform(cols, rows, small_buf)
-    specs = fig4_specs(small_buf, large_buf, include_sb=include_sb)
-    config = SyntheticConfig(num_flows=num_flows, **config_kwargs)
+    cols, rows = params["mesh"]
+    platform = worker_platform(cols, rows, params["small_buf"])
+    specs = fig4_specs(
+        params["small_buf"],
+        params["large_buf"],
+        include_sb=params["include_sb"],
+    )
+    num_flows = params["num_flows"]
+    config = SyntheticConfig(num_flows=num_flows, **params["config"])
     counts = {spec.label: 0 for spec in specs}
-    for set_index in range(set_start, set_start + set_count):
-        rng = spawn_rng(seed, "synthetic", num_flows, set_index)
+    set_start = params["set_start"]
+    for set_index in range(set_start, set_start + params["set_count"]):
+        rng = spawn_rng(params["seed"], "synthetic", num_flows, set_index)
         flows = synthetic_flows(config, platform.topology.num_nodes, rng)
         verdicts = spec_verdicts(FlowSet(platform, flows), specs)
         for label, ok in verdicts.items():
             counts[label] += ok
-    return point_index, counts, set_count
+    return {"counts": counts, "sets": params["set_count"]}
 
 
-def _chunk_jobs(
+def schedulability_spec(
+    mesh: tuple[int, int],
     flow_counts: Sequence[int],
     sets_per_point: int,
-    chunk_size: int,
+    *,
     seed: int,
-    config_kwargs: dict,
-    cols: int,
-    rows: int,
-    small_buf: int,
-    large_buf: int,
-    include_sb: bool,
-) -> list[tuple]:
-    jobs = []
-    for point_index, num_flows in enumerate(flow_counts):
+    name: str = "schedulability",
+    small_buf: int = 2,
+    large_buf: int = 100,
+    include_sb: bool = True,
+    config_kwargs: dict | None = None,
+    chunk_size: int | None = None,
+    title: str | None = None,
+    gap_notes: Sequence[Mapping] = (),
+) -> CampaignSpec:
+    """Declare one Figure-4-style sweep as a campaign spec.
+
+    ``gap_notes`` entries (``{"label", "upper", "lower", "paper"}``)
+    render the paper's "up to N%" gap statements under the chart.
+    """
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return CampaignSpec(
+        kind="schedulability",
+        name=name,
+        params={
+            "mesh": list(mesh),
+            "flow_counts": list(flow_counts),
+            "sets_per_point": sets_per_point,
+            "seed": seed,
+            "small_buf": small_buf,
+            "large_buf": large_buf,
+            "include_sb": include_sb,
+            "config": dict(config_kwargs or {}),
+            "chunk_size": chunk_size,
+            "title": title,
+            "gap_notes": [dict(note) for note in gap_notes],
+        },
+    )
+
+
+def _sched_params(spec: CampaignSpec) -> dict:
+    """Validated spec parameters with kind defaults (JSON specs too)."""
+    return {
+        "mesh": spec_param(spec, "mesh"),
+        "flow_counts": spec_param(spec, "flow_counts"),
+        "sets_per_point": spec_param(spec, "sets_per_point"),
+        "seed": spec_param(spec, "seed"),
+        "small_buf": spec_param(spec, "small_buf", 2),
+        "large_buf": spec_param(spec, "large_buf", 100),
+        "include_sb": spec_param(spec, "include_sb", True),
+        "config": spec_param(spec, "config", {}),
+        "chunk_size": chunk_size_param(spec),
+    }
+
+
+def _sched_plan(spec: CampaignSpec) -> Plan:
+    """Expand a sweep spec into (point, set-chunk) jobs, point-major."""
+    p = _sched_params(spec)
+    cols, rows = p["mesh"]
+    sets_per_point = p["sets_per_point"]
+    chunk_size = p["chunk_size"] or default_chunk_size(sets_per_point)
+    point_jobs: list[list[Job]] = []
+    for num_flows in p["flow_counts"]:
+        chunks = []
         for set_start in range(0, sets_per_point, chunk_size):
             set_count = min(chunk_size, sets_per_point - set_start)
-            jobs.append(
-                (point_index, cols, rows, num_flows, set_start, set_count,
-                 seed, dict(config_kwargs), small_buf, large_buf, include_sb)
+            chunks.append(
+                Job(
+                    kind="sched_chunk",
+                    params={
+                        "mesh": [cols, rows],
+                        "num_flows": num_flows,
+                        "set_start": set_start,
+                        "set_count": set_count,
+                        "seed": p["seed"],
+                        "config": p["config"],
+                        "small_buf": p["small_buf"],
+                        "large_buf": p["large_buf"],
+                        "include_sb": p["include_sb"],
+                    },
+                    label=(
+                        f"{spec.name} {cols}x{rows} n={num_flows} "
+                        f"sets {set_start}+{set_count}"
+                    ),
+                )
             )
-    return jobs
+        point_jobs.append(chunks)
+    return Plan(
+        jobs=[job for chunks in point_jobs for job in chunks],
+        context=point_jobs,
+    )
+
+
+def _sched_aggregate(
+    spec: CampaignSpec, plan: Plan, results: Mapping[str, Mapping]
+) -> SweepResult:
+    """Fold chunk counts into per-point percentages, in x-axis order."""
+    p = _sched_params(spec)
+    labels = [
+        s.label
+        for s in fig4_specs(
+            p["small_buf"], p["large_buf"], include_sb=p["include_sb"]
+        )
+    ]
+    result = SweepResult(
+        x_label="# flows per flow set", sets_per_point=p["sets_per_point"]
+    )
+    for num_flows, chunks in zip(p["flow_counts"], plan.context):
+        totals = {label: 0 for label in labels}
+        for job in chunks:
+            for label, count in results[job.job_id]["counts"].items():
+                totals[label] += count
+        result.add_point(
+            num_flows,
+            {
+                label: 100.0 * totals[label] / p["sets_per_point"]
+                for label in labels
+            },
+        )
+    return result
+
+
+def render_gap_notes(result: SweepResult, notes: Sequence[Mapping]) -> list[str]:
+    """The "max A->B gap: X% (paper: up to Y%)" lines under a chart."""
+    return [
+        f"max {note['label']} gap: "
+        f"{result.max_gap(note['upper'], note['lower']):.1f}% "
+        f"(paper: up to {note['paper']}%)"
+        for note in notes
+    ]
+
+
+def _sched_render(spec: CampaignSpec, result: SweepResult) -> str:
+    from repro.experiments.report import render_sweep
+
+    cols, rows = spec_param(spec, "mesh")
+    title = spec.params.get("title") or (
+        f"% schedulable flow sets on {cols}x{rows}"
+    )
+    lines = [render_sweep(result, title=title)]
+    notes = spec.params.get("gap_notes") or []
+    if notes:
+        lines.append("")
+        lines.extend(render_gap_notes(result, notes))
+    return "\n".join(lines)
+
+
+def sweep_to_jsonable(spec: CampaignSpec, result: SweepResult) -> dict:
+    """Structured payload shared by every sweep-shaped campaign."""
+    return {
+        "x_label": result.x_label,
+        "x_values": list(result.x_values),
+        "series": {k: list(v) for k, v in result.series.items()},
+        "sets_per_point": result.sets_per_point,
+    }
+
+
+def sweep_csv_export(spec: CampaignSpec, result: SweepResult) -> str:
+    """The ``to_csv`` hook shared by every sweep-shaped campaign kind."""
+    from repro.experiments.report import sweep_csv
+
+    return sweep_csv(result)
+
+
+SCHEDULABILITY_KIND = register_kind(
+    CampaignKind(
+        name="schedulability",
+        plan=_sched_plan,
+        aggregate=_sched_aggregate,
+        render=_sched_render,
+        to_csv=sweep_csv_export,
+        to_jsonable=sweep_to_jsonable,
+    )
+)
 
 
 def schedulability_sweep(
@@ -284,78 +452,31 @@ def schedulability_sweep(
     config_kwargs: dict | None = None,
     workers: int = 1,
     chunk_size: int | None = None,
-    progress: Callable[[str], None] | None = None,
+    progress: Progress | None = None,
 ) -> SweepResult:
-    """Run one Figure 4 panel.
+    """Run one Figure 4 panel (an ephemeral campaign-engine run).
 
     ``config_kwargs`` override :class:`SyntheticConfig` fields (e.g.
-    ``clock_hz``); ``workers > 1`` distributes ``(point, set-chunk)`` jobs
-    over processes — ``chunk_size`` (default: about a quarter-worker's
-    share of a point) trades scheduling overhead against load balance.
-    ``progress`` receives one message per completed x-axis point in both
-    serial and parallel runs.  Results are identical for every
-    workers/chunking choice thanks to the per-set seed derivation.
+    ``clock_hz``); ``workers > 1`` distributes the spec's
+    ``(point, set-chunk)`` jobs over the shared scheduler pool —
+    ``chunk_size`` (default: a deterministic function of
+    ``sets_per_point``) trades scheduling overhead against load balance.
+    ``progress`` receives one
+    :class:`~repro.campaigns.progress.ProgressEvent` per completed job.
+    Results are identical for every workers/chunking choice thanks to
+    the per-set seed derivation.
     """
-    cols, rows = mesh
-    labels = [
-        spec.label
-        for spec in fig4_specs(small_buf, large_buf, include_sb=include_sb)
-    ]
-    if chunk_size is None:
-        if workers > 1:
-            chunk_size = max(1, -(-sets_per_point // (workers * 4)))
-        else:
-            chunk_size = sets_per_point
-    elif chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-    jobs = _chunk_jobs(
-        flow_counts, sets_per_point, chunk_size, seed,
-        dict(config_kwargs or {}), cols, rows, small_buf, large_buf,
-        include_sb,
+    from repro.campaigns.engine import run_campaign
+
+    spec = schedulability_spec(
+        mesh,
+        flow_counts,
+        sets_per_point,
+        seed=seed,
+        small_buf=small_buf,
+        large_buf=large_buf,
+        include_sb=include_sb,
+        config_kwargs=config_kwargs,
+        chunk_size=chunk_size,
     )
-
-    # Aggregate chunk counts per x-axis position; report a point as soon
-    # as all its sets are in (points can finish out of order under
-    # workers).
-    pending: list[tuple[dict[str, int], int]] = [
-        ({label: 0 for label in labels}, 0) for _ in flow_counts
-    ]
-    percentages_by_point: dict[int, dict[str, float]] = {}
-
-    def _absorb(outcome: tuple[int, dict[str, int], int]) -> None:
-        point_index, counts, set_count = outcome
-        totals, done = pending[point_index]
-        for label, count in counts.items():
-            totals[label] += count
-        done += set_count
-        pending[point_index] = (totals, done)
-        if done == sets_per_point:
-            percentages = {
-                label: 100.0 * totals[label] / sets_per_point
-                for label in labels
-            }
-            percentages_by_point[point_index] = percentages
-            if progress is not None:
-                rendered = ", ".join(
-                    f"{label}={value:.0f}%"
-                    for label, value in percentages.items()
-                )
-                progress(
-                    f"{cols}x{rows} n={flow_counts[point_index]}: {rendered}"
-                )
-
-    if workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_sweep_chunk, job) for job in jobs]
-            for future in as_completed(futures):
-                _absorb(future.result())
-    else:
-        for job in jobs:
-            _absorb(_sweep_chunk(job))
-
-    result = SweepResult(
-        x_label="# flows per flow set", sets_per_point=sets_per_point
-    )
-    for point_index, num_flows in enumerate(flow_counts):
-        result.add_point(num_flows, percentages_by_point[point_index])
-    return result
+    return run_campaign(spec, workers=workers, progress=progress).result

@@ -1,0 +1,139 @@
+"""The shared simulation job: one chunk of a release-offset search.
+
+Both simulation-backed campaigns (the didactic Table II columns and the
+bound-vs-observed validation sweep) boil down to the same unit of work:
+simulate a contiguous chunk of offset phasings for one workload and
+keep per-flow maxima.  ``sim_chunk`` is that unit as a content-addressed
+campaign job; the phasing list is enumerated (and shift-pruned) at spec
+expansion time via :func:`repro.sim.worstcase.enumerate_phasings`, so a
+job's params carry exactly the combos it must run and the fold back into
+search-level maxima happens in chunk order — byte-identical to a serial
+:func:`~repro.sim.worstcase.offset_search`.
+
+Workloads are named by small JSON descriptors so any worker process can
+rebuild the flow set from scratch (worker-local platform caches keep
+that cheap):
+
+* ``{"kind": "didactic", "buf": B}`` — the paper's Section V scenario;
+* ``{"kind": "validation_synthetic", "mesh": [C, R], "buf": B,
+  "seed": S, "set_index": I, "num_flows": N}`` — a simulation-scale
+  Section VI random set.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.campaigns import registry as _registry
+from repro.campaigns.scheduler import worker_platform
+from repro.campaigns.spec import Job
+from repro.flows.flowset import FlowSet
+from repro.sim.worstcase import enumerate_phasings, simulate_offsets
+from repro.workloads.didactic import didactic_flowset
+
+
+def workload_flowset(workload: Mapping) -> FlowSet:
+    """Rebuild the flow set a workload descriptor names."""
+    kind = workload["kind"]
+    if kind == "didactic":
+        return didactic_flowset(buf=workload["buf"])
+    if kind == "validation_synthetic":
+        from repro.experiments.validation_sweep import (
+            synthetic_validation_flowset,
+        )
+
+        cols, rows = workload["mesh"]
+        platform = worker_platform(cols, rows, workload["buf"])
+        return synthetic_validation_flowset(
+            platform,
+            workload["seed"],
+            workload["set_index"],
+            workload["num_flows"],
+        )
+    raise ValueError(f"unknown simulation workload kind {kind!r}")
+
+
+@_registry.job_executor("sim_chunk")
+def run_sim_chunk(params: Mapping) -> dict:
+    """Worker: simulate one chunk of phasings, return per-flow maxima.
+
+    Applies the same strictly-greater update rule as the serial search
+    loop so folding chunk results in chunk order reproduces a serial
+    sweep exactly.
+    """
+    flowset = workload_flowset(params["workload"])
+    names = params["names"]
+    base = params.get("base") or {}
+    worst: dict[str, int] = {}
+    for combo in params["combos"]:
+        offsets = dict(base)
+        offsets.update(zip(names, combo))
+        observed = simulate_offsets(
+            flowset,
+            offsets,
+            release_horizon=params["release_horizon"],
+            credit_delay=params.get("credit_delay", 1),
+        )
+        for flow_name, latency in observed.items():
+            if latency > worst.get(flow_name, -1):
+                worst[flow_name] = latency
+    return {"worst": worst, "runs": len(params["combos"])}
+
+
+def sim_chunk_size(total: int) -> int:
+    """Deterministic phasing chunk width: at most 16 chunks per search."""
+    return max(1, -(-total // 16))
+
+
+def expand_sim_chunks(
+    spec_name: str,
+    workload_label: str,
+    workload_params: Mapping,
+    flowset: FlowSet,
+    vary: Mapping[str, Sequence[int]],
+    release_horizon: int,
+    chunk_size: int | None = None,
+    credit_delay: int = 1,
+) -> tuple[list[Job], int]:
+    """Expand one offset search into ``sim_chunk`` jobs.
+
+    The single place the job params of the ``sim_chunk`` kind are
+    assembled — both simulation campaigns go through it, so their jobs
+    share one content-address layout (a field added for one campaign
+    cannot silently fork the hash space of the other).  Returns the
+    chunk jobs (in phasing order) and the count of shift-pruned
+    phasings.
+    """
+    names, combos, pruned = enumerate_phasings(flowset, vary)
+    width = chunk_size or sim_chunk_size(len(combos))
+    jobs = []
+    for start in range(0, len(combos), width):
+        chunk = combos[start:start + width]
+        jobs.append(
+            Job(
+                kind="sim_chunk",
+                params={
+                    "workload": dict(workload_params),
+                    "names": list(names),
+                    "combos": [list(combo) for combo in chunk],
+                    "base": {},
+                    "release_horizon": release_horizon,
+                    "credit_delay": credit_delay,
+                },
+                label=(
+                    f"{spec_name} {workload_label} "
+                    f"phasings {start}+{len(chunk)}"
+                ),
+            )
+        )
+    return jobs, pruned
+
+
+def fold_worst(chunk_results: list[Mapping]) -> dict[str, int]:
+    """Fold chunk maxima in chunk order (the serial search's outcome)."""
+    worst: dict[str, int] = {}
+    for chunk in chunk_results:
+        for flow_name, latency in chunk["worst"].items():
+            if latency > worst.get(flow_name, -1):
+                worst[flow_name] = latency
+    return worst

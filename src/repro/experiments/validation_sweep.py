@@ -17,27 +17,38 @@ Per (workload, depth, flow) row the campaign records the observed worst
 latency next to the SB / IBN(depth) / XLWX bounds, flags safe-bound
 violations (there must be none — this is the reproduction's strongest
 end-to-end evidence) and MPB sightings (observed > SB), and renders the
-usual text table + ASCII chart + CSV.  The simulation side runs on the
-fast-lane simulator through the parallel pruned
-:func:`repro.sim.worstcase.offset_search`, which is what makes the
-paper-scale phasing grids affordable.
+usual text table + ASCII chart + CSV.
+
+Runs on the campaign engine: :func:`validation_spec` expands every
+(workload, depth) offset search into content-addressed ``sim_chunk``
+jobs running on the fast-lane simulator, with the shift-dominance
+pruning of :func:`repro.sim.worstcase.enumerate_phasings` applied at
+expansion time — which is what makes the paper-scale phasing grids
+affordable, and interrupted sweeps resumable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Sequence
+from typing import Mapping, Sequence
 
+from repro.campaigns.progress import Progress
+from repro.campaigns.registry import CampaignKind, Plan, register_kind
+from repro.campaigns.spec import (
+    CampaignSpec,
+    Job,
+    chunk_size_param,
+    spec_param,
+)
 from repro.core.analyses.ibn import IBNAnalysis
 from repro.core.analyses.sb import SBAnalysis
 from repro.core.analyses.xlwx import XLWXAnalysis
 from repro.core.engine import analyze
 from repro.core.interference import InterferenceGraph
+from repro.experiments.sim_jobs import expand_sim_chunks, fold_worst
 from repro.flows.flowset import FlowSet
 from repro.noc.platform import NoCPlatform
 from repro.noc.topology import Mesh2D
-from repro.sim.worstcase import offset_search
 from repro.util.ascii_chart import ascii_chart
 from repro.util.csvout import series_to_csv
 from repro.util.rng import spawn_rng
@@ -174,7 +185,6 @@ def _flow_bounds(flowset: FlowSet, graph: InterferenceGraph, analysis):
         for name, fr in result.flows.items()
     }
 
-
 def _invariant_bounds(
     flowset: FlowSet, graph: InterferenceGraph
 ) -> dict[str, dict[str, int | None]]:
@@ -185,102 +195,123 @@ def _invariant_bounds(
     }
 
 
-def validation_sweep(
+def validation_spec(
     buffer_depths: Sequence[int],
     *,
     seed: int,
+    name: str = "validation",
     didactic_offset_step: int = 20,
     didactic_horizon: int = 6001,
     synthetic_sets: int = 2,
     synthetic_flows: int = 6,
     synthetic_mesh: tuple[int, int] = (3, 3),
-    workers: int = 1,
-    progress: Callable[[str], None] | None = None,
-) -> ValidationResult:
-    """Sweep observed worst case vs. bounds across buffer depths.
-
-    The didactic workload replays the paper's τ1 phase sweep per depth;
-    each synthetic set sweeps the phases of its two highest-priority
-    flows.  ``workers`` fans the offset searches out over one process
-    pool shared by the whole campaign (pool start-up is paid once, not
-    per search); the per-set seed derivation makes results identical
-    for any worker count.
-    """
-    depths = tuple(buffer_depths)
+    chunk_size: int | None = None,
+    title: str | None = None,
+) -> CampaignSpec:
+    """Declare one bound-vs-observed validation sweep as a campaign spec."""
+    depths = list(buffer_depths)
     if not depths:
         raise ValueError("need at least one buffer depth")
-    result = ValidationResult(buffer_depths=depths)
-    campaign_kwargs = dict(
-        seed=seed,
-        didactic_offset_step=didactic_offset_step,
-        didactic_horizon=didactic_horizon,
-        synthetic_sets=synthetic_sets,
-        synthetic_flows=synthetic_flows,
-        synthetic_mesh=synthetic_mesh,
-        progress=progress,
+    return CampaignSpec(
+        kind="validation",
+        name=name,
+        params={
+            "buffer_depths": depths,
+            "seed": seed,
+            "didactic_offset_step": didactic_offset_step,
+            "didactic_horizon": didactic_horizon,
+            "synthetic_sets": synthetic_sets,
+            "synthetic_flows": synthetic_flows,
+            "synthetic_mesh": list(synthetic_mesh),
+            "chunk_size": chunk_size,
+            "title": title,
+        },
     )
-    if workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            _run_campaign(result, executor=executor, **campaign_kwargs)
-    else:
-        _run_campaign(result, executor=None, **campaign_kwargs)
-    return result
 
 
-def _run_campaign(result, *, executor, seed, didactic_offset_step,
-                  didactic_horizon, synthetic_sets, synthetic_flows,
-                  synthetic_mesh, progress):
-    """Fill ``result`` with the didactic and synthetic rows."""
-    depths = result.buffer_depths
+@dataclass
+class _SearchGroup:
+    """One (workload, depth) offset search expanded into chunk jobs."""
 
-    # -- didactic workload ------------------------------------------------
+    workload: str
+    workload_params: dict
+    buf: int
+    jobs: list[Job]
+    pruned: int
+
+
+def _chunked_search(
+    spec_name: str,
+    workload: str,
+    workload_params: dict,
+    flowset: FlowSet,
+    vary: Mapping[str, Sequence[int]],
+    horizon: int,
+    chunk_size: int | None,
+) -> _SearchGroup:
+    """Expand one offset search into ``sim_chunk`` jobs."""
+    jobs, pruned = expand_sim_chunks(
+        spec_name,
+        f"{workload} buf={workload_params['buf']}",
+        workload_params,
+        flowset,
+        vary,
+        horizon,
+        chunk_size,
+    )
+    return _SearchGroup(
+        workload=workload,
+        workload_params=workload_params,
+        buf=workload_params["buf"],
+        jobs=jobs,
+        pruned=pruned,
+    )
+
+
+def _validation_params(spec: CampaignSpec) -> dict:
+    """Validated spec parameters with kind defaults (JSON specs too)."""
+    return {
+        "buffer_depths": spec_param(spec, "buffer_depths"),
+        "seed": spec_param(spec, "seed"),
+        "didactic_offset_step": spec_param(spec, "didactic_offset_step", 20),
+        "didactic_horizon": spec_param(spec, "didactic_horizon", 6001),
+        "synthetic_sets": spec_param(spec, "synthetic_sets", 2),
+        "synthetic_flows": spec_param(spec, "synthetic_flows", 6),
+        "synthetic_mesh": spec_param(spec, "synthetic_mesh", [3, 3]),
+        "chunk_size": chunk_size_param(spec),
+    }
+
+
+def _validation_plan(spec: CampaignSpec) -> Plan:
+    """Expand the didactic and synthetic searches, depth-major."""
+    p = _validation_params(spec)
+    depths = p["buffer_depths"]
+    chunk_size = p["chunk_size"]
+    groups: list[_SearchGroup] = []
+
     base_didactic = didactic_flowset(buf=depths[0])
-    graph = InterferenceGraph(base_didactic)
-    # The interference graph and the SB/XLWX bounds are all
-    # buffer-independent: build them once and rebind the flow set per
-    # depth, recomputing only IBN.
-    invariant = _invariant_bounds(base_didactic, graph)
+    t1_period = base_didactic.flow("t1").period
     for buf in depths:
         flowset = base_didactic.on_platform(
             base_didactic.platform.with_buffers(buf)
         )
-        bounds = dict(invariant)
-        bounds["IBN"] = _flow_bounds(flowset, graph, IBNAnalysis())
-        t1_period = flowset.flow("t1").period
-        search = offset_search(
-            flowset,
-            {"t1": range(0, t1_period, didactic_offset_step)},
-            release_horizon=didactic_horizon,
-            executor=executor,
+        groups.append(
+            _chunked_search(
+                spec.name,
+                "didactic",
+                {"kind": "didactic", "buf": buf},
+                flowset,
+                {"t1": range(0, t1_period, p["didactic_offset_step"])},
+                p["didactic_horizon"],
+                chunk_size,
+            )
         )
-        result.runs += search.runs
-        result.pruned += search.pruned
-        for name in ("t1", "t2", "t3"):
-            result.rows.append(
-                ValidationRow(
-                    workload="didactic",
-                    buf=buf,
-                    flow=name,
-                    observed=search.worst_latency(name),
-                    bounds={
-                        label: bounds[label][name] for label in BOUND_LABELS
-                    },
-                )
-            )
-        if progress is not None:
-            progress(
-                f"didactic buf={buf}: t3 sim={search.worst_latency('t3')} "
-                f"IBN={bounds['IBN']['t3']} ({search.runs} phasings)"
-            )
 
-    # -- synthetic workloads ----------------------------------------------
-    base_platform = NoCPlatform(Mesh2D(*synthetic_mesh), buf=depths[0])
-    for set_index in range(synthetic_sets):
+    base_platform = NoCPlatform(Mesh2D(*p["synthetic_mesh"]), buf=depths[0])
+    for set_index in range(p["synthetic_sets"]):
         base_flowset = synthetic_validation_flowset(
-            base_platform, seed, set_index, synthetic_flows
+            base_platform, p["seed"], set_index, p["synthetic_flows"]
         )
-        workload = f"synthetic-{set_index}"
-        graph = InterferenceGraph(base_flowset)
         # Sweep the phases of the two fastest (highest-priority) flows —
         # the interference sources the bounds reason about.
         interferers = [f for f in base_flowset.flows][:2]
@@ -289,36 +320,93 @@ def _run_campaign(result, *, executor, seed, didactic_offset_step,
             for f in interferers
         }
         horizon = 3 * max(f.period for f in base_flowset.flows)
-        invariant = _invariant_bounds(base_flowset, graph)
         for buf in depths:
             flowset = base_flowset.on_platform(
                 base_platform.with_buffers(buf)
             )
-            bounds = dict(invariant)
-            bounds["IBN"] = _flow_bounds(flowset, graph, IBNAnalysis())
-            search = offset_search(
-                flowset, vary, release_horizon=horizon, executor=executor
+            groups.append(
+                _chunked_search(
+                    spec.name,
+                    f"synthetic-{set_index}",
+                    {
+                        "kind": "validation_synthetic",
+                        "mesh": p["synthetic_mesh"],
+                        "buf": buf,
+                        "seed": p["seed"],
+                        "set_index": set_index,
+                        "num_flows": p["synthetic_flows"],
+                    },
+                    flowset,
+                    vary,
+                    horizon,
+                    chunk_size,
+                )
             )
-            result.runs += search.runs
-            result.pruned += search.pruned
-            for flow in flowset.flows:
-                result.rows.append(
-                    ValidationRow(
-                        workload=workload,
-                        buf=buf,
-                        flow=flow.name,
-                        observed=search.worst_latency(flow.name),
-                        bounds={
-                            label: bounds[label][flow.name]
-                            for label in BOUND_LABELS
-                        },
-                    )
+    return Plan(
+        jobs=[job for group in groups for job in group.jobs],
+        context=groups,
+    )
+
+
+def _validation_aggregate(
+    spec: CampaignSpec, plan: Plan, results: Mapping[str, Mapping]
+) -> ValidationResult:
+    """Rebuild the bounds and fold the simulated maxima into rows."""
+    p = _validation_params(spec)
+    depths = tuple(p["buffer_depths"])
+    result = ValidationResult(buffer_depths=depths)
+
+    # The interference graph and the SB/XLWX bounds are all
+    # buffer-independent: build them once per workload and rebind the
+    # flow set per depth, recomputing only IBN.
+    base_flowsets: dict[str, FlowSet] = {
+        "didactic": didactic_flowset(buf=depths[0])
+    }
+    base_platform = NoCPlatform(Mesh2D(*p["synthetic_mesh"]), buf=depths[0])
+    for set_index in range(p["synthetic_sets"]):
+        base_flowsets[f"synthetic-{set_index}"] = (
+            synthetic_validation_flowset(
+                base_platform, p["seed"], set_index, p["synthetic_flows"]
+            )
+        )
+    graphs = {
+        name: InterferenceGraph(flowset)
+        for name, flowset in base_flowsets.items()
+    }
+    invariants = {
+        name: _invariant_bounds(flowset, graphs[name])
+        for name, flowset in base_flowsets.items()
+    }
+
+    for group in plan.context:
+        base_flowset = base_flowsets[group.workload]
+        flowset = base_flowset.on_platform(
+            base_flowset.platform.with_buffers(group.buf)
+        )
+        bounds = dict(invariants[group.workload])
+        bounds["IBN"] = _flow_bounds(
+            flowset, graphs[group.workload], IBNAnalysis()
+        )
+        worst = fold_worst([results[job.job_id] for job in group.jobs])
+        result.runs += sum(results[job.job_id]["runs"] for job in group.jobs)
+        result.pruned += group.pruned
+        if group.workload == "didactic":
+            flow_names = ["t1", "t2", "t3"]
+        else:
+            flow_names = [flow.name for flow in flowset.flows]
+        for flow_name in flow_names:
+            result.rows.append(
+                ValidationRow(
+                    workload=group.workload,
+                    buf=group.buf,
+                    flow=flow_name,
+                    observed=worst.get(flow_name, 0),
+                    bounds={
+                        label: bounds[label][flow_name]
+                        for label in BOUND_LABELS
+                    },
                 )
-            if progress is not None:
-                progress(
-                    f"{workload} buf={buf}: {search.runs} phasings, "
-                    f"{len(result.violations())} safe-bound violations"
-                )
+            )
     return result
 
 
@@ -368,3 +456,90 @@ def render_validation(result: ValidationResult, *, title: str) -> str:
         )
     )
     return "\n".join(lines)
+
+
+def _validation_render(spec: CampaignSpec, result: ValidationResult) -> str:
+    title = spec.params.get("title") or (
+        "Validation: worst observed latency vs bounds"
+    )
+    lines = [render_validation(result, title=title), ""]
+    violations = result.violations()
+    if violations:
+        lines.append(f"WARNING: {len(violations)} safe-bound violations!")
+    else:
+        lines.append(
+            "All observations within the safe IBN/XLWX bounds; "
+            f"{len(result.mpb_rows())} rows exceed SB (MPB)."
+        )
+    return "\n".join(lines)
+
+
+def _validation_csv(spec: CampaignSpec, result: ValidationResult) -> str:
+    return result.to_csv()
+
+
+def _validation_jsonable(spec: CampaignSpec, result: ValidationResult) -> dict:
+    return {
+        "buffer_depths": list(result.buffer_depths),
+        "runs": result.runs,
+        "pruned": result.pruned,
+        "rows": [
+            {
+                "workload": row.workload,
+                "buf": row.buf,
+                "flow": row.flow,
+                "observed": row.observed,
+                "bounds": row.bounds,
+                "safe_ok": row.safe_ok,
+                "shows_mpb": row.shows_mpb,
+            }
+            for row in result.rows
+        ],
+    }
+
+
+VALIDATION_KIND = register_kind(
+    CampaignKind(
+        name="validation",
+        plan=_validation_plan,
+        aggregate=_validation_aggregate,
+        render=_validation_render,
+        to_csv=_validation_csv,
+        to_jsonable=_validation_jsonable,
+    )
+)
+
+
+def validation_sweep(
+    buffer_depths: Sequence[int],
+    *,
+    seed: int,
+    didactic_offset_step: int = 20,
+    didactic_horizon: int = 6001,
+    synthetic_sets: int = 2,
+    synthetic_flows: int = 6,
+    synthetic_mesh: tuple[int, int] = (3, 3),
+    workers: int = 1,
+    progress: Progress | None = None,
+) -> ValidationResult:
+    """Sweep observed worst case vs. bounds across buffer depths.
+
+    An ephemeral campaign-engine run: the didactic workload replays the
+    paper's τ1 phase sweep per depth; each synthetic set sweeps the
+    phases of its two highest-priority flows.  ``workers`` fans the
+    spec's simulation chunks out over the shared scheduler pool (pool
+    start-up is paid once for the whole campaign); the per-set seed
+    derivation makes results identical for any worker count.
+    """
+    from repro.campaigns.engine import run_campaign
+
+    spec = validation_spec(
+        buffer_depths,
+        seed=seed,
+        didactic_offset_step=didactic_offset_step,
+        didactic_horizon=didactic_horizon,
+        synthetic_sets=synthetic_sets,
+        synthetic_flows=synthetic_flows,
+        synthetic_mesh=synthetic_mesh,
+    )
+    return run_campaign(spec, workers=workers, progress=progress).result

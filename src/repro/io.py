@@ -5,13 +5,21 @@ can be shared between tools, checked into repositories, and fed to the
 command line (``python -m repro analyze traffic.json``)::
 
     {
-      "format": "repro-flowset/1",
+      "format": "repro-flowset/2",
       "platform": {"topology": {"type": "mesh", "cols": 4, "rows": 4},
-                   "buf": 2, "linkl": 1, "routl": 0, "vc_count": null},
+                   "buf": 2, "linkl": 1, "routl": 0, "vc_count": null,
+                   "buf_map": {"3": 8}, "credit_delay": 1},
       "flows": [{"name": "ctrl", "priority": 1, "period": 2000,
                  "deadline": 2000, "jitter": 0, "length": 64,
                  "src": 11, "dst": 7}, ...]
     }
+
+Format history: ``repro-flowset/1`` described uniform-buffer Mesh2D
+platforms only; ``/2`` adds the heterogeneous ``buf_map`` (per-router
+buffer-depth overrides) and the simulator's ``credit_delay`` so that
+simulation scenarios round-trip too.  Writers emit ``/2``; readers
+accept both versions (``/1`` documents simply have no overrides and no
+credit delay).
 """
 
 from __future__ import annotations
@@ -25,17 +33,29 @@ from repro.flows.flowset import FlowSet
 from repro.noc.platform import NoCPlatform
 from repro.noc.topology import Mesh2D
 
-FORMAT = "repro-flowset/1"
+FORMAT = "repro-flowset/2"
+
+#: Document versions :func:`flowset_from_dict` accepts.
+READ_FORMATS = ("repro-flowset/1", FORMAT)
 
 
-def flowset_to_dict(flowset: FlowSet) -> dict:
-    """Serialise a flow set (platform + flows) to plain data."""
+def flowset_to_dict(
+    flowset: FlowSet, *, credit_delay: int | None = None
+) -> dict:
+    """Serialise a flow set (platform + flows) to plain data.
+
+    ``credit_delay`` optionally records the simulator's credit-return
+    latency alongside the platform (``null`` when not given) — it is not
+    a :class:`FlowSet` property, but simulation scenarios are incomplete
+    without it; recover it with :func:`credit_delay_from_dict`.
+    """
     platform = flowset.platform
     topology = platform.topology
     if not isinstance(topology, Mesh2D):
         raise TypeError(
             f"only Mesh2D topologies serialise (got {type(topology).__name__})"
         )
+    _check_credit_delay(credit_delay)
     return {
         "format": FORMAT,
         "platform": {
@@ -52,6 +72,7 @@ def flowset_to_dict(flowset: FlowSet) -> dict:
                 if platform.buf_map
                 else None
             ),
+            "credit_delay": credit_delay,
         },
         "flows": [
             {
@@ -70,11 +91,16 @@ def flowset_to_dict(flowset: FlowSet) -> dict:
 
 
 def flowset_from_dict(data: dict) -> FlowSet:
-    """Rebuild a flow set from :func:`flowset_to_dict` data."""
+    """Rebuild a flow set from :func:`flowset_to_dict` data.
+
+    Accepts every version in :data:`READ_FORMATS`; fields introduced by
+    later versions default to their ``/1`` meaning when absent.
+    """
     declared = data.get("format")
-    if declared != FORMAT:
+    if declared not in READ_FORMATS:
         raise ValueError(
-            f"unsupported format {declared!r}; expected {FORMAT!r}"
+            f"unsupported format {declared!r}; "
+            f"expected one of {', '.join(READ_FORMATS)}"
         )
     platform_data = data["platform"]
     topology_data = platform_data["topology"]
@@ -109,19 +135,53 @@ def flowset_from_dict(data: dict) -> FlowSet:
     return FlowSet(platform, flows)
 
 
-def save_flowset(flowset: FlowSet, path: str | Path) -> Path:
+def _check_credit_delay(value) -> None:
+    """Writer and reader share one rule: a non-negative int or None."""
+    if value is None:
+        return
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ValueError(
+            f"credit_delay must be a non-negative int, got {value!r}"
+        )
+
+
+def credit_delay_from_dict(data: dict) -> int | None:
+    """The serialised simulator credit-return latency, when recorded.
+
+    ``/1`` documents (and ``/2`` documents written without one) return
+    ``None`` — callers fall back to the simulator default.
+    """
+    value = data.get("platform", {}).get("credit_delay")
+    _check_credit_delay(value)
+    return value
+
+
+def save_flowset(
+    flowset: FlowSet, path: str | Path, *, credit_delay: int | None = None
+) -> Path:
     """Write a flow set as JSON (pretty-printed, stable key order)."""
     target = Path(path)
     target.write_text(
-        json.dumps(flowset_to_dict(flowset), indent=2, sort_keys=True) + "\n",
+        json.dumps(
+            flowset_to_dict(flowset, credit_delay=credit_delay),
+            indent=2,
+            sort_keys=True,
+        ) + "\n",
         encoding="utf-8",
     )
     return target
 
 
 def load_flowset(path: str | Path) -> FlowSet:
-    """Read a flow set written by :func:`save_flowset`."""
+    """Read a flow set written by :func:`save_flowset` (any version)."""
     return flowset_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def load_credit_delay(path: str | Path) -> int | None:
+    """Read the credit delay recorded next to a flow set, if any."""
+    return credit_delay_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
 
 
 def result_to_dict(result: AnalysisResult) -> dict:

@@ -83,6 +83,60 @@ def simulate_offsets(
     return dict(result.observer.worst)
 
 
+def auto_prune_shifts(
+    flowset: FlowSet, names: Sequence[str], grids: Sequence[Sequence[int]]
+) -> bool:
+    """Whether shift-dominance pruning auto-enables for this search.
+
+    True exactly in the proven regime: anomaly-free ``linkl == 1``
+    platforms where *every* networked flow is varied and every grid is
+    ascending (so canonical phasings precede their shifts in product
+    order).  Shared by :func:`offset_search` and the campaign engine's
+    job expansion so both enumerate the same phasing list.
+    """
+    networked = {f.name for f in flowset.flows if not f.is_local}
+    return (
+        flowset.platform.linkl == 1
+        and networked <= set(names)
+        and all(list(grid) == sorted(set(grid)) for grid in grids)
+    )
+
+
+def enumerate_phasings(
+    flowset: FlowSet,
+    vary: Mapping[str, Sequence[int]],
+    *,
+    prune_shifts: bool | None = None,
+) -> tuple[tuple[str, ...], list[tuple[int, ...]], int]:
+    """Materialise the (pruned) offset grid of a search.
+
+    Returns ``(names, combos, pruned)``: the varied flow names, the
+    phasings a sweep would simulate (in product order), and how many
+    were skipped as pure time-shifts.  This is the exact enumeration
+    :func:`offset_search` performs, exposed so campaign specs can chunk
+    phasings into content-addressed jobs ahead of time.
+    """
+    names = tuple(vary)
+    grids = [list(vary[name]) for name in names]
+    for name, grid in zip(names, grids):
+        if not grid:
+            raise ValueError(f"empty offset grid for flow {name!r}")
+    if prune_shifts is None:
+        prune_shifts = auto_prune_shifts(flowset, names, grids)
+    combos: list[tuple[int, ...]] = []
+    pruned = 0
+    if not prune_shifts:
+        combos = list(itertools.product(*grids))
+    else:
+        grid_sets = [set(grid) for grid in grids]
+        for combo in itertools.product(*grids):
+            if _is_shifted(combo, grid_sets):
+                pruned += 1
+            else:
+                combos.append(combo)
+    return names, combos, pruned
+
+
 def _is_shifted(
     combo: tuple[int, ...], grid_sets: list[set[int]]
 ) -> bool:
@@ -197,14 +251,7 @@ def offset_search(
 
     search = SearchResult()
     if prune_shifts is None:
-        networked = {f.name for f in flowset.flows if not f.is_local}
-        prune_shifts = (
-            flowset.platform.linkl == 1
-            and networked <= set(names)
-            and all(
-                grid == sorted(set(grid)) for grid in grids
-            )  # ascending: canonical phasings precede their shifts
-        )
+        prune_shifts = auto_prune_shifts(flowset, names, grids)
 
     def phasings():
         """Stream the (pruned) product lazily — grids can be huge."""

@@ -1,0 +1,108 @@
+"""Campaign specs, content-addressed jobs and the result stores."""
+
+import json
+
+import pytest
+
+from repro.campaigns.spec import (
+    CampaignSpec,
+    Job,
+    canonical_json,
+    job_hash,
+    load_spec,
+    save_spec,
+)
+from repro.campaigns.store import MemoryStore, ResultStore, open_store
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_tuples_normalise_to_lists(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestJobHash:
+    def test_stable_across_key_order(self):
+        assert job_hash("k", {"a": 1, "b": 2}) == job_hash("k", {"b": 2, "a": 1})
+
+    def test_tuple_list_equivalence(self):
+        assert job_hash("k", {"mesh": (4, 4)}) == job_hash("k", {"mesh": [4, 4]})
+
+    def test_kind_and_params_distinguish(self):
+        assert job_hash("k1", {"a": 1}) != job_hash("k2", {"a": 1})
+        assert job_hash("k1", {"a": 1}) != job_hash("k1", {"a": 2})
+
+    def test_label_excluded_from_identity(self):
+        a = Job(kind="k", params={"x": 1}, label="first")
+        b = Job(kind="k", params={"x": 1}, label="second")
+        assert a.job_id == b.job_id
+
+
+class TestCampaignSpec:
+    def test_round_trip_through_file(self, tmp_path):
+        spec = CampaignSpec(
+            kind="schedulability", name="demo", params={"mesh": (4, 4)}
+        )
+        path = save_spec(spec, tmp_path / "spec.json")
+        assert load_spec(path) == spec
+        # Tuples were canonicalised at construction already.
+        assert spec.params["mesh"] == [4, 4]
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"format": "nope", "kind": "x", "name": "y"}))
+        with pytest.raises(ValueError, match="unsupported campaign format"):
+            load_spec(path)
+
+    def test_name_must_be_file_stem(self):
+        with pytest.raises(ValueError, match="file stem"):
+            CampaignSpec(kind="k", name="a/b")
+
+
+class TestMemoryStore:
+    def test_put_normalises_tuples(self):
+        store = MemoryStore()
+        stored = store.put("j1", {"combo": (1, 2)})
+        assert stored == {"combo": [1, 2]}
+        assert store.load() == {"j1": {"combo": [1, 2]}}
+
+    def test_open_store_coercions(self, tmp_path):
+        assert isinstance(open_store(None), MemoryStore)
+        assert isinstance(open_store(tmp_path / "run"), ResultStore)
+        memory = MemoryStore()
+        assert open_store(memory) is memory
+
+
+class TestResultStore:
+    def test_results_survive_reopen(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        store.put("j1", {"v": 1})
+        store.put("j2", {"v": 2})
+        reopened = ResultStore(tmp_path / "run")
+        assert reopened.load() == {"j1": {"v": 1}, "j2": {"v": 2}}
+
+    def test_torn_final_line_ignored(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        store.put("j1", {"v": 1})
+        store.put("j2", {"v": 2})
+        path = tmp_path / "run" / "results.jsonl"
+        content = path.read_text()
+        # Simulate a crash mid-write: second record loses its tail.
+        path.write_text(content[: content.rindex('{"job":"j2"') + 15])
+        reopened = ResultStore(tmp_path / "run")
+        assert reopened.load() == {"j1": {"v": 1}}
+
+    def test_prepare_pins_spec(self, tmp_path):
+        spec_a = CampaignSpec(kind="k", name="a", params={"x": 1})
+        spec_b = CampaignSpec(kind="k", name="a", params={"x": 2})
+        store = ResultStore(tmp_path / "run")
+        store.prepare(spec_a)
+        store.prepare(spec_a)  # same spec resumes fine
+        with pytest.raises(ValueError, match="different campaign spec"):
+            store.prepare(spec_b)

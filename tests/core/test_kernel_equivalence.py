@@ -323,14 +323,17 @@ class TestSweepInvariance:
             assert values == single.series[label] * 2
 
     def test_progress_reported_with_workers(self):
-        messages: list[str] = []
+        events = []
         schedulability_sweep(
             (4, 4), [40, 80], 4, seed=11, workers=2, chunk_size=1,
-            progress=messages.append,
+            progress=events.append,
         )
-        assert len(messages) == 2
-        assert any("n=40" in m for m in messages)
-        assert any("n=80" in m for m in messages)
+        # One ProgressEvent per job: 2 points x 4 single-set chunks.
+        assert len(events) == 8
+        assert all(event.total == 8 for event in events)
+        assert events[-1].finished == 8
+        assert any("n=40" in event.label for event in events)
+        assert any("n=80" in event.label for event in events)
 
 
 class TestMaxGapErrors:

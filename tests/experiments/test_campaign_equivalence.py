@@ -1,0 +1,60 @@
+"""Byte-equivalence of the ported campaigns against the seed outputs.
+
+The golden files under ``tests/experiments/golden/`` were captured from
+the pre-campaign-engine runner at ci scale (text bodies per command plus
+the CSV files).  Every command ported onto the campaign engine must
+reproduce them byte-for-byte — the refactor's central acceptance
+criterion.
+"""
+
+import contextlib
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.scale import get_scale
+
+GOLDEN = Path(__file__).parent / "golden"
+
+#: command -> CSV file the pre-refactor runner wrote (None: no CSV).
+COMMANDS = {
+    "table2": None,
+    "fig4a": "fig4a.csv",
+    "fig4b": "fig4b.csv",
+    "fig5": "fig5.csv",
+    "buffers": "buffer_sweep.csv",
+    "routing": "routing.csv",
+    "validate": "validation.csv",
+}
+
+
+@pytest.fixture(scope="module")
+def outputs(tmp_path_factory):
+    """Run every command once at ci scale, capturing text and CSVs."""
+    csv_dir = tmp_path_factory.mktemp("csv")
+    scale = get_scale("ci")
+    texts = {}
+    for name in COMMANDS:
+        captured = io.StringIO()
+        with contextlib.redirect_stdout(captured):
+            runner.run_command(name, scale, 1, csv_dir, None)
+        texts[name] = captured.getvalue()
+    return texts, csv_dir
+
+
+@pytest.mark.parametrize("name", list(COMMANDS))
+def test_text_matches_seed(name, outputs):
+    texts, _ = outputs
+    assert texts[name] == (GOLDEN / f"{name}.txt").read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize(
+    "csv_name", [value for value in COMMANDS.values() if value]
+)
+def test_csv_matches_seed(csv_name, outputs):
+    _, csv_dir = outputs
+    assert (csv_dir / csv_name).read_bytes() == (
+        GOLDEN / csv_name
+    ).read_bytes()

@@ -40,3 +40,60 @@ class TestRunner:
     def test_unknown_experiment_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["fig9"])
+
+    def test_single_command_failure_raises(self, monkeypatch, capsys):
+        from repro.experiments import runner
+
+        def boom(name, scale, workers, csv_dir, run_dir):
+            raise RuntimeError("broken campaign")
+
+        monkeypatch.setattr(runner, "run_command", boom)
+        with pytest.raises(RuntimeError, match="broken campaign"):
+            main(["buffers", "--scale", "ci"])
+
+    def test_run_dir_resumes_between_invocations(self, capsys, tmp_path):
+        assert main(
+            ["buffers", "--scale", "ci", "--run-dir", str(tmp_path)]
+        ) == 0
+        first = (tmp_path / "buffer_sweep" / "results.jsonl").read_text()
+        capsys.readouterr()
+        assert main(
+            ["buffers", "--scale", "ci", "--run-dir", str(tmp_path)]
+        ) == 0
+        # Second run recomputes nothing: the store is unchanged.
+        assert (tmp_path / "buffer_sweep" / "results.jsonl").read_text() == first
+
+
+class TestRunnerAll:
+    def test_csv_dir_created_if_missing(self, monkeypatch, capsys, tmp_path):
+        from repro.experiments import runner
+
+        calls = []
+        monkeypatch.setattr(
+            runner,
+            "run_command",
+            lambda name, scale, workers, csv_dir, run_dir: calls.append(name),
+        )
+        target = tmp_path / "deep" / "csv"
+        assert main(["all", "--scale", "ci", "--csv-dir", str(target)]) == 0
+        assert target.is_dir()
+        assert calls == list(runner._COMMANDS)
+
+    def test_all_continues_after_failure_and_exits_nonzero(
+        self, monkeypatch, capsys
+    ):
+        from repro.experiments import runner
+
+        calls = []
+
+        def sometimes_boom(name, scale, workers, csv_dir, run_dir):
+            calls.append(name)
+            if name in ("fig4a", "fig5"):
+                raise RuntimeError(f"{name} broke")
+
+        monkeypatch.setattr(runner, "run_command", sometimes_boom)
+        assert main(["all", "--scale", "ci"]) == 1
+        # Every command still ran despite the two failures.
+        assert calls == list(runner._COMMANDS)
+        err = capsys.readouterr().err
+        assert "2 command(s) failed: fig4a, fig5" in err

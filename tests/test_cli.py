@@ -77,3 +77,48 @@ class TestExperimentsForwarding:
         out = capsys.readouterr().out
         assert code == 0
         assert "buffer depth" in out
+
+
+class TestCampaignCommand:
+    @pytest.fixture
+    def spec_file(self, tmp_path):
+        from repro.campaigns.spec import save_spec
+        from repro.experiments.schedulability_sweep import schedulability_spec
+
+        spec = schedulability_spec(
+            (4, 4), [40, 60], 2, seed=11, chunk_size=1, name="cli-demo"
+        )
+        return str(save_spec(spec, tmp_path / "spec.json"))
+
+    def test_runs_spec_with_exports(self, spec_file, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        code = main([
+            "campaign", spec_file,
+            "--run-dir", str(run_dir),
+            "--csv-dir", str(tmp_path / "csv"),
+            "--json-dir", str(tmp_path / "json"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "% schedulable flow sets on 4x4" in captured.out
+        assert "4 jobs: 4 run, 0 resumed" in captured.err
+        assert (run_dir / "results.jsonl").exists()
+        assert (run_dir / "spec.json").exists()
+        header = (tmp_path / "csv" / "cli-demo.csv").read_text().splitlines()[0]
+        assert header.endswith("SB,XLWX,IBN2,IBN100")
+        payload = json.loads((tmp_path / "json" / "cli-demo.json").read_text())
+        assert payload["spec"]["name"] == "cli-demo"
+        assert payload["result"]["x_values"] == [40, 60]
+
+    def test_second_invocation_resumes(self, spec_file, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        assert main(["campaign", spec_file, "--run-dir", run_dir]) == 0
+        capsys.readouterr()
+        assert main(["campaign", spec_file, "--run-dir", run_dir]) == 0
+        assert "0 run, 4 resumed from store" in capsys.readouterr().err
+
+    def test_dry_run_lists_jobs(self, spec_file, capsys):
+        assert main(["campaign", spec_file, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs" in out
+        assert "n=40" in out and "n=60" in out

@@ -10,8 +10,10 @@ from repro.core.analyses.ibn import IBNAnalysis
 from repro.core.engine import analyze
 from repro.io import (
     FORMAT,
+    credit_delay_from_dict,
     flowset_from_dict,
     flowset_to_dict,
+    load_credit_delay,
     load_flowset,
     result_to_dict,
     save_flowset,
@@ -56,6 +58,69 @@ class TestRoundTrip:
         flowset = FlowSet(platform, flows)
         rebuilt = flowset_from_dict(flowset_to_dict(flowset))
         assert rebuilt.flows == flowset.flows
+
+
+class TestFormatV2:
+    """repro-flowset/2: buf_map + credit_delay round-trips, /1 still reads."""
+
+    def _hetero_flowset(self):
+        platform = NoCPlatform(
+            Mesh2D(4, 4), buf=2, buf_map={3: 8, 11: 16}
+        )
+        rng = spawn_rng(7, "io-v2")
+        flows = synthetic_flows(SyntheticConfig(num_flows=6), 16, rng)
+        return FlowSet(platform, flows)
+
+    def test_buf_map_round_trip(self):
+        flowset = self._hetero_flowset()
+        rebuilt = flowset_from_dict(flowset_to_dict(flowset))
+        assert rebuilt.platform.buf_map == {3: 8, 11: 16}
+        assert rebuilt.platform.buf_of_router(3) == 8
+        assert rebuilt.platform.buf_of_router(0) == 2
+
+    def test_credit_delay_round_trip(self):
+        flowset = self._hetero_flowset()
+        data = flowset_to_dict(flowset, credit_delay=3)
+        assert credit_delay_from_dict(data) == 3
+        assert flowset_from_dict(data).flows == flowset.flows
+
+    def test_credit_delay_defaults_to_none(self, didactic2):
+        assert credit_delay_from_dict(flowset_to_dict(didactic2)) is None
+
+    def test_negative_credit_delay_rejected(self, didactic2):
+        with pytest.raises(ValueError, match="credit_delay"):
+            flowset_to_dict(didactic2, credit_delay=-1)
+
+    def test_non_int_credit_delay_rejected_by_writer(self, didactic2):
+        # Writer and reader share the rule: what one writes, both accept.
+        for bad in (1.5, True, "1"):
+            with pytest.raises(ValueError, match="credit_delay"):
+                flowset_to_dict(didactic2, credit_delay=bad)
+
+    def test_bad_stored_credit_delay_rejected(self, didactic2):
+        data = flowset_to_dict(didactic2)
+        data["platform"]["credit_delay"] = "soon"
+        with pytest.raises(ValueError, match="credit_delay"):
+            credit_delay_from_dict(data)
+
+    def test_v1_documents_still_read(self, didactic2):
+        data = flowset_to_dict(didactic2)
+        data["format"] = "repro-flowset/1"
+        del data["platform"]["credit_delay"]
+        del data["platform"]["buf_map"]
+        rebuilt = flowset_from_dict(data)
+        assert rebuilt.flows == didactic2.flows
+        assert rebuilt.platform.buf_map is None
+        assert credit_delay_from_dict(data) is None
+
+    def test_file_round_trip_with_credit_delay(self, tmp_path):
+        flowset = self._hetero_flowset()
+        path = save_flowset(flowset, tmp_path / "v2.json", credit_delay=2)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-flowset/2"
+        assert load_credit_delay(path) == 2
+        rebuilt = load_flowset(path)
+        assert rebuilt.platform.buf_map == flowset.platform.buf_map
 
 
 class TestValidation:
