@@ -4,7 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 export REPRO_SCALE ?= ci
 
-.PHONY: test test-slow bench-smoke bench-record bench-figures campaign-smoke
+.PHONY: test test-slow bench-smoke bench-record bench-figures campaign-smoke \
+	docs-check smoke
 
 ## Tier-1 test suite (the gate every PR must keep green).  Tests marked
 ## `slow` (paper-scale simulation sweeps) are deselected here.
@@ -31,13 +32,23 @@ campaign-smoke:
 		--csv-dir $(CAMPAIGN_SMOKE_DIR)/csv \
 		--json-dir $(CAMPAIGN_SMOKE_DIR)/json
 
+## Execute every fenced bash/python block in README.md and docs/*.md
+## against a scratch directory (skip-marked blocks excepted), so the
+## documented commands provably run as written.
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+## The full smoke path: tier-1 tests plus the executable documentation.
+smoke: test docs-check
+
 ## Fast perf gate: ci-scale hot-path microbenchmarks (analysis kernel +
-## simulator) plus the campaign-engine smoke, then append the wall-clock
-## numbers to BENCH_engine.json so the trajectory across PRs stays
-## comparable.
-bench-smoke: campaign-smoke
+## simulator + serve throughput) plus the campaign-engine smoke and the
+## executable docs, then append the wall-clock numbers to
+## BENCH_engine.json so the trajectory across PRs stays comparable.
+bench-smoke: campaign-smoke docs-check
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_engine_hotpath.py -q
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_sim_hotpath.py -q
+	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_serve.py -q
 	REPRO_SCALE=ci $(PYTHON) benchmarks/record_engine_bench.py smoke
 
 ## Append a BENCH_engine.json entry only (LABEL=<name> to tag it).

@@ -1,0 +1,110 @@
+"""Load generator for the analysis service: cold vs. warm requests/s.
+
+Stands a real server up on an ephemeral port (background thread, the
+same :func:`repro.serve.start_in_thread` path the tests use), then
+fires ``POST /analyze`` requests over a keep-alive connection:
+
+* **cold** — ``distinct`` different flow sets, every request a cache
+  miss that computes on the worker path;
+* **warm** — the same requests repeated ``warm_rounds`` times, every
+  one answered from the bounded LRU.
+
+``serve_load_metrics`` is imported by ``record_engine_bench.py`` to
+append the ``serve`` block to BENCH_engine.json; the pytest gate below
+enforces the invariants that make the numbers meaningful (exactly
+``distinct`` computations, all repeats served from cache, warm strictly
+faster than cold).
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q
+"""
+
+from __future__ import annotations
+
+from repro.io import flowset_to_dict
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.serve import ServeClient, ServeConfig, start_in_thread
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flowset
+
+from _common import timed
+
+SEED = 20180319
+
+
+def _request_docs(distinct: int, num_flows: int) -> list[dict]:
+    platform = NoCPlatform(Mesh2D(4, 4), buf=2)
+    return [
+        flowset_to_dict(
+            synthetic_flowset(
+                platform,
+                SyntheticConfig(num_flows=num_flows),
+                seed=SEED,
+                set_index=index,
+            )
+        )
+        for index in range(distinct)
+    ]
+
+
+def serve_load_metrics(
+    distinct: int = 16,
+    warm_rounds: int = 4,
+    num_flows: int = 24,
+    workers: int = 0,
+) -> dict:
+    """Measure one server's cold and warm request throughput.
+
+    Returns the ``serve`` block recorded in BENCH_engine.json, plus the
+    raw server counters so callers can assert the cache really carried
+    the warm phase.
+    """
+    docs = _request_docs(distinct, num_flows)
+    config = ServeConfig(port=0, workers=workers, cache_size=4 * distinct)
+    with start_in_thread(config) as handle:
+        with ServeClient(handle.host, handle.port) as client:
+            client.healthz()  # connection + import warm-up
+
+            def fire_all() -> None:
+                for doc in docs:
+                    client.analyze(doc)
+
+            cold_s, _ = timed(fire_all)
+
+            def fire_warm() -> None:
+                for _ in range(warm_rounds):
+                    fire_all()
+
+            warm_s, _ = timed(fire_warm)
+            stats = client.stats()
+    warm_requests = distinct * warm_rounds
+    return {
+        "workers": workers,
+        "distinct_requests": distinct,
+        "num_flows": num_flows,
+        "cold_s": round(cold_s, 3),
+        "cold_rps": round(distinct / cold_s, 1),
+        "warm_requests": warm_requests,
+        "warm_s": round(warm_s, 3),
+        "warm_rps": round(warm_requests / warm_s, 1),
+        "warm_speedup": round(
+            (warm_requests / warm_s) / (distinct / cold_s), 2
+        ),
+        "counters": {
+            "executed": stats["executed"],
+            "cache_hits": stats["cache"]["hits"],
+        },
+    }
+
+
+def test_serve_throughput_gates():
+    """The serving cache must actually carry repeated traffic."""
+    metrics = serve_load_metrics(distinct=8, warm_rounds=3)
+    counters = metrics["counters"]
+    # exactly one computation per distinct request...
+    assert counters["executed"] == metrics["distinct_requests"]
+    # ...every repeat answered from the LRU...
+    assert counters["cache_hits"] == metrics["warm_requests"]
+    # ...and cached answers are measurably faster than computing.
+    assert metrics["warm_rps"] > metrics["cold_rps"], metrics

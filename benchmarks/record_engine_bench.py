@@ -23,6 +23,10 @@ analysis kernel optimisation targets:
   through the scheduler for the ``examples/specs/campaign_smoke.json``
   spec (cold in-memory run) and the wall clock of a fully-stored resume
   replay (expansion + store load + aggregation, zero jobs executed).
+* ``serve``                — the analysis service: ``POST /analyze``
+  requests/s against a live server, cold (every request computed) and
+  warm (every request answered from the LRU result cache); see
+  ``bench_serve.py``.
 
 The resulting trajectory lets future PRs compare against every past
 revision; ``make bench-smoke`` runs this plus the pytest-benchmark suite.
@@ -122,7 +126,19 @@ def collect() -> dict:
 
     metrics["sim"] = _sim_metrics()
     metrics["campaign"] = _campaign_metrics()
+    metrics["serve"] = _serve_metrics()
     return metrics
+
+
+def _serve_metrics() -> dict:
+    """Analysis-service throughput: cold vs. warm requests/s.
+
+    Shares the load generator with ``bench_serve.py`` so the recorded
+    numbers measure exactly what that benchmark's gates enforce.
+    """
+    from bench_serve import serve_load_metrics
+
+    return serve_load_metrics()
 
 
 def _campaign_metrics() -> dict:

@@ -1,0 +1,67 @@
+"""Analysis-as-a-service in one file: start, query, submit, poll, stop.
+
+Stands a real ``repro serve`` instance up on an ephemeral port (in a
+background thread — exactly what ``python -m repro serve`` runs behind
+a socket you choose), then walks the whole API with the blocking
+client:
+
+1. ``GET  /healthz``        — liveness;
+2. ``POST /analyze``        — didactic flow set, IBN bounds + verdict;
+3. ``POST /analyze`` again  — same query, answered from the cache;
+4. ``POST /sizing``         — buffer-depth headroom + payload margin;
+5. ``POST /campaign``       — submit ``examples/specs/serve_smoke.json``;
+6. ``GET  /campaign/<id>``  — poll until done, print the rendered chart;
+7. ``GET  /stats``          — the cache/coalescing counters.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/serve_quickstart.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.serve import ServeClient, ServeConfig, start_in_thread
+from repro.workloads.didactic import didactic_flowset
+
+SPEC_PATH = Path(__file__).resolve().parent / "specs" / "serve_smoke.json"
+
+
+def main() -> None:
+    """Run the whole client tour against an in-process server."""
+    with start_in_thread(ServeConfig(port=0, workers=0)) as server:
+        print(f"server up on http://{server.host}:{server.port}")
+        with ServeClient(server.host, server.port) as client:
+            print("healthz:", client.healthz()["status"])
+
+            flowset = didactic_flowset(buf=2)
+            first = client.analyze(flowset)
+            print(
+                f"analyze: {first['analysis']} schedulable="
+                f"{first['schedulable']} (source={first['source']})"
+            )
+            again = client.analyze(flowset)
+            print(f"analyze again: source={again['source']}")
+
+            sizing = client.sizing(flowset, max_depth=64)
+            depth = sizing["max_schedulable_buffer_depth"]
+            print(
+                f"sizing: schedulable up to buf={depth['max_depth']} "
+                f"(margin x{sizing['length_scaling_margin']})"
+            )
+
+            spec_doc = json.loads(SPEC_PATH.read_text(encoding="utf-8"))
+            submitted = client.submit_campaign(spec_doc)
+            print(f"campaign {submitted['id'][:12]}… {submitted['state']}")
+            done = client.wait_campaign(submitted["id"], timeout=300)
+            print(f"campaign {done['state']} in "
+                  f"{done['stats']['elapsed_s']}s:")
+            print(done["result"]["render"])
+
+            print("stats:", json.dumps(client.stats(), sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ Usage::
     python -m repro experiments fig4a --scale default     # campaign runner
     python -m repro experiments validate --workers 4      # sim vs bounds
     python -m repro campaign spec.json --run-dir runs/x   # declarative run
+    python -m repro serve --port 8177 --workers 4         # HTTP service
 
 ``analyze`` reads the JSON format of :mod:`repro.io`; ``experiments``
 forwards to :mod:`repro.experiments.runner` (its ``validate`` campaign
@@ -18,6 +19,9 @@ JSON document on the campaign engine: ``--run-dir`` makes the run
 resumable (re-running skips every job already in the content-addressed
 result store), ``--csv-dir``/``--json-dir`` select exporters, and
 ``--dry-run`` prints the expanded job list without running anything.
+``serve`` exposes all of the above as JSON endpoints
+(:mod:`repro.serve`): ``POST /analyze``, ``POST /sizing``,
+``POST /campaign`` + ``GET /campaign/<id>``, ``GET /healthz``.
 """
 
 from __future__ import annotations
@@ -26,27 +30,23 @@ import argparse
 import json
 import sys
 
-from repro.core.analyses.ibn import IBNAnalysis
-from repro.core.analyses.kim98 import Kim98Analysis
-from repro.core.analyses.sb import SBAnalysis
-from repro.core.analyses.xlw16 import XLW16Analysis
-from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.analyses import (
+    ALL_COMPARISON,
+    ANALYSES_BY_NAME,
+    analysis_by_name,
+)
 from repro.core.engine import analyze, compare
 from repro.core.report import comparison_table, result_table
 from repro.core.sizing import (
     length_scaling_margin,
     max_schedulable_buffer_depth,
+    sizing_summary,
     slack_table,
 )
 from repro.io import load_flowset, result_to_dict
 
-_ANALYSES = {
-    "kim98": Kim98Analysis,
-    "sb": SBAnalysis,
-    "xlw16": XLW16Analysis,
-    "xlwx": XLWXAnalysis,
-    "ibn": IBNAnalysis,
-}
+#: CLI selector -> analysis class (shared with the serving layer).
+_ANALYSES = ANALYSES_BY_NAME
 
 
 def _load(path: str, buf: int | None):
@@ -61,14 +61,13 @@ def cmd_analyze(args) -> int:
     flowset = _load(args.flowset, args.buf)
     if args.analysis == "all":
         results = compare(
-            flowset,
-            [SBAnalysis(), XLW16Analysis(), XLWXAnalysis(), IBNAnalysis()],
+            flowset, [analysis_by_name(name) for name in ALL_COMPARISON]
         )
         print(comparison_table(results))
         print("\n(SB and XLW16 are optimistic under MPB - reference only)")
         worst = results[f"IBN{flowset.platform.buf}"]
     else:
-        analysis = _ANALYSES[args.analysis]()
+        analysis = analysis_by_name(args.analysis)
         worst = analyze(flowset, analysis, stop_at_deadline=False)
         print(result_table(worst))
     if args.json:
@@ -79,6 +78,12 @@ def cmd_analyze(args) -> int:
 def cmd_sizing(args) -> int:
     """``sizing``: slack, buffer-depth and payload headroom of a file."""
     flowset = _load(args.flowset, args.buf)
+    if args.json:
+        print(json.dumps(
+            sizing_summary(flowset, max_depth=args.max_depth),
+            indent=2, sort_keys=True,
+        ))
+        return 0
     print(slack_table(flowset))
     print()
     depth = max_schedulable_buffer_depth(flowset, hi=args.max_depth)
@@ -130,6 +135,25 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``serve``: run the HTTP analysis service until interrupted."""
+    from repro.serve.server import run_server
+    from repro.serve.service import ServeConfig
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            run_dir=args.run_dir,
+        )
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    return run_server(config)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -158,6 +182,10 @@ def main(argv: list[str] | None = None) -> int:
     p_sizing.add_argument("flowset")
     p_sizing.add_argument("--buf", type=int, default=None)
     p_sizing.add_argument("--max-depth", type=int, default=1024)
+    p_sizing.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable sizing summary instead of tables",
+    )
     p_sizing.set_defaults(func=cmd_sizing)
 
     p_exp = sub.add_parser("experiments", help="paper campaign runner")
@@ -186,6 +214,32 @@ def main(argv: list[str] | None = None) -> int:
         help="print the expanded job list instead of running",
     )
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP analysis service (see repro.serve)"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (0.0.0.0 accepts remote clients)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8177,
+        help="TCP port (0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=0,
+        help="job worker processes; 0 runs jobs in-process on threads",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="entries kept in the in-memory LRU result cache",
+    )
+    p_serve.add_argument(
+        "--run-dir", default=None,
+        help="persist query results and campaign stores here "
+             "(a restarted server answers warm)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     args = parser.parse_args(argv)
     if args.command == "experiments":

@@ -14,6 +14,7 @@ and reproduces the final tables byte-identically.
 
 from __future__ import annotations
 
+from concurrent.futures import Executor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -49,19 +50,22 @@ def run_campaign(
     store: MemoryStore | str | Path | None = None,
     workers: int = 1,
     progress: Progress | None = None,
+    pool: "Executor | None" = None,
 ) -> CampaignRun:
     """Run (or resume) one campaign end to end.
 
     ``store`` may be a store instance, a run-directory path (making the
     campaign resumable across processes), or ``None`` for an ephemeral
     in-memory run.  ``workers`` sizes the shared process pool; results
-    are identical for every worker count.
+    are identical for every worker count.  ``pool`` optionally hands the
+    scheduler an externally-owned executor instead (see
+    :class:`~repro.campaigns.scheduler.Scheduler`).
     """
     kind = registry.get_kind(spec.kind)
     plan = kind.plan(spec)
     backing = open_store(store)
     backing.prepare(spec)
-    scheduler = Scheduler(workers=workers, progress=progress)
+    scheduler = Scheduler(workers=workers, progress=progress, pool=pool)
     results, stats = scheduler.run(plan.jobs, backing)
     result = kind.aggregate(spec, plan, results)
     return CampaignRun(spec=spec, result=result, stats=stats)

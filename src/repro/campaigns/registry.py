@@ -30,7 +30,9 @@ _EXECUTORS: dict[str, Callable[[Mapping[str, Any]], Any]] = {}
 _KINDS: dict[str, "CampaignKind"] = {}
 _BUILTINS_LOADED = False
 
-#: Experiment modules that register builtin campaign kinds on import.
+#: Modules that register builtin campaign kinds / job executors on
+#: import: the six experiment families plus the serving layer's
+#: single-request jobs (so any worker process can run a served query).
 _BUILTIN_MODULES = (
     "repro.experiments.schedulability_sweep",
     "repro.experiments.av_topologies",
@@ -38,6 +40,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.routing_study",
     "repro.experiments.didactic_table",
     "repro.experiments.validation_sweep",
+    "repro.serve.jobs",
 )
 
 

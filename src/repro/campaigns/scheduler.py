@@ -24,7 +24,7 @@ cold-vs-resumed runs all produce identical campaign results.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
@@ -94,15 +94,28 @@ class RunStats:
 
 
 class Scheduler:
-    """Expand-once, run-anywhere job scheduler over one shared pool."""
+    """Expand-once, run-anywhere job scheduler over one shared pool.
+
+    ``pool`` optionally injects an externally-owned
+    :class:`concurrent.futures.Executor` (the serving layer shares one
+    process pool between single-request jobs and whole campaigns); the
+    scheduler then fans out on it without ever shutting it down.  When
+    ``pool`` is ``None``, a private ``ProcessPoolExecutor`` is created
+    per run for ``workers > 1`` as before.
+    """
 
     def __init__(
-        self, *, workers: int = 1, progress: Progress | None = None
+        self,
+        *,
+        workers: int = 1,
+        progress: Progress | None = None,
+        pool: Executor | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.progress = progress
+        self.pool = pool
 
     def run(
         self, jobs: Sequence, store: MemoryStore
@@ -154,8 +167,17 @@ class Scheduler:
             done += 1
             results[job_id] = store.put(job_id, result)
 
-        if self.workers > 1 and len(todo) > 1:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+        # An injected pool is used even for a single job (the serving
+        # layer must keep heavy work out of its own process); an owned
+        # pool is only worth spawning when there is real fan-out.
+        if todo and (
+            self.pool is not None or (self.workers > 1 and len(todo) > 1)
+        ):
+            owned: ProcessPoolExecutor | None = None
+            pool = self.pool
+            if pool is None:
+                owned = pool = ProcessPoolExecutor(max_workers=self.workers)
+            try:
                 futures = {
                     pool.submit(
                         _pool_execute, (job_id, job.kind, job.params)
@@ -166,6 +188,9 @@ class Scheduler:
                     job_id, result = future.result()
                     absorb(job_id, result)
                     emit(futures[future].label)
+            finally:
+                if owned is not None:
+                    owned.shutdown()
         else:
             for job_id, job in todo.items():
                 absorb(job_id, registry.execute_job(job.kind, job.params))

@@ -30,8 +30,62 @@ RESULTS_NAME = "results.jsonl"
 SPEC_NAME = "spec.json"
 
 
+def result_line(job_id: str, normalised: Any) -> str:
+    """One store line: the canonical ``{"job", "result"}`` record.
+
+    Shared by :class:`ResultStore` and the serving layer's
+    offset-indexed query store so their files stay interchangeable.
+    """
+    return json.dumps(
+        {"job": job_id, "result": normalised},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def iter_result_records(path: Path) -> Iterator[tuple[int, dict]]:
+    """Yield ``(byte_offset, record)`` per intact line of a store file.
+
+    Tolerates a torn final line (killed run/server): everything before
+    it is intact, the torn job simply reruns.
+    """
+    if not path.exists():
+        return
+    with path.open("rb") as handle:
+        offset = 0
+        for raw in handle:
+            line = raw.strip()
+            if line:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    record = None  # torn line
+                if isinstance(record, dict) and "job" in record:
+                    yield offset, record
+            offset += len(raw)
+
+
+def tail_needs_newline(path: Path) -> bool:
+    """True when the file ends mid-line (torn write).
+
+    The next append must then start on a fresh line, or the new record
+    would merge with the torn bytes and be lost on the next reload.
+    """
+    if not path.exists():
+        return False
+    with path.open("rb") as handle:
+        size = handle.seek(0, 2)
+        if not size:
+            return False
+        handle.seek(size - 1)
+        return handle.read(1) != b"\n"
+
+
 class MemoryStore:
     """Ephemeral in-process store with the :class:`ResultStore` interface."""
+
+    #: Whether results survive the process (diagnostics, ``/stats``).
+    persistent = False
 
     def __init__(self) -> None:
         self._results: dict[str, Any] = {}
@@ -49,6 +103,15 @@ class MemoryStore:
         self._results[job_id] = normalised
         return normalised
 
+    def get(self, job_id: str, default: Any = None) -> Any:
+        """One stored result by content address (no copy, O(1)).
+
+        ``load()`` snapshots the whole store for the scheduler's bulk
+        resume check; point lookups (the serving layer's cache misses)
+        go through here instead.
+        """
+        return self._results.get(job_id, default)
+
     def __contains__(self, job_id: str) -> bool:
         return job_id in self._results
 
@@ -59,12 +122,18 @@ class MemoryStore:
 class ResultStore(MemoryStore):
     """JSONL-backed store under a run directory; append-only, resumable."""
 
+    persistent = True
+
     def __init__(self, run_dir: str | Path) -> None:
         super().__init__()
         self.run_dir = Path(run_dir)
         self.path = self.run_dir / RESULTS_NAME
         self.run_dir.mkdir(parents=True, exist_ok=True)
-        self._results = dict(self._read_lines())
+        self._results = {
+            record["job"]: record.get("result")
+            for _, record in iter_result_records(self.path)
+        }
+        self._needs_newline = tail_needs_newline(self.path)
 
     def prepare(self, spec: "CampaignSpec") -> None:
         """Pin the run directory to one campaign.
@@ -85,33 +154,14 @@ class ResultStore(MemoryStore):
             return
         spec_path.write_text(canonical + "\n", encoding="utf-8")
 
-    def _read_lines(self) -> Iterator[tuple[str, Any]]:
-        """Replay the JSONL, tolerating a torn final line (killed run)."""
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # A write interrupted mid-line; everything before it
-                    # is intact, the torn job simply reruns.
-                    continue
-                if isinstance(record, dict) and "job" in record:
-                    yield record["job"], record.get("result")
-
     def put(self, job_id: str, result: Any) -> Any:
         """Append one result line and mirror it in memory."""
         normalised = jsonable(result)
-        line = json.dumps(
-            {"job": job_id, "result": normalised},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        line = result_line(job_id, normalised)
         with self.path.open("a", encoding="utf-8") as handle:
+            if self._needs_newline:
+                handle.write("\n")
+                self._needs_newline = False
             handle.write(line + "\n")
             handle.flush()
         self._results[job_id] = normalised

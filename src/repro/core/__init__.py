@@ -23,19 +23,23 @@ from repro.core.analyses import (
     SBAnalysis,
     XLW16Analysis,
     XLWXAnalysis,
+    analysis_by_name,
 )
 from repro.core.report import comparison_table, result_table
 from repro.core.sizing import (
     BufferSizingResult,
     length_scaling_margin,
     max_schedulable_buffer_depth,
+    sizing_summary,
     slack_table,
 )
 
 __all__ = [
     "BufferSizingResult",
+    "analysis_by_name",
     "length_scaling_margin",
     "max_schedulable_buffer_depth",
+    "sizing_summary",
     "slack_table",
     "InterferenceGraph",
     "AnalysisResult",

@@ -27,12 +27,48 @@ from repro.core.analyses.xlw16 import XLW16Analysis
 from repro.core.analyses.xlwx import XLWXAnalysis
 from repro.core.analyses.ibn import IBNAnalysis
 
+#: Selector name -> analysis class: the one mapping the CLI, the serving
+#: layer and hand-written configs all resolve analysis names through.
+ANALYSES_BY_NAME: dict[str, type[Analysis]] = {
+    "kim98": Kim98Analysis,
+    "sb": SBAnalysis,
+    "xlw16": XLW16Analysis,
+    "xlwx": XLWXAnalysis,
+    "ibn": IBNAnalysis,
+}
+
+#: What ``analysis == "all"`` means everywhere (CLI ``--analysis all``
+#: and the service's ``POST /analyze``): the paper's comparison set in
+#: presentation order, tightest safe analysis (IBN) last.  Kim98 is
+#: excluded — it predates the indirect-interference model the
+#: comparison narrates.
+ALL_COMPARISON = ("sb", "xlw16", "xlwx", "ibn")
+
+
+def analysis_by_name(name: str) -> Analysis:
+    """Instantiate an analysis from its selector name.
+
+    >>> analysis_by_name("ibn").__class__.__name__
+    'IBNAnalysis'
+    """
+    try:
+        return ANALYSES_BY_NAME[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown analysis {name!r}; "
+            f"choose from {', '.join(sorted(ANALYSES_BY_NAME))}"
+        ) from None
+
+
 __all__ = [
+    "ALL_COMPARISON",
+    "ANALYSES_BY_NAME",
     "Analysis",
     "AnalysisContext",
+    "IBNAnalysis",
     "Kim98Analysis",
     "SBAnalysis",
     "XLW16Analysis",
     "XLWXAnalysis",
-    "IBNAnalysis",
+    "analysis_by_name",
 ]

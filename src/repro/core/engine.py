@@ -63,6 +63,7 @@ class InterferenceTerm:
 
     @property
     def total(self) -> int:
+        """This interferer's total contribution (hits x per-hit cost)."""
         return self.hits * self.hit_cost
 
 
@@ -88,6 +89,7 @@ class FlowResult:
 
     @property
     def schedulable(self) -> bool:
+        """True when the flow's converged bound meets its deadline."""
         return self.converged and self.response_time <= self.deadline
 
     @property
@@ -119,6 +121,7 @@ class AnalysisResult:
 
     @property
     def num_schedulable(self) -> int:
+        """How many analysed flows meet their deadline."""
         return sum(1 for r in self.flows.values() if r.schedulable)
 
     def response_time(self, name: str) -> int:

@@ -127,6 +127,35 @@ def length_scaling_margin(
     return low
 
 
+def sizing_summary(
+    flowset: FlowSet,
+    *,
+    analysis: Analysis | None = None,
+    max_depth: int = 1024,
+) -> dict:
+    """JSON-able design-space summary: buffer headroom + payload margin.
+
+    The request-friendly face of :func:`max_schedulable_buffer_depth` and
+    :func:`length_scaling_margin`, shared by ``python -m repro sizing
+    --json`` and the ``POST /sizing`` endpoint of :mod:`repro.serve`.
+
+    >>> from repro.workloads.didactic import didactic_flowset
+    >>> summary = sizing_summary(didactic_flowset(), max_depth=16)
+    >>> summary["max_schedulable_buffer_depth"]["unbounded_within_range"]
+    True
+    """
+    depth = max_schedulable_buffer_depth(flowset, analysis=analysis, hi=max_depth)
+    margin = length_scaling_margin(flowset, analysis=analysis)
+    return {
+        "max_schedulable_buffer_depth": {
+            "max_depth": depth.max_depth,
+            "searched_up_to": max_depth,
+            "unbounded_within_range": depth.unbounded_within_range,
+        },
+        "length_scaling_margin": round(margin, 4),
+    }
+
+
 def contention_pressure(flowset: FlowSet) -> dict[int, int]:
     """How many contention domains each router's buffers participate in.
 

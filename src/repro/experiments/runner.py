@@ -162,11 +162,22 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.runner",
         description="Regenerate the paper's tables and figures.",
+        epilog=(
+            "Resume: with --run-dir every command keeps a content-addressed "
+            "result store under <run-dir>/<name>/; re-running the same "
+            "command (or `all`) after a kill or crash skips every job "
+            "already stored and recomputes only the rest, reproducing the "
+            "output byte-identically. Example: "
+            "`python -m repro experiments all --csv-dir results/ "
+            "--run-dir runs/` — interrupt it, run it again, and it picks "
+            "up where it stopped."
+        ),
     )
     parser.add_argument(
         "experiment",
         choices=[*_COMMANDS, "all"],
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate ('all' runs every command, "
+             "keeps going past failures, and resumes via --run-dir)",
     )
     parser.add_argument(
         "--scale",

@@ -60,6 +60,7 @@ class Scale:
 
     @property
     def is_paper(self) -> bool:
+        """True for the full paper-scale preset."""
         return self.name == "paper"
 
 

@@ -101,14 +101,17 @@ class Topology:
 
     @property
     def num_routers(self) -> int:
+        """Number of routers in the topology."""
         return self._num_routers
 
     @property
     def num_links(self) -> int:
+        """Number of unidirectional links (injection/ejection included)."""
         return len(self._links)
 
     @property
     def links(self) -> tuple[Link, ...]:
+        """All links, indexable by their ``link_id``."""
         return tuple(self._links)
 
     def link(self, link_id: int) -> Link:

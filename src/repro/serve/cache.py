@@ -1,0 +1,191 @@
+"""Bounded result caching for the serving layer.
+
+Two pieces, composed by :class:`~repro.serve.service.AnalysisService`:
+
+* :class:`JsonlQueryStore` — the persistent tier (``--run-dir``).  Same
+  append-only ``{"job": <hash>, "result": ...}`` JSONL format as the
+  campaign :class:`~repro.campaigns.store.ResultStore` (files written
+  by either are interchangeable), but it keeps only a *byte-offset
+  index* in memory and reads results back from disk on demand — a
+  long-running server accumulating millions of distinct query results
+  holds ~100 bytes per entry, not the results themselves.
+* :class:`ServeCache` — a bounded in-memory LRU in front of an optional
+  store.  Results are keyed by the campaign engine's sha256 content
+  address (:func:`repro.campaigns.spec.job_hash`).
+
+Lookup order on a request: LRU (fast path, counted as ``hits``), then
+the backing store (``store_hits``; the entry is promoted into the LRU),
+then a miss (the service computes the job and calls :meth:`put`).  The
+counters are exposed verbatim at ``GET /stats`` and asserted by the
+end-to-end tests.  Both classes are thread-safe: the service calls
+``put`` from executor threads to keep disk writes off the event loop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+from repro.campaigns.spec import jsonable
+from repro.campaigns.store import (
+    MemoryStore,
+    iter_result_records,
+    result_line,
+    tail_needs_newline,
+)
+
+_MISS = object()
+
+
+class JsonlQueryStore:
+    """Append-only JSONL store holding only an offset index in memory.
+
+    Implements the subset of the :class:`MemoryStore` interface the
+    serving cache needs (``get`` / ``put`` / ``in`` / ``len``).  A torn
+    final line (killed server) is skipped on reload, exactly like the
+    campaign store; its job simply recomputes.
+    """
+
+    persistent = True
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / "results.jsonl"
+        self._lock = threading.Lock()
+        #: job hash -> byte offset of its line in ``path``.
+        self._index: dict[str, int] = {}
+        #: True when the file ends in a torn line (killed mid-write):
+        #: the next append must start on a fresh line or it would merge
+        #: with the torn bytes and be lost on the following reload.
+        self._needs_newline = False
+        self._scan()
+
+    def _scan(self) -> None:
+        """Build the offset index from the existing file, if any."""
+        for offset, record in iter_result_records(self.path):
+            self._index[record["job"]] = offset
+        self._needs_newline = tail_needs_newline(self.path)
+
+    def get(self, job_id: str, default: Any = None) -> Any:
+        """One stored result, read back from disk by offset."""
+        with self._lock:
+            offset = self._index.get(job_id)
+            if offset is None:
+                return default
+            with self.path.open("rb") as handle:
+                handle.seek(offset)
+                line = handle.readline()
+        record = json.loads(line)
+        return record.get("result")
+
+    def put(self, job_id: str, result: Any) -> Any:
+        """Append one result line; returns the normalised result."""
+        normalised = jsonable(result)
+        line = result_line(job_id, normalised)
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as handle:
+                offset = handle.tell()
+                if self._needs_newline:
+                    handle.write("\n")
+                    offset += 1
+                    self._needs_newline = False
+                handle.write(line + "\n")
+                handle.flush()
+            self._index[job_id] = offset
+        return normalised
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+
+class ServeCache:
+    """Bounded, thread-safe LRU over an optional write-through store."""
+
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        store: MemoryStore | JsonlQueryStore | None = None,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.store = store
+        self._lock = threading.Lock()
+        self._lru: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.store_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, job_id: str) -> tuple[bool, Any]:
+        """Look one content address up; returns ``(found, result)``."""
+        with self._lock:
+            value = self._lru.get(job_id, _MISS)
+            if value is not _MISS:
+                self._lru.move_to_end(job_id)
+                self.hits += 1
+                return True, value
+        if self.store is not None:
+            value = self.store.get(job_id, _MISS)
+            if value is not _MISS:
+                with self._lock:
+                    self.store_hits += 1
+                    self._admit(job_id, value)
+                return True, value
+        with self._lock:
+            self.misses += 1
+        return False, None
+
+    def put(self, job_id: str, result: Any) -> Any:
+        """Cache one computed result (written through to the store).
+
+        Results are JSON-normalised either way, so a response served
+        cold, from the LRU, or from a replayed store line is the same
+        object.
+        """
+        if self.store is not None:
+            result = self.store.put(job_id, result)
+        else:
+            result = jsonable(result)
+        with self._lock:
+            self._admit(job_id, result)
+        return result
+
+    def _admit(self, job_id: str, value: Any) -> None:
+        self._lru[job_id] = value
+        self._lru.move_to_end(job_id)
+        while len(self._lru) > self.maxsize:
+            self._lru.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._lru
+
+    def stats(self) -> dict:
+        """Counter snapshot for ``GET /stats``."""
+        with self._lock:
+            return {
+                "size": len(self._lru),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "store_hits": self.store_hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "persistent": bool(
+                    getattr(self.store, "persistent", False)
+                ),
+            }

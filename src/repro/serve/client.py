@@ -1,0 +1,170 @@
+"""Small blocking client for the analysis service (stdlib only).
+
+:class:`ServeClient` wraps ``http.client`` with the service's JSON
+conventions: every method sends one request, parses the JSON body and
+raises :class:`ServeError` on non-2xx statuses.  Flow sets may be passed
+as :class:`~repro.flows.flowset.FlowSet` objects (serialised via
+:mod:`repro.io`) or as already-serialised documents; campaign specs
+likewise as :class:`~repro.campaigns.CampaignSpec` or plain dicts.
+
+>>> # doctest requires a running server; see examples/serve_quickstart.py
+>>> # client = ServeClient("127.0.0.1", 8177)
+>>> # client.analyze(flowset)["schedulable"]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Mapping
+
+from repro.campaigns.spec import CampaignSpec
+from repro.flows.flowset import FlowSet
+from repro.io import flowset_to_dict
+
+
+class ServeError(Exception):
+    """A non-2xx response: carries the HTTP status and server message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def _flowset_payload(flowset: FlowSet | Mapping[str, Any]) -> dict:
+    """Coerce FlowSet objects / raw documents into the wire format."""
+    if isinstance(flowset, FlowSet):
+        return flowset_to_dict(flowset)
+    return dict(flowset)
+
+
+class ServeClient:
+    """One keep-alive connection to a running ``repro serve`` instance."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8177, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # transport
+
+    def request(
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None
+    ) -> dict:
+        """Send one request; return the decoded JSON body (raises on error)."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            response = self._exchange(method, path, body, headers)
+        except (http.client.RemoteDisconnected, BrokenPipeError,
+                ConnectionResetError):
+            # Stale keep-alive connection (server restarted / timed out):
+            # one transparent retry on a fresh socket.
+            self.close()
+            response = self._exchange(method, path, body, headers)
+        status = response.status
+        data = json.loads(response.read().decode("utf-8"))
+        if status >= 400:
+            raise ServeError(status, data.get("error", "unknown error"))
+        return data
+
+    def _exchange(self, method, path, body, headers):
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        self._conn.request(method, path, body=body, headers=headers)
+        return self._conn.getresponse()
+
+    def close(self) -> None:
+        """Drop the underlying connection (reopened on next request)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        """Context-manager support."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the connection on context exit."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # endpoints
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """``GET /stats``: cache / coalescing / campaign counters."""
+        return self.request("GET", "/stats")
+
+    def analyze(
+        self,
+        flowset: FlowSet | Mapping[str, Any],
+        *,
+        analysis: str = "ibn",
+        buf: int | None = None,
+    ) -> dict:
+        """``POST /analyze``: bounds + verdict for one flow set."""
+        return self.request("POST", "/analyze", {
+            "flowset": _flowset_payload(flowset),
+            "analysis": analysis,
+            "buf": buf,
+        })
+
+    def sizing(
+        self,
+        flowset: FlowSet | Mapping[str, Any],
+        *,
+        buf: int | None = None,
+        max_depth: int = 1024,
+    ) -> dict:
+        """``POST /sizing``: buffer-depth and payload headroom."""
+        return self.request("POST", "/sizing", {
+            "flowset": _flowset_payload(flowset),
+            "buf": buf,
+            "max_depth": max_depth,
+        })
+
+    def submit_campaign(
+        self, spec: CampaignSpec | Mapping[str, Any]
+    ) -> dict:
+        """``POST /campaign``: submit a spec; returns the status document."""
+        doc = spec.to_dict() if isinstance(spec, CampaignSpec) else dict(spec)
+        return self.request("POST", "/campaign", doc)
+
+    def campaign(self, campaign_id: str) -> dict:
+        """``GET /campaign/<id>``: one campaign's status (+ result)."""
+        return self.request("GET", f"/campaign/{campaign_id}")
+
+    def campaigns(self) -> list[dict]:
+        """``GET /campaign``: all submitted campaigns, submission order."""
+        return self.request("GET", "/campaign")["campaigns"]
+
+    def wait_campaign(
+        self, campaign_id: str, *, timeout: float = 120.0, poll_s: float = 0.05
+    ) -> dict:
+        """Poll until the campaign reaches ``done``/``failed`` (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.campaign(campaign_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id[:12]} still {status['state']} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll_s)

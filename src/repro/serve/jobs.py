@@ -1,0 +1,144 @@
+"""Request normalisation and job executors for the serving layer.
+
+The service never computes anything itself: every ``POST /analyze`` and
+``POST /sizing`` request is normalised into the parameters of a
+content-addressed job (the exact machinery campaigns run on —
+:func:`repro.campaigns.spec.job_hash` over canonical JSON), so
+
+* two requests meaning the same computation hash identically no matter
+  how their JSON was spelled (key order, tuples vs lists), which is
+  what lets the service coalesce in-flight duplicates and answer
+  repeats from the LRU/result-store cache;
+* the executors registered here (``serve_analyze``, ``serve_sizing``)
+  are ordinary registry job kinds, runnable by any scheduler worker
+  process — the server's process pool resolves them by name exactly
+  like campaign jobs.
+
+Validation happens in the ``*_params`` builders at request time (they
+raise ``ValueError`` with a client-addressable message, mapped to HTTP
+400), so by the time a job reaches a worker its inputs are known-good.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.campaigns.registry import job_executor
+from repro.core.analyses import (
+    ALL_COMPARISON,
+    ANALYSES_BY_NAME,
+    analysis_by_name,
+)
+from repro.core.engine import analyze, compare
+from repro.core.sizing import sizing_summary
+from repro.flows.flowset import FlowSet
+from repro.io import flowset_from_dict, result_to_dict
+
+#: ``analysis`` selector values accepted by ``POST /analyze``.
+ANALYZE_CHOICES = (*sorted(ANALYSES_BY_NAME), "all")
+
+
+def _positive_int(data: Mapping[str, Any], key: str) -> int | None:
+    value = data.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ValueError(f"{key!r} must be a positive integer, got {value!r}")
+    return value
+
+
+def _flowset_doc(data: Mapping[str, Any]) -> dict:
+    """Validate and return the request's embedded flow-set document."""
+    doc = data.get("flowset")
+    if not isinstance(doc, dict):
+        raise ValueError(
+            "request needs a 'flowset' object in repro-flowset JSON format "
+            "(see repro.io)"
+        )
+    try:
+        flowset_from_dict(doc)  # full structural validation, result unused
+    except (ValueError, KeyError, TypeError, AttributeError) as exc:
+        # AttributeError covers structurally wrong shapes (e.g. a string
+        # where the topology object belongs) — still a client error.
+        raise ValueError(f"invalid flowset document: {exc}") from None
+    return doc
+
+
+def _materialise(params: Mapping[str, Any]) -> FlowSet:
+    """Worker side: rebuild the flow set, applying any buffer override."""
+    flowset = flowset_from_dict(params["flowset"])
+    buf = params.get("buf")
+    if buf is not None:
+        flowset = flowset.on_platform(flowset.platform.with_buffers(buf))
+    return flowset
+
+
+def analyze_params(data: Mapping[str, Any]) -> dict:
+    """Normalise one ``POST /analyze`` body into ``serve_analyze`` params.
+
+    Accepted fields: ``flowset`` (required, a repro-flowset document),
+    ``analysis`` (one of :data:`ANALYZE_CHOICES`, default ``"ibn"``) and
+    ``buf`` (optional per-VC buffer-depth override).
+    """
+    analysis = data.get("analysis", "ibn")
+    if analysis not in ANALYZE_CHOICES:
+        raise ValueError(
+            f"unknown analysis {analysis!r}; "
+            f"choose from {', '.join(ANALYZE_CHOICES)}"
+        )
+    return {
+        "flowset": _flowset_doc(data),
+        "analysis": analysis,
+        "buf": _positive_int(data, "buf"),
+    }
+
+
+def sizing_params(data: Mapping[str, Any]) -> dict:
+    """Normalise one ``POST /sizing`` body into ``serve_sizing`` params.
+
+    Accepted fields: ``flowset`` (required), ``buf`` (optional override
+    applied before sizing) and ``max_depth`` (search ceiling, default
+    1024).
+    """
+    return {
+        "flowset": _flowset_doc(data),
+        "buf": _positive_int(data, "buf"),
+        "max_depth": _positive_int(data, "max_depth") or 1024,
+    }
+
+
+@job_executor("serve_analyze")
+def run_analyze(params: Mapping[str, Any]) -> dict:
+    """Execute one analyze job: bounds + verdict for one flow set.
+
+    Returns the response body: ``results`` maps each analysis display
+    label (``IBN2``, ``XLWX``...) to a ``repro-result/1`` document, and
+    ``schedulable`` is the verdict of the tightest *safe* analysis run
+    (IBN when ``analysis == "all"``).
+    """
+    flowset = _materialise(params)
+    name = params["analysis"]
+    if name == "all":
+        results = compare(
+            flowset, [analysis_by_name(n) for n in ALL_COMPARISON]
+        )
+        verdict = results[f"IBN{flowset.platform.buf}"]
+    else:
+        verdict = analyze(
+            flowset, analysis_by_name(name), stop_at_deadline=False
+        )
+        results = {verdict.analysis_name: verdict}
+    return {
+        "analysis": verdict.analysis_name,
+        "schedulable": verdict.schedulable,
+        "results": {
+            label: result_to_dict(result) for label, result in results.items()
+        },
+    }
+
+
+@job_executor("serve_sizing")
+def run_sizing(params: Mapping[str, Any]) -> dict:
+    """Execute one sizing job: buffer-depth and payload headroom."""
+    flowset = _materialise(params)
+    return sizing_summary(flowset, max_depth=params["max_depth"])

@@ -1,0 +1,232 @@
+"""Asyncio transport for the analysis service.
+
+Three ways to run one :class:`~repro.serve.service.AnalysisService`:
+
+* :func:`serve` — the coroutine: bind, accept, loop until cancelled
+  (compose it into your own event loop);
+* :func:`run_server` — the blocking CLI entry point behind
+  ``python -m repro serve`` (Ctrl-C stops it cleanly);
+* :func:`start_in_thread` — a background-thread server with its own
+  event loop, returning a :class:`ServerHandle` exposing the bound port
+  and a ``close()``; this is what the tests, benchmarks and
+  ``examples/serve_quickstart.py`` use to stand a real socket up
+  in-process.
+
+Connection handling is deliberately plain: one task per connection,
+keep-alive request loop, every response JSON.  Handler exceptions map
+to JSON error bodies (:class:`~repro.serve.http.HttpError` keeps its
+status, anything else becomes a 500) — a broken request never takes the
+server down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import sys
+import threading
+from dataclasses import dataclass, field
+
+from repro.serve.http import HttpError, read_request, render_response
+from repro.serve.service import AnalysisService, ServeConfig
+
+
+async def _drain_peer(reader: asyncio.StreamReader) -> None:
+    """Best-effort discard of a peer's in-flight bytes before closing.
+
+    When a framing error aborts an exchange mid-upload, closing with
+    unread data in the receive queue makes the kernel send RST and the
+    peer loses the error response.  Discarding what is already in
+    flight (bounded in bytes and time) lets the 4xx reach the client.
+    """
+    discarded = 0
+    while discarded < 4 * 1024 * 1024:
+        try:
+            chunk = await asyncio.wait_for(reader.read(64 * 1024), 0.25)
+        except (asyncio.TimeoutError, ConnectionError):
+            return
+        if not chunk:
+            return
+        discarded += len(chunk)
+
+
+async def _handle_connection(
+    service: AnalysisService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """One connection's request loop (keep-alive until close/EOF)."""
+    idle_timeout = service.config.idle_timeout_s
+    try:
+        while True:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(reader), idle_timeout
+                )
+            except asyncio.TimeoutError:
+                break  # stalled or idle peer: reclaim the connection
+            except HttpError as exc:
+                writer.write(
+                    render_response(exc.status, exc.body(), keep_alive=False)
+                )
+                await writer.drain()
+                await _drain_peer(reader)
+                break
+            if request is None:
+                break
+            keep_alive = request.keep_alive
+            try:
+                status, payload = await service.handle(request)
+            except HttpError as exc:
+                status, payload = exc.status, exc.body()
+            except Exception as exc:  # handler bug -> 500, connection lives
+                status = 500
+                payload = {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "status": 500,
+                }
+            writer.write(
+                render_response(status, payload, keep_alive=keep_alive)
+            )
+            await writer.drain()
+            if not keep_alive:
+                break
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    except asyncio.CancelledError:
+        # Server shutting down mid-exchange; the connection is being
+        # dropped anyway, so complete the task instead of propagating
+        # (propagating would make the stream protocol's completion
+        # callback log the cancellation as an error).
+        pass
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception, asyncio.CancelledError):
+            await writer.wait_closed()
+
+
+async def serve(
+    config: ServeConfig | None = None,
+    *,
+    service: AnalysisService | None = None,
+    stop: asyncio.Event | None = None,
+    on_started=None,
+) -> None:
+    """Bind and serve until ``stop`` is set (or forever / cancellation).
+
+    ``on_started`` (if given) is called once with ``(host, port,
+    service)`` after the socket is bound — the hook
+    :func:`start_in_thread` and the CLI use to learn the ephemeral port.
+    """
+    config = config or ServeConfig()
+    service = service or AnalysisService(config)
+    server = await asyncio.start_server(
+        lambda reader, writer: _handle_connection(service, reader, writer),
+        config.host,
+        config.port,
+    )
+    host, port = server.sockets[0].getsockname()[:2]
+    if on_started is not None:
+        on_started(host, port, service)
+    try:
+        async with server:
+            if stop is None:
+                await asyncio.Event().wait()  # park until cancelled
+            else:
+                await stop.wait()
+    finally:
+        await service.aclose()
+
+
+def run_server(config: ServeConfig | None = None) -> int:
+    """Blocking entry point of ``python -m repro serve``."""
+    config = config or ServeConfig()
+
+    def announce(host: str, port: int, _service: AnalysisService) -> None:
+        print(f"repro-serve listening on http://{host}:{port}", file=sys.stderr)
+
+    try:
+        asyncio.run(serve(config, on_started=announce))
+    except KeyboardInterrupt:
+        print("repro-serve: shutting down", file=sys.stderr)
+    except OSError as exc:
+        # Bind failures (port in use, bad address) are operator errors,
+        # not crashes — one line and a clean exit code.
+        print(
+            f"serve: cannot listen on {config.host}:{config.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+@dataclass
+class ServerHandle:
+    """A background-thread server: where it listens and how to stop it."""
+
+    host: str = ""
+    port: int = 0
+    service: AnalysisService | None = None
+    error: str | None = None
+    _loop: asyncio.AbstractEventLoop | None = field(default=None, repr=False)
+    _stop: asyncio.Event | None = field(default=None, repr=False)
+    _thread: threading.Thread | None = field(default=None, repr=False)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Signal the server loop to exit and join its thread."""
+        if self._loop is not None and not self._loop.is_closed():
+            stop = self._stop
+            if stop is not None:
+                with contextlib.suppress(RuntimeError):
+                    self._loop.call_soon_threadsafe(stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        """Context-manager support: ``with start_in_thread(...) as h:``."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the server on context exit."""
+        self.close()
+
+
+def start_in_thread(
+    config: ServeConfig | None = None, *, timeout: float = 10.0
+) -> ServerHandle:
+    """Run a server on a daemon thread; returns once the socket is bound.
+
+    Raises ``RuntimeError`` when startup fails (e.g. the port is taken).
+    """
+    config = config or ServeConfig()
+    handle = ServerHandle()
+    started = threading.Event()
+
+    async def main() -> None:
+        handle._loop = asyncio.get_running_loop()
+        handle._stop = asyncio.Event()
+
+        def on_started(host: str, port: int, service: AnalysisService) -> None:
+            handle.host, handle.port, handle.service = host, port, service
+            started.set()
+
+        await serve(
+            config, stop=handle._stop, on_started=on_started
+        )
+
+    def runner() -> None:
+        try:
+            asyncio.run(main())
+        except Exception as exc:  # startup/loop failure -> surfaced below
+            handle.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            started.set()
+
+    thread = threading.Thread(target=runner, name="repro-serve", daemon=True)
+    handle._thread = thread
+    thread.start()
+    if not started.wait(timeout):
+        raise RuntimeError("server did not start within timeout")
+    if handle.error is not None:
+        raise RuntimeError(f"server failed to start: {handle.error}")
+    return handle

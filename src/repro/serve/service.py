@@ -1,0 +1,520 @@
+"""The analysis service: JSON endpoints over the campaign machinery.
+
+One :class:`AnalysisService` instance is the whole application state of
+``python -m repro serve``.  Requests flow through a fixed path::
+
+    request body --(jobs.py)--> canonical params --> sha256 job hash
+        --> LRU / result-store cache?   -> answer immediately
+        --> identical job in flight?    -> await its future (coalesce)
+        --> otherwise                   -> compute on the worker pool
+
+* **Caching** — results are keyed by the campaign engine's content
+  address, held in a bounded :class:`~repro.serve.cache.ServeCache`
+  and (with ``run_dir``) written through to a JSONL
+  :class:`~repro.campaigns.store.ResultStore`, so a restarted server
+  answers warm.
+* **Coalescing** — concurrent identical requests share one computation:
+  the first creates an ``asyncio.Future`` in the in-flight table, the
+  rest await it.  Futures resolve to ``("ok", value)`` / ``("err",
+  exc)`` tuples so an unobserved failure never trips the event loop's
+  un-retrieved-exception warning.
+* **Pool** — with ``workers > 0`` the service owns one
+  ``ProcessPoolExecutor`` shared by single-request jobs *and* submitted
+  campaigns (injected into the :class:`~repro.campaigns.Scheduler`);
+  with ``workers == 0`` jobs run on the default thread executor
+  (simple, in-process — fine for tests and tiny deployments, but
+  GIL-bound).
+* **Campaigns** — ``POST /campaign`` accepts a
+  :class:`~repro.campaigns.CampaignSpec` document, keys it by the
+  sha256 of its canonical JSON (resubmission coalesces), and runs it in
+  a background task; ``GET /campaign/<id>`` polls state, the latest
+  :class:`~repro.campaigns.ProgressEvent` and, once done, the rendered
+  report plus the kind's structured payload.
+
+Failure semantics: validation errors are HTTP 400 before any job is
+hashed; executor crashes are HTTP 500 and poison nothing (the job is
+simply not cached); a failed campaign parks in state ``"failed"`` with
+its error string and never aborts the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro import __version__
+from repro.campaigns import registry
+from repro.campaigns.engine import run_campaign
+from repro.campaigns.progress import ProgressEvent
+from repro.campaigns.scheduler import RunStats
+from repro.campaigns.spec import CampaignSpec, job_hash, jsonable
+from repro.serve import jobs
+from repro.serve.cache import JsonlQueryStore, ServeCache
+from repro.serve.http import HttpError, HttpRequest
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one server instance (CLI flags map 1:1 onto these)."""
+
+    #: Bind address; use ``0.0.0.0`` to accept remote clients.
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral port (tests, benchmarks).
+    port: int = 8177
+    #: Process-pool size for job execution; ``0`` = run jobs on the
+    #: default thread executor inside the server process.
+    workers: int = 0
+    #: Bound on the in-memory LRU result cache (entries).
+    cache_size: int = 256
+    #: Optional directory persisting query results and campaign stores
+    #: across restarts (``<run_dir>/queries``, ``<run_dir>/campaigns/*``).
+    run_dir: str | None = None
+    #: Finished campaign statuses (rendered report + structured data)
+    #: kept in memory; the oldest beyond this are evicted — with
+    #: ``run_dir`` their job results stay on disk, so resubmitting the
+    #: spec replays them near-instantly.
+    campaign_history: int = 128
+    #: Seconds a keep-alive connection may sit idle (or dribble a
+    #: request in) before the server closes it; stalled clients must
+    #: not pin file descriptors forever.
+    idle_timeout_s: float = 120.0
+    #: Campaigns allowed in the pending/running states at once; further
+    #: submissions of *new* specs get HTTP 429 (polling and coalescing
+    #: resubmissions are unaffected).
+    max_active_campaigns: int = 8
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.cache_size < 1:
+            raise ValueError(
+                f"cache_size must be >= 1, got {self.cache_size}"
+            )
+        if self.campaign_history < 1:
+            raise ValueError(
+                f"campaign_history must be >= 1, got {self.campaign_history}"
+            )
+        if self.idle_timeout_s <= 0:
+            raise ValueError(
+                f"idle_timeout_s must be > 0, got {self.idle_timeout_s}"
+            )
+        if self.max_active_campaigns < 1:
+            raise ValueError(
+                "max_active_campaigns must be >= 1, got "
+                f"{self.max_active_campaigns}"
+            )
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {self.port}")
+
+
+class CampaignStatus:
+    """Mutable lifecycle record of one submitted campaign."""
+
+    __slots__ = (
+        "id", "spec", "state", "progress", "stats", "error", "render", "data",
+    )
+
+    def __init__(self, campaign_id: str, spec: CampaignSpec) -> None:
+        self.id = campaign_id
+        self.spec = spec
+        self.state = "pending"  # pending -> running -> done | failed
+        self.progress: ProgressEvent | None = None
+        self.stats: RunStats | None = None
+        self.error: str | None = None
+        self.render: str | None = None
+        self.data: Any = None
+
+    def to_jsonable(self, *, include_result: bool = True) -> dict:
+        """The status document ``GET /campaign/<id>`` returns."""
+        progress = self.progress
+        stats = self.stats
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "state": self.state,
+            "error": self.error,
+            "progress": None if progress is None else {
+                "done": progress.done,
+                "total": progress.total,
+                "skipped": progress.skipped,
+                "label": progress.label,
+                "elapsed_s": round(progress.elapsed_s, 3),
+                "eta_s": (
+                    None if progress.eta_s is None else round(progress.eta_s, 3)
+                ),
+            },
+            "stats": None if stats is None else {
+                "jobs_total": stats.jobs_total,
+                "jobs_run": stats.jobs_run,
+                "jobs_skipped": stats.jobs_skipped,
+                "elapsed_s": round(stats.elapsed_s, 3),
+            },
+        }
+        if include_result:
+            payload["result"] = (
+                None if self.state != "done"
+                else {"render": self.render, "data": self.data}
+            )
+        return payload
+
+
+def campaign_id(spec: CampaignSpec) -> str:
+    """Content address of a campaign: sha256 of its canonical spec JSON."""
+    return hashlib.sha256(spec.canonical().encode("utf-8")).hexdigest()
+
+
+class AnalysisService:
+    """Application state + request handlers behind the HTTP layer."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        store = None
+        if self.config.run_dir is not None:
+            # Offset-indexed on disk: the LRU (not the store) bounds
+            # what this process holds in memory.
+            store = JsonlQueryStore(Path(self.config.run_dir) / "queries")
+        self.cache = ServeCache(maxsize=self.config.cache_size, store=store)
+        self.pool: ProcessPoolExecutor | None = (
+            ProcessPoolExecutor(max_workers=self.config.workers)
+            if self.config.workers > 0
+            else None
+        )
+        self.inflight: dict[str, asyncio.Future] = {}
+        self.campaigns: dict[str, CampaignStatus] = {}
+        self.executed = 0
+        self.coalesced = 0
+        self.requests = 0
+        self.started_at = time.monotonic()
+        self._tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    async def handle(self, request: HttpRequest) -> tuple[int, dict]:
+        """Route one parsed request to its handler -> (status, payload)."""
+        self.requests += 1
+        path = request.path.rstrip("/") or "/"
+        if path == "/":
+            self._require(request, "GET")
+            return 200, self._index()
+        if path == "/healthz":
+            self._require(request, "GET")
+            return 200, self._healthz()
+        if path == "/stats":
+            self._require(request, "GET")
+            return 200, self._stats()
+        if path == "/analyze":
+            self._require(request, "POST")
+            return await self._job_endpoint(
+                request, "serve_analyze", jobs.analyze_params
+            )
+        if path == "/sizing":
+            self._require(request, "POST")
+            return await self._job_endpoint(
+                request, "serve_sizing", jobs.sizing_params
+            )
+        if path == "/campaign":
+            if request.method == "GET":
+                return 200, self._campaign_list()
+            self._require(request, "POST")
+            return await self._campaign_submit(request)
+        if path.startswith("/campaign/"):
+            self._require(request, "GET")
+            return 200, self._campaign_status(path.removeprefix("/campaign/"))
+        raise HttpError(404, f"no such endpoint: {request.path}")
+
+    @staticmethod
+    def _require(request: HttpRequest, method: str) -> None:
+        if request.method != method:
+            raise HttpError(
+                405, f"{request.path} only accepts {method}, got {request.method}"
+            )
+
+    # ------------------------------------------------------------------
+    # small GET endpoints
+
+    def _index(self) -> dict:
+        """``GET /``: endpoint discovery document."""
+        return {
+            "service": "repro-serve",
+            "version": __version__,
+            "endpoints": {
+                "GET /healthz": "liveness + uptime",
+                "GET /stats": "cache / coalescing / campaign counters",
+                "POST /analyze": "flowset + analysis -> bounds and verdict",
+                "POST /sizing": "flowset -> buffer-depth and payload headroom",
+                "POST /campaign": "submit a campaign spec (async)",
+                "GET /campaign": "list submitted campaigns",
+                "GET /campaign/<id>": "poll one campaign's progress/result",
+            },
+        }
+
+    def _healthz(self) -> dict:
+        """``GET /healthz``: liveness probe payload."""
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "workers": self.config.workers,
+        }
+
+    def _stats(self) -> dict:
+        """``GET /stats``: the counters the tests and benchmarks assert."""
+        by_state: dict[str, int] = {}
+        for status in self.campaigns.values():
+            by_state[status.state] = by_state.get(status.state, 0) + 1
+        return {
+            "requests": self.requests,
+            "executed": self.executed,
+            "coalesced": self.coalesced,
+            "inflight": len(self.inflight),
+            "cache": self.cache.stats(),
+            "campaigns": by_state,
+        }
+
+    # ------------------------------------------------------------------
+    # single-request jobs (analyze / sizing)
+
+    async def _job_endpoint(
+        self,
+        request: HttpRequest,
+        kind: str,
+        params_builder: Callable[[Mapping[str, Any]], dict],
+    ) -> tuple[int, dict]:
+        # Body decode + validation parse the embedded flowset document,
+        # which for big requests is real work — run the whole step on a
+        # thread, never on the event loop.
+        def decode_and_validate() -> dict:
+            return params_builder(request.json())
+
+        try:
+            params = await asyncio.get_running_loop().run_in_executor(
+                None, decode_and_validate
+            )
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        job_id, body, source = await self._run_job(kind, params)
+        return 200, {
+            "job": job_id,
+            "cached": source != "computed",
+            "source": source,
+            **body,
+        }
+
+    async def _run_job(
+        self, kind: str, params: dict
+    ) -> tuple[str, Any, str]:
+        """Serve one content-addressed job: cache, coalesce or compute.
+
+        The in-flight future is registered *before* any await, so two
+        identical concurrent requests can never both reach the compute
+        path: the second always finds the first's future.  Cache reads
+        and writes both run on the thread executor — a store-backed
+        lookup touches disk, and neither may stall the event loop.
+        """
+        loop = asyncio.get_running_loop()
+        # Hashing canonicalises the full params document (multiple JSON
+        # serialisations) — thread work for the same reason as above.
+        job_id = await loop.run_in_executor(None, job_hash, kind, params)
+        pending = self.inflight.get(job_id)
+        if pending is not None:
+            self.coalesced += 1
+            outcome, value = await pending
+            if outcome == "err":
+                raise value
+            return job_id, value, "coalesced"
+        future: asyncio.Future = loop.create_future()
+        self.inflight[job_id] = future
+        try:
+            try:
+                found, value = await loop.run_in_executor(
+                    None, self.cache.get, job_id
+                )
+                source = "cache"
+                if not found:
+                    value = await loop.run_in_executor(
+                        self.pool, registry.execute_job, kind, params
+                    )
+                    value = await loop.run_in_executor(
+                        None, self.cache.put, job_id, value
+                    )
+                    self.executed += 1
+                    source = "computed"
+            except Exception as exc:
+                future.set_result(("err", exc))
+                raise
+            future.set_result(("ok", value))
+            return job_id, value, source
+        finally:
+            self.inflight.pop(job_id, None)
+
+    # ------------------------------------------------------------------
+    # campaigns
+
+    async def _campaign_submit(self, request: HttpRequest) -> tuple[int, dict]:
+        def decode_and_address() -> tuple[CampaignSpec, str]:
+            # Spec parse + canonical-JSON sha256 are proportional to the
+            # document size — thread work, like every other parse here.
+            spec = CampaignSpec.from_dict(request.json())
+            # Expansion is deterministic and cheap relative to running;
+            # doing it here turns unknown kinds and bad params into a
+            # 400 at submit time instead of an asynchronous "failed".
+            registry.get_kind(spec.kind).plan(spec)
+            return spec, campaign_id(spec)
+
+        try:
+            spec, cid = await asyncio.get_running_loop().run_in_executor(
+                None, decode_and_address
+            )
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        status = self.campaigns.get(cid)
+        if status is None or status.state == "failed":
+            # Unknown campaign, or a failed one being resubmitted:
+            # start a fresh attempt (mirrors the single-job semantics —
+            # failures cache nothing, the next identical request
+            # retries).  Running/done campaigns coalesce.
+            active = sum(
+                1 for s in self.campaigns.values()
+                if s.state in ("pending", "running")
+            )
+            if active >= self.config.max_active_campaigns:
+                raise HttpError(
+                    429,
+                    f"{active} campaigns already active (limit "
+                    f"{self.config.max_active_campaigns}); retry later",
+                )
+            status = CampaignStatus(cid, spec)
+            self.campaigns[cid] = status
+            task = asyncio.get_running_loop().create_task(
+                self._campaign_task(status)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        return 202, status.to_jsonable(include_result=False)
+
+    async def _campaign_task(self, status: CampaignStatus) -> None:
+        """Background driver of one campaign (never raises)."""
+        status.state = "running"
+
+        def record_progress(event: ProgressEvent) -> None:
+            # Called from the campaign's worker thread; a single
+            # attribute assignment is atomic, and readers only ever see
+            # a complete (frozen) event.
+            status.progress = event
+
+        store = None
+        if self.config.run_dir is not None:
+            store = (
+                Path(self.config.run_dir) / "campaigns" / status.id[:16]
+            )
+        try:
+            run = await self._run_campaign_on_thread(status, store,
+                                                     record_progress)
+            kind = registry.get_kind(status.spec.kind)
+            data = (
+                kind.to_jsonable(status.spec, run.result)
+                if kind.to_jsonable is not None
+                else None
+            )
+            status.render = run.render()
+            status.data = None if data is None else jsonable(data)
+            status.stats = run.stats
+            status.state = "done"
+        except Exception as exc:  # failed campaigns park, server lives on
+            status.error = f"{type(exc).__name__}: {exc}"
+            status.state = "failed"
+        finally:
+            self._prune_campaigns()
+
+    async def _run_campaign_on_thread(
+        self, status: CampaignStatus, store, progress
+    ):
+        """Run one campaign on a dedicated daemon thread.
+
+        Not ``asyncio.to_thread``: a campaign can run for hours and is
+        uncancellable mid-flight, and ``asyncio.run`` waits for the
+        default executor's threads on shutdown — a Ctrl-C would hang
+        until the campaign finished.  A daemon thread lets the process
+        exit; the content-addressed store makes the interrupted run
+        resumable on restart.
+        """
+        loop = asyncio.get_running_loop()
+        finished = asyncio.Event()
+        outcome: dict[str, Any] = {}
+
+        def work() -> None:
+            try:
+                outcome["run"] = run_campaign(
+                    status.spec,
+                    store=store,
+                    workers=max(1, self.config.workers),
+                    progress=progress,
+                    pool=self.pool,
+                )
+            except BaseException as exc:
+                outcome["error"] = exc
+            finally:
+                with contextlib.suppress(RuntimeError):
+                    # RuntimeError: the loop already closed (shutdown).
+                    loop.call_soon_threadsafe(finished.set)
+
+        threading.Thread(
+            target=work, daemon=True, name=f"campaign-{status.id[:8]}"
+        ).start()
+        await finished.wait()
+        error = outcome.get("error")
+        if error is not None:
+            raise error
+        return outcome["run"]
+
+    def _prune_campaigns(self) -> None:
+        """Evict the oldest finished campaigns beyond the history bound.
+
+        Bounds server memory the same way the query LRU does: a status
+        holds the whole rendered report and structured result.  Evicted
+        ids answer 404; with ``run_dir`` their jobs remain in the store,
+        so resubmitting the spec replays rather than recomputes.
+        """
+        finished = [
+            cid for cid, status in self.campaigns.items()
+            if status.state in ("done", "failed")
+        ]
+        for cid in finished[: max(0, len(finished)
+                                  - self.config.campaign_history)]:
+            del self.campaigns[cid]
+
+    def _campaign_list(self) -> dict:
+        """``GET /campaign``: submission-ordered status summaries."""
+        return {
+            "campaigns": [
+                status.to_jsonable(include_result=False)
+                for status in self.campaigns.values()
+            ]
+        }
+
+    def _campaign_status(self, cid: str) -> dict:
+        status = self.campaigns.get(cid)
+        if status is None:
+            raise HttpError(404, f"unknown campaign id {cid!r}")
+        return status.to_jsonable()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def aclose(self) -> None:
+        """Stop background campaign tasks and release the worker pool."""
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)

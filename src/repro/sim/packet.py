@@ -51,10 +51,12 @@ class Flit:
 
     @property
     def is_header(self) -> bool:
+        """True for the packet's first (route-establishing) flit."""
         return self.index == 0
 
     @property
     def is_tail(self) -> bool:
+        """True for the packet's last (credit-releasing) flit."""
         return self.index == self.packet.length - 1
 
     def __repr__(self) -> str:

@@ -153,3 +153,47 @@ class TestResume:
         other = small_spec(flow_counts=(40, 80))
         with pytest.raises(ValueError, match="different campaign spec"):
             run_campaign(other, store=tmp_path / "run")
+
+
+class RecordingPool:
+    """Executor stub: runs submissions inline, counting them."""
+
+    def __init__(self):
+        self.submitted = 0
+
+    def submit(self, fn, *args):
+        from concurrent.futures import Future
+
+        self.submitted += 1
+        future = Future()
+        future.set_result(fn(*args))
+        return future
+
+
+class TestInjectedPool:
+    def test_single_job_still_uses_injected_pool(self):
+        """An injected executor handles even one-job runs — callers
+        inject a pool precisely to keep work out of their process."""
+        from repro.campaigns.registry import Plan, get_kind
+        from repro.campaigns.scheduler import Scheduler
+
+        spec = schedulability_spec(
+            (4, 4), [40], 1, seed=7, chunk_size=1, name="one-job"
+        )
+        plan = get_kind(spec.kind).plan(spec)
+        assert len(plan.jobs) == 1
+        pool = RecordingPool()
+        results, stats = Scheduler(pool=pool).run(plan.jobs, MemoryStore())
+        assert pool.submitted == 1
+        assert stats.jobs_run == 1 and len(results) == 1
+
+    def test_injected_pool_results_match_serial(self):
+        spec = small_spec()
+        jobs = expand_jobs(spec)
+        from repro.campaigns.scheduler import Scheduler
+
+        pool = RecordingPool()
+        pooled, _ = Scheduler(pool=pool).run(jobs, MemoryStore())
+        serial, _ = Scheduler().run(jobs, MemoryStore())
+        assert pooled == serial
+        assert pool.submitted == len(jobs)

@@ -35,6 +35,22 @@ def test_module_has_docstring(module_name):
     assert module.__doc__, f"{module_name} lacks a module docstring"
 
 
+def _class_member_undocumented(method):
+    """True when a public class attribute needs but lacks a docstring.
+
+    Covers plain and ``async`` methods, properties (their getter's
+    docstring is the documented surface) and static/class methods —
+    the full docstring-coverage check over every public symbol.
+    """
+    if inspect.isfunction(method):
+        return not inspect.getdoc(method)
+    if isinstance(method, property):
+        return method.fget is not None and not inspect.getdoc(method.fget)
+    if isinstance(method, (staticmethod, classmethod)):
+        return not inspect.getdoc(method.__func__)
+    return False
+
+
 @pytest.mark.parametrize("module_name", MODULES)
 def test_public_members_have_docstrings(module_name):
     module = importlib.import_module(module_name)
@@ -46,7 +62,7 @@ def test_public_members_have_docstrings(module_name):
             for method_name, method in vars(member).items():
                 if method_name.startswith("_"):
                     continue
-                if inspect.isfunction(method) and not inspect.getdoc(method):
+                if _class_member_undocumented(method):
                     undocumented.append(f"{name}.{method_name}")
     assert not undocumented, (
         f"{module_name}: missing docstrings on {undocumented}"

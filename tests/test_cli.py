@@ -122,3 +122,67 @@ class TestCampaignCommand:
         out = capsys.readouterr().out
         assert "4 jobs" in out
         assert "n=40" in out and "n=60" in out
+
+
+class TestSizingJson:
+    def test_json_summary(self, flowset_file, capsys):
+        code = main(["sizing", flowset_file, "--max-depth", "16", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["max_schedulable_buffer_depth"]["unbounded_within_range"]
+        assert data["length_scaling_margin"] > 1.0
+
+
+class TestServeCommand:
+    def test_flags_reach_server_config(self, monkeypatch):
+        import repro.serve.server as server_module
+
+        captured = {}
+
+        def fake_run_server(config):
+            captured["config"] = config
+            return 0
+
+        monkeypatch.setattr(server_module, "run_server", fake_run_server)
+        code = main([
+            "serve", "--host", "0.0.0.0", "--port", "9999",
+            "--workers", "3", "--cache-size", "17", "--run-dir", "runs/x",
+        ])
+        assert code == 0
+        config = captured["config"]
+        assert config.host == "0.0.0.0"
+        assert config.port == 9999
+        assert config.workers == 3
+        assert config.cache_size == 17
+        assert config.run_dir == "runs/x"
+
+    def test_bad_cache_size_is_a_cli_error(self, capsys):
+        code = main(["serve", "--cache-size", "0"])
+        assert code == 2
+        assert "cache_size" in capsys.readouterr().err
+
+    def test_bad_workers_is_a_cli_error(self, capsys):
+        code = main(["serve", "--workers", "-1"])
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_end_to_end_over_socket(self, flowset_file):
+        """The CLI-shaped config really serves: bind, answer, shut down."""
+        from repro.io import load_flowset
+        from repro.serve import ServeClient, ServeConfig, start_in_thread
+
+        flowset = load_flowset(flowset_file)
+        with start_in_thread(ServeConfig(port=0)) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                assert client.analyze(flowset)["schedulable"] is True
+
+    def test_port_in_use_is_a_clean_error(self, capsys):
+        """Bind failures exit 2 with one line, not a traceback."""
+        from repro.serve import ServeConfig, start_in_thread
+        from repro.serve.server import run_server
+
+        with start_in_thread(ServeConfig(port=0)) as occupant:
+            code = run_server(ServeConfig(port=occupant.port))
+        assert code == 2
+        assert "cannot listen" in capsys.readouterr().err

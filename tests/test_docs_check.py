@@ -1,0 +1,137 @@
+"""The documentation-executor tooling behind ``make docs-check``."""
+
+import importlib.util
+import os
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "docs_check", REPO_ROOT / "tools" / "docs_check.py"
+)
+docs_check = importlib.util.module_from_spec(_spec)
+# dataclass resolves the module through sys.modules at class-creation
+# time, so register it before executing.
+sys.modules["docs_check"] = docs_check
+_spec.loader.exec_module(docs_check)
+
+
+def write_md(tmp_path, text):
+    path = tmp_path / "doc.md"
+    path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return path
+
+
+class TestExtractBlocks:
+    def test_finds_runnable_blocks_in_order(self, tmp_path):
+        path = write_md(tmp_path, """\
+            # Title
+
+            ```bash
+            echo one
+            ```
+
+            prose
+
+            ```python
+            print("two")
+            ```
+
+            ```json
+            {"not": "runnable"}
+            ```
+        """)
+        blocks = docs_check.extract_blocks(path)
+        assert [b.lang for b in blocks] == ["bash", "python"]
+        assert blocks[0].text == "echo one\n"
+        assert not any(b.skipped for b in blocks)
+
+    def test_skip_marker_applies_to_next_block_only(self, tmp_path):
+        path = write_md(tmp_path, """\
+            <!-- docs-check: skip -->
+            ```bash
+            exit 1
+            ```
+
+            ```bash
+            echo fine
+            ```
+        """)
+        blocks = docs_check.extract_blocks(path)
+        assert [b.skipped for b in blocks] == [True, False]
+
+    def test_lineno_points_at_fence(self, tmp_path):
+        path = write_md(tmp_path, "a\n\n```bash\necho hi\n```\n")
+        (block,) = docs_check.extract_blocks(path)
+        assert block.lineno == 3
+
+
+class TestRunBlock:
+    def env(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return env
+
+    def test_bash_failure_reported(self, tmp_path):
+        path = write_md(tmp_path, "```bash\nfalse\n```\n")
+        (block,) = docs_check.extract_blocks(path)
+        ok, _ = docs_check.run_block(block, tmp_path, self.env())
+        assert not ok
+
+    def test_bash_undefined_variable_fails(self, tmp_path):
+        """Blocks run under -u: sloppy docs don't pass silently."""
+        path = write_md(tmp_path, "```bash\necho $TYPO_VAR\n```\n")
+        (block,) = docs_check.extract_blocks(path)
+        ok, _ = docs_check.run_block(block, tmp_path, self.env())
+        assert not ok
+
+    def test_python_block_runs_with_repo_on_path(self, tmp_path):
+        path = write_md(tmp_path, """\
+            ```python
+            import repro
+            print(repro.__version__)
+            ```
+        """)
+        (block,) = docs_check.extract_blocks(path)
+        ok, output = docs_check.run_block(block, tmp_path, self.env())
+        assert ok and output.strip() == repro_version()
+
+    def test_blocks_share_scratch_dir(self, tmp_path):
+        path = write_md(tmp_path, """\
+            ```bash
+            echo payload > state.txt
+            ```
+
+            ```bash
+            grep -q payload state.txt
+            ```
+        """)
+        blocks = docs_check.extract_blocks(path)
+        for block in blocks:
+            ok, output = docs_check.run_block(block, tmp_path, self.env())
+            assert ok, output
+
+
+def repro_version():
+    import repro
+
+    return repro.__version__
+
+
+def test_out_of_repo_files_are_checkable(tmp_path, capsys):
+    """Files outside the repository report cleanly, not with a crash."""
+    path = tmp_path / "external.md"
+    path.write_text("```bash\ntrue\n```\n", encoding="utf-8")
+    assert docs_check.main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert str(path) in out and "ok" in out
+
+
+def test_repo_documentation_has_runnable_blocks():
+    """README and both docs pages carry executable (non-skip) blocks."""
+    for name in ("README.md", "docs/api.md", "docs/cli.md"):
+        blocks = docs_check.extract_blocks(REPO_ROOT / name)
+        runnable = [b for b in blocks if not b.skipped]
+        assert runnable, f"{name} has no executable code blocks"
