@@ -5,7 +5,7 @@ export PYTHONPATH := src
 export REPRO_SCALE ?= ci
 
 .PHONY: test test-slow bench-smoke bench-record bench-figures campaign-smoke \
-	docs-check smoke
+	docs-check bench-regress smoke
 
 ## Tier-1 test suite (the gate every PR must keep green).  Tests marked
 ## `slow` (paper-scale simulation sweeps) are deselected here.
@@ -38,8 +38,14 @@ campaign-smoke:
 docs-check:
 	$(PYTHON) tools/docs_check.py
 
-## The full smoke path: tier-1 tests plus the executable documentation.
-smoke: test docs-check
+## Compare the two latest BENCH_engine.json entries; fail on a >20%
+## regression in any tracked metric (pure file read, no benchmarks run).
+bench-regress:
+	$(PYTHON) tools/bench_regress.py
+
+## The full smoke path: tier-1 tests, executable documentation, and the
+## perf-trajectory regression gate.
+smoke: test docs-check bench-regress
 
 ## Fast perf gate: ci-scale hot-path microbenchmarks (analysis kernel +
 ## simulator + serve throughput) plus the campaign-engine smoke and the
@@ -49,6 +55,7 @@ bench-smoke: campaign-smoke docs-check
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_engine_hotpath.py -q
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_sim_hotpath.py -q
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_serve.py -q
+	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_batch.py -q
 	REPRO_SCALE=ci $(PYTHON) benchmarks/record_engine_bench.py smoke
 
 ## Append a BENCH_engine.json entry only (LABEL=<name> to tag it).

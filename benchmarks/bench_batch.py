@@ -1,0 +1,209 @@
+"""Batched analysis kernel: scenarios/s versus the scalar loop.
+
+Measurements (shared with ``record_engine_bench.py``, which stores
+them as the ``batch`` block of BENCH_engine.json):
+
+* **kernel** — B ∈ {1, 32, 256} scenarios analysed by IBN under the
+  sweep's settings (``early_exit=True``), batched versus a scalar
+  :func:`~repro.core.engine.analyze` loop.  Both sides get pre-built
+  interference graphs and start **cold**, exactly like a sweep
+  touching fresh flow sets: the scalar engine pays its first-touch
+  up/down-partition memo fills, the batch engine pays its per-graph
+  structure build.  B = 1 is recorded honestly — the array assembly
+  *loses* there, which is why the consumers fall back to the scalar
+  engine for tiny rounds.
+* **sweep** — a Figure-4-shaped schedulability sweep end to end (flow
+  generation, graphs, bisected verdict chain): the campaign path
+  (block executor + batched bisection) versus the pre-batch per-set
+  ``spec_verdicts`` loop.  (``record_engine_bench`` copies its
+  already-measured ``fig4_ci_s`` into the stored block rather than
+  re-running the whole ci sweep here.)
+
+The pytest gate enforces the ≥3x sweep-throughput claim on the
+kernel's sweep-shaped workload (B = 256).
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch.py -q
+"""
+
+from __future__ import annotations
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.batch import Scenario, analyze_batch
+from repro.core.engine import analyze
+from repro.core.interference import InterferenceGraph
+from repro.experiments.schedulability_sweep import (
+    fig4_specs,
+    schedulability_sweep,
+    spec_verdicts,
+)
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.util.rng import spawn_rng
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
+
+from _common import timed
+
+SEED = 20180319
+
+#: The end-to-end sweep comparison: one load point heavy enough that
+#: the verdict chain does real work, with enough sets to fill a block.
+SWEEP_POINT = 200
+SWEEP_SETS = 32
+
+
+def _flowsets(count: int, num_flows: int) -> list[FlowSet]:
+    platform = NoCPlatform(Mesh2D(4, 4), buf=2)
+    out = []
+    for index in range(count):
+        rng = spawn_rng(SEED, "bench-batch", num_flows, index)
+        flows = synthetic_flows(
+            SyntheticConfig(num_flows=num_flows),
+            platform.topology.num_nodes,
+            rng,
+        )
+        out.append(FlowSet(platform, flows))
+    return out
+
+
+def _fresh_graphs(flowsets) -> list[InterferenceGraph]:
+    """New graph objects: cold memo tables on either engine's side."""
+    return [InterferenceGraph(flowset) for flowset in flowsets]
+
+
+def _timed_cold(fn, reps: int = 2) -> tuple[float, float]:
+    """(best wall seconds, best CPU seconds) over cold repetitions.
+
+    ``fn`` receives a repetition index and must rebuild whatever state
+    keeps the run cold (fresh graphs).  The CPU-time minimum is what
+    the gates compare: on a busy single-core host, wall clock measures
+    the neighbours, process time measures the code.
+    """
+    import time
+
+    walls, cpus = [], []
+    for rep in range(reps):
+        w0, c0 = time.perf_counter(), time.process_time()
+        fn(rep)
+        walls.append(time.perf_counter() - w0)
+        cpus.append(time.process_time() - c0)
+    return min(walls), min(cpus)
+
+
+def batch_kernel_metrics(
+    sizes: tuple[int, ...] = (1, 32, 256), num_flows: int = 96
+) -> dict:
+    """Cold-start batched vs scalar analysis throughput per batch size."""
+    analysis = IBNAnalysis()
+    rows = []
+    for size in sizes:
+        flowsets = _flowsets(size, num_flows)
+        pools = {
+            (side, rep): _fresh_graphs(flowsets)
+            for side in ("scalar", "batch")
+            for rep in range(2)
+        }
+
+        def scalar_loop(rep: int) -> None:
+            for flowset, graph in zip(flowsets, pools[("scalar", rep)]):
+                analyze(flowset, analysis, graph=graph, early_exit=True)
+
+        def batch_run(rep: int) -> None:
+            analyze_batch(
+                [
+                    Scenario(flowset, analysis, graph=graph)
+                    for flowset, graph in zip(
+                        flowsets, pools[("batch", rep)]
+                    )
+                ],
+                early_exit=True,
+            )
+
+        scalar_s, scalar_cpu = _timed_cold(scalar_loop)
+        batch_s, batch_cpu = _timed_cold(batch_run)
+        rows.append({
+            "B": size,
+            "batch_s": round(batch_s, 4),
+            "scalar_s": round(scalar_s, 4),
+            "batch_cpu_s": round(batch_cpu, 4),
+            "scalar_cpu_s": round(scalar_cpu, 4),
+            "batch_scenarios_per_s": round(size / batch_s, 1),
+            "scalar_scenarios_per_s": round(size / scalar_s, 1),
+            "speedup": round(scalar_s / batch_s, 2),
+            "cpu_speedup": round(scalar_cpu / batch_cpu, 2),
+        })
+    return {"num_flows": num_flows, "sizes": rows}
+
+
+def sweep_throughput_metrics() -> dict:
+    """Figure-4-shaped sweep: batched campaign path vs scalar loop."""
+    batched_s, _ = timed(
+        lambda: schedulability_sweep(
+            (4, 4), [SWEEP_POINT], SWEEP_SETS, seed=SEED
+        )
+    )
+
+    def scalar_sweep() -> None:
+        platform = NoCPlatform(Mesh2D(4, 4), buf=2)
+        specs = fig4_specs()
+        config = SyntheticConfig(num_flows=SWEEP_POINT)
+        for set_index in range(SWEEP_SETS):
+            rng = spawn_rng(SEED, "synthetic", SWEEP_POINT, set_index)
+            flows = synthetic_flows(
+                config, platform.topology.num_nodes, rng
+            )
+            spec_verdicts(FlowSet(platform, flows), specs)
+
+    scalar_s, _ = timed(scalar_sweep)
+    return {
+        "num_flows": SWEEP_POINT,
+        "sets": SWEEP_SETS,
+        "batched_s": round(batched_s, 3),
+        "scalar_s": round(scalar_s, 3),
+        "batched_scenarios_per_s": round(SWEEP_SETS / batched_s, 1),
+        "scalar_scenarios_per_s": round(SWEEP_SETS / scalar_s, 1),
+        "speedup": round(scalar_s / batched_s, 2),
+    }
+
+
+def batch_metrics() -> dict:
+    """The ``batch`` block recorded in BENCH_engine.json."""
+    return {
+        "kernel": batch_kernel_metrics(),
+        "sweep": sweep_throughput_metrics(),
+    }
+
+
+def test_batch_equivalence():
+    """Batched results must match the scalar oracle field for field."""
+    analysis = IBNAnalysis()
+    flowsets = _flowsets(48, 96)
+    scenarios = [
+        Scenario(flowset, analysis, graph=graph)
+        for flowset, graph in zip(flowsets, _fresh_graphs(flowsets))
+    ]
+    batch = analyze_batch(scenarios, early_exit=True)
+    for flowset, result in zip(flowsets, batch):
+        cold = analyze(flowset, analysis, early_exit=True)
+        assert result.flows == cold.flows
+        assert result.complete == cold.complete
+
+
+def test_sweep_throughput_gate():
+    """The batched kernel must sustain ≥3x the scalar loop's
+    sweep-shaped scenario throughput at production batch sizes.
+
+    Gated on process CPU time so neighbours on a shared host cannot
+    flake the build; the wall-clock numbers are recorded alongside.
+    """
+    metrics = batch_kernel_metrics(sizes=(256,))
+    assert metrics["sizes"][0]["cpu_speedup"] >= 3.0, metrics
+
+
+def test_sweep_end_to_end_improves():
+    """End to end — generation, graphs, bisection and all — the
+    batched campaign path must clearly beat the per-set loop."""
+    metrics = sweep_throughput_metrics()
+    assert metrics["speedup"] >= 1.5, metrics

@@ -27,9 +27,17 @@ analysis kernel optimisation targets:
   requests/s against a live server, cold (every request computed) and
   warm (every request answered from the LRU result cache); see
   ``bench_serve.py``.
+* ``batch``                — the columnar batch engine: batched vs
+  scalar scenarios/s at B ∈ {1, 32, 256} plus the end-to-end sweep
+  comparison and the ci-scale Figure 4(a) wall clock; see
+  ``bench_batch.py``.
 
 The resulting trajectory lets future PRs compare against every past
-revision; ``make bench-smoke`` runs this plus the pytest-benchmark suite.
+revision; ``make bench-smoke`` runs this plus the pytest-benchmark
+suite, and ``tools/bench_regress.py`` gates ``make smoke`` on the two
+latest entries.  To keep the trajectory readable, appending an entry
+drops older entries carrying the same (label, revision) pair — only
+the latest smoke run per revision survives.
 """
 
 from __future__ import annotations
@@ -77,16 +85,27 @@ def _flowset(num_flows: int):
     )
 
 
-def _time_ms(fn, repeats: int = 3) -> float:
+def _time_ms(fn, repeats: int = 7) -> float:
+    """Best-of-N process-CPU milliseconds (see :func:`_timed`): these
+    are millisecond-scale probes the regression gate
+    (tools/bench_regress.py) compares at 20%, so they use CPU time and
+    best-of-N to stay immune to scheduler noise on a busy host."""
     fn()  # warm caches (routes, imports) outside the measurement
     best = min(_timed(fn) for _ in range(repeats))
     return round(best * 1000, 2)
 
 
 def _timed(fn) -> float:
-    start = time.perf_counter()
+    """Process-CPU seconds of one call.
+
+    The kernel probes below are single-threaded pure compute, so CPU
+    time *is* their cost — and unlike wall clock it cannot be inflated
+    by whatever else a shared host is running, which matters because
+    the regression gate compares these numbers across revisions.
+    """
+    start = time.process_time()
     fn()
-    return time.perf_counter() - start
+    return time.process_time() - start
 
 
 def collect() -> dict:
@@ -127,7 +146,23 @@ def collect() -> dict:
     metrics["sim"] = _sim_metrics()
     metrics["campaign"] = _campaign_metrics()
     metrics["serve"] = _serve_metrics()
+    metrics["batch"] = _batch_metrics(metrics["fig4_ci_s"])
     return metrics
+
+
+def _batch_metrics(fig4_ci_s: float) -> dict:
+    """Columnar batch engine: batched vs scalar scenario throughput.
+
+    Shares the measurement code with ``bench_batch.py`` so the recorded
+    numbers measure exactly what that benchmark's gates enforce; the
+    already-measured ci-scale Figure 4(a) time rides along in the
+    block instead of being re-run.
+    """
+    from bench_batch import batch_metrics
+
+    block = batch_metrics()
+    block["sweep"]["fig4_ci_s"] = fig4_ci_s
+    return block
 
 
 def _serve_metrics() -> dict:
@@ -153,7 +188,13 @@ def _campaign_metrics() -> dict:
         / "examples" / "specs" / "campaign_smoke.json"
     )
     spec = load_spec(spec_path)
+    # Best of three: the smoke spec finishes in tens of milliseconds,
+    # where a single scheduler hiccup would swamp the jobs/s metric the
+    # regression gate watches.
     cold_s, cold = timed(lambda: run_campaign(spec))
+    for _ in range(2):
+        again_s, cold = timed(lambda: run_campaign(spec))
+        cold_s = min(cold_s, again_s)
     with tempfile.TemporaryDirectory() as run_dir:
         run_campaign(spec, store=run_dir)
         resume_s, resumed = timed(lambda: run_campaign(spec, store=run_dir))
@@ -232,10 +273,30 @@ def main(argv: list[str]) -> int:
     if TARGET.exists():
         history = json.loads(TARGET.read_text(encoding="utf-8"))
     history.append(entry)
+    history = dedupe(history)
     TARGET.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(entry, indent=2))
     print(f"[appended to {TARGET}]")
     return 0
+
+
+def dedupe(history: list) -> list:
+    """Keep only the newest entry per (label, revision) pair.
+
+    Repeated ``make bench-smoke`` runs on one revision used to pile up
+    identical-looking ``smoke`` entries; the trajectory only needs the
+    freshest numbers per revision, while entries from other revisions
+    (the actual milestones) are never touched.
+    """
+    def key(entry: dict):
+        return entry.get("label"), entry.get("revision")
+
+    keep_from = {key(entry): index for index, entry in enumerate(history)}
+    return [
+        entry
+        for index, entry in enumerate(history)
+        if keep_from[key(entry)] == index
+    ]
 
 
 if __name__ == "__main__":

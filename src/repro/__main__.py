@@ -147,6 +147,7 @@ def cmd_serve(args) -> int:
             workers=args.workers,
             cache_size=args.cache_size,
             run_dir=args.run_dir,
+            batch_window_s=args.batch_window,
         )
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
@@ -238,6 +239,12 @@ def main(argv: list[str] | None = None) -> int:
         "--run-dir", default=None,
         help="persist query results and campaign stores here "
              "(a restarted server answers warm)",
+    )
+    p_serve.add_argument(
+        "--batch-window", type=float, default=0.0, metavar="SECONDS",
+        help="how long the analyze micro-batcher waits before flushing "
+             "queued cache misses as one batched kernel call "
+             "(0 = next event-loop tick)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -27,6 +27,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.campaigns.spec import CampaignSpec, Job
 
 _EXECUTORS: dict[str, Callable[[Mapping[str, Any]], Any]] = {}
+_BLOCK_EXECUTORS: dict[str, Callable[[Sequence[Mapping[str, Any]]], list]] = {}
 _KINDS: dict[str, "CampaignKind"] = {}
 _BUILTINS_LOADED = False
 
@@ -74,6 +75,54 @@ def job_executor(kind: str):
         return fn
 
     return register
+
+
+def block_executor(kind: str):
+    """Register a *block* executor: many same-kind jobs in one call.
+
+    The function receives a list of job params and must return a list
+    of results **aligned with the input order** — each entry exactly
+    what the kind's plain executor would have returned for that job.
+    The scheduler ships whole blocks to worker processes when one is
+    registered (one pickle per block instead of one per job) and the
+    executor batches the contained scenarios through the columnar
+    kernel (:mod:`repro.core.batch`).  Per-job executors remain
+    mandatory: a block executor is an optimisation, never a semantic
+    change.
+    """
+
+    def register(fn: Callable[[Sequence[Mapping[str, Any]]], list]):
+        if kind in _BLOCK_EXECUTORS and _BLOCK_EXECUTORS[kind] is not fn:
+            raise ValueError(f"block executor for {kind!r} registered twice")
+        _BLOCK_EXECUTORS[kind] = fn
+        return fn
+
+    return register
+
+
+def has_block_executor(kind: str) -> bool:
+    """Does this job kind batch whole blocks (builtins loaded on demand)?"""
+    load_builtins()
+    return kind in _BLOCK_EXECUTORS
+
+
+def execute_block(kind: str, params_list: Sequence[Mapping[str, Any]]) -> list:
+    """Run several same-kind jobs, batched when the kind supports it.
+
+    Falls back to per-job execution for kinds without a block executor,
+    so callers can treat every kind uniformly.
+    """
+    load_builtins()
+    fn = _BLOCK_EXECUTORS.get(kind)
+    if fn is None:
+        return [execute_job(kind, params) for params in params_list]
+    results = list(fn(list(params_list)))
+    if len(results) != len(params_list):
+        raise RuntimeError(
+            f"block executor for {kind!r} returned {len(results)} results "
+            f"for {len(params_list)} jobs"
+        )
+    return results
 
 
 def register_kind(kind: CampaignKind) -> CampaignKind:

@@ -9,12 +9,16 @@ fans the remainder out over a single :class:`ProcessPoolExecutor` —
 emitting one :class:`~repro.campaigns.progress.ProgressEvent` per
 completion.
 
-Worker processes resolve executors through the registry and reuse
-process-local platforms via :func:`worker_platform` (the pattern
-pioneered by ``schedulability_sweep._worker_platform``): one topology —
-and with it one memoized route table — per (mesh, routing) for the
-lifetime of the worker, whatever mix of campaigns flows through the
-pool.
+Jobs ship in same-kind **blocks** — one pickle each way per block
+instead of per job — and kinds with a registered block executor
+(:func:`repro.campaigns.registry.block_executor`) batch each block's
+scenarios through the columnar kernel in the worker; serial runs use
+cap-sized blocks for maximal batching.  Worker processes resolve
+executors through the registry and reuse process-local platforms via
+:func:`worker_platform` (the pattern pioneered by
+``schedulability_sweep._worker_platform``): one topology — and with it
+one memoized route table — per (mesh, routing) for the lifetime of the
+worker, whatever mix of campaigns flows through the pool.
 
 Determinism: results are keyed by content address and aggregation folds
 them in job-list order, so worker counts, chunk completion order and
@@ -72,10 +76,52 @@ def worker_platform(
     return platform
 
 
-def _pool_execute(payload: tuple[str, str, dict]) -> tuple[str, Any]:
-    """Worker entry point: run one job, keyed back by content address."""
-    job_id, kind, params = payload
-    return job_id, registry.execute_job(kind, params)
+#: Jobs shipped per block at most: bounds both the batch kernel's array
+#: footprint inside a worker and the progress-report granularity.
+_BLOCK_JOB_CAP = 24
+
+
+def _pool_execute_block(
+    payload: tuple[str, list[tuple[str, dict]]]
+) -> list[tuple[str, Any]]:
+    """Worker entry point: run one same-kind block of jobs.
+
+    One pickle each way per *block* instead of per job; kinds with a
+    registered block executor additionally batch the block's scenarios
+    through the columnar kernel.  Results come back keyed by content
+    address, so completion order never matters.
+    """
+    kind, items = payload
+    results = registry.execute_block(kind, [params for _, params in items])
+    return [(job_id, result) for (job_id, _), result in zip(items, results)]
+
+
+def _plan_blocks(todo: Mapping[str, Any], workers: int) -> list[tuple[str, list]]:
+    """Group the todo jobs into same-kind blocks (insertion order kept).
+
+    Kinds with a block executor get multi-job blocks sized for roughly
+    four blocks per worker (capped at :data:`_BLOCK_JOB_CAP`; serial
+    callers pass ``workers=0`` for cap-sized blocks); other kinds ship
+    one job per block, preserving their old fan-out shape.
+    """
+    by_kind: dict[str, list] = {}
+    for job_id, job in todo.items():
+        by_kind.setdefault(job.kind, []).append((job_id, job))
+    blocks: list[tuple[str, list]] = []
+    for kind, items in by_kind.items():
+        if registry.has_block_executor(kind):
+            if workers < 1:
+                size = _BLOCK_JOB_CAP
+            else:
+                size = min(
+                    _BLOCK_JOB_CAP,
+                    max(1, -(-len(items) // (workers * 4))),
+                )
+        else:
+            size = 1
+        for start in range(0, len(items), size):
+            blocks.append((kind, items[start:start + size]))
+    return blocks
 
 
 @dataclass(frozen=True)
@@ -180,21 +226,37 @@ class Scheduler:
             try:
                 futures = {
                     pool.submit(
-                        _pool_execute, (job_id, job.kind, job.params)
-                    ): job
-                    for job_id, job in todo.items()
+                        _pool_execute_block,
+                        (kind, [(jid, job.params) for jid, job in items]),
+                    ): items
+                    for kind, items in _plan_blocks(todo, self.workers)
                 }
                 for future in as_completed(futures):
-                    job_id, result = future.result()
-                    absorb(job_id, result)
-                    emit(futures[future].label)
+                    labels = {
+                        jid: job.label for jid, job in futures[future]
+                    }
+                    for job_id, result in future.result():
+                        absorb(job_id, result)
+                        emit(labels[job_id])
             finally:
                 if owned is not None:
                     owned.shutdown()
         else:
-            for job_id, job in todo.items():
-                absorb(job_id, registry.execute_job(job.kind, job.params))
-                emit(job.label)
+            # Serial runs batch maximally: every same-kind block goes
+            # through execute_block so the columnar kernel sees the
+            # largest scenario blocks the cap allows.
+            for kind, items in _plan_blocks(todo, workers=0):
+                if len(items) == 1:
+                    job_id, job = items[0]
+                    absorb(job_id, registry.execute_job(kind, job.params))
+                    emit(job.label)
+                    continue
+                block_results = registry.execute_block(
+                    kind, [job.params for _, job in items]
+                )
+                for (job_id, job), result in zip(items, block_results):
+                    absorb(job_id, result)
+                    emit(job.label)
 
         stats = RunStats(
             jobs_total=len(needed),

@@ -9,6 +9,7 @@
 """
 
 from repro.core.interference import InterferenceGraph
+from repro.core.batch import BatchReport, Scenario, analyze_batch
 from repro.core.engine import (
     AnalysisResult,
     FlowResult,
@@ -42,6 +43,9 @@ __all__ = [
     "sizing_summary",
     "slack_table",
     "InterferenceGraph",
+    "BatchReport",
+    "Scenario",
+    "analyze_batch",
     "AnalysisResult",
     "FlowResult",
     "analyze",

@@ -1,0 +1,825 @@
+"""Batched columnar analysis engine: many scenarios, one array program.
+
+The scalar engine (:mod:`repro.core.engine`) solves one flow set per
+call; campaign sweeps evaluate thousands of (flow set, analysis, buffer
+depth) points, so the per-call interpreter overhead — term assembly,
+the fixed-point loop, result bookkeeping — is paid once per grid cell.
+This module stacks B such *scenarios* into flat numpy arrays and runs
+the ceiling-recurrence fixed point for SB/IBN/XLWX across the whole
+batch at once:
+
+* flows of every scenario occupy **slots** of one flat array; levels
+  (priority indices) are processed in order, each level solving the
+  recurrences of *all* scenarios' flows at that level simultaneously;
+* the pair structure (direct interference sets, downstream partitions,
+  contention-domain sizes) is derived once per interference graph from
+  its dense geometry matrices (:meth:`InterferenceGraph
+  .geometry_matrices`) and cached on the graph, so buffer variants and
+  repeated analyses of the same flows share it;
+* per-iteration masking retires converged (scenario, flow) cells: rows
+  leave the working arrays the moment their recurrence converges,
+  overruns its give-up cut-off, or (for warm starts) must replay cold;
+* scenarios may be **ragged** (different flow counts) and **mixed**
+  (different analyses, buffer maps, payloads, periods, priorities);
+  a scenario simply stops contributing rows beyond its own depth.
+
+Equivalence contract: :func:`analyze_batch` returns
+:class:`~repro.core.engine.AnalysisResult` objects **byte-identical**
+to scalar :func:`~repro.core.engine.analyze` calls — same iterates,
+same convergence/taint flags, same early-exit truncation, same
+warm-start acceptance rules (a failed warm attempt replays cold).  The
+scalar engine stays the oracle; `tests/core/test_batch_equivalence.py`
+enforces the contract on randomized platforms.
+
+Scalar fallback: a scenario is handed back to :func:`analyze` when
+
+* numpy is unavailable,
+* its analysis is not exactly SB/XLWX/IBN (subclasses may override the
+  strategy points, which the array program cannot see),
+* a response iterate approaches the int64 safety bound or the
+  iteration budget (Python's unbounded ints take over), or
+* the caller asked for breakdowns (:func:`analyze_batch` never
+  collects them; use the scalar engine for explanation workflows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.analyses.base import Analysis
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.engine import (
+    RESPONSE_CAP,
+    AnalysisResult,
+    FlowResult,
+    _timing_equal,
+    analyze,
+)
+from repro.core.interference import InterferenceGraph
+from repro.flows.flowset import FlowSet
+
+try:  # optional: the batch path needs numpy (scalar fallback below)
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
+
+#: Iterates beyond this divert the scenario to the scalar engine before
+#: int64 products could overflow (Python ints are unbounded there).
+_SAFE_RESPONSE = 1 << 59
+#: Per-recurrence iteration budget; must match
+#: :func:`repro.util.mathx.fixed_point` so diverted scenarios report the
+#: same ``FixedPointDiverged`` outcome through the scalar replay.
+_MAX_ITERATIONS = 100_000
+
+_MODE_SB = 0
+_MODE_XLWX = 1
+_MODE_IBN = 2
+
+#: Analyses the array program implements.  ``type`` comparison is exact
+#: on purpose: a subclass may override ``downstream_term`` or
+#: ``indirect_jitter`` in ways the batched terms cannot reproduce.
+_MODES = {SBAnalysis: _MODE_SB, XLWXAnalysis: _MODE_XLWX, IBNAnalysis: _MODE_IBN}
+
+
+@dataclass
+class Scenario:
+    """One cell of a batch: a flow set analysed by one analysis.
+
+    ``graph`` optionally shares a pre-built interference graph (as with
+    scalar :func:`~repro.core.engine.analyze`); ``warm_from`` optionally
+    warm-starts each flow's fixed point from a pointwise-tighter result
+    under the same rules as the scalar engine.
+    """
+
+    flowset: FlowSet
+    analysis: Analysis
+    graph: InterferenceGraph | None = None
+    warm_from: AnalysisResult | None = None
+
+
+def batchable(analysis: Analysis) -> bool:
+    """Can the array program run this analysis (else: scalar fallback)?"""
+    return _np is not None and type(analysis) in _MODES
+
+
+# ---------------------------------------------------------------------------
+# Per-graph structure: flat pair / downstream index tables.
+# ---------------------------------------------------------------------------
+
+class _GraphStruct:
+    """Flow-major flat interference structure of one graph.
+
+    ``pair_i``/``pair_j`` enumerate every direct-interference pair
+    (τi, τj ∈ S^D_i) in flow-major order (i ascending, j ascending
+    within i — the scalar engine's term order).  ``down_pair``/
+    ``down_k`` flatten each pair's downstream set S^{down_j}_{I_i},
+    ``down_pair`` holding the *pair index* of (j, k) so totals and
+    per-hit costs recorded when level j was solved can be gathered
+    directly.  All arrays are int64/bool numpy arrays.
+    """
+
+    __slots__ = (
+        "n", "pair_i", "pair_j", "pair_offsets", "down_pair", "down_k",
+        "down_offsets", "up_nonempty", "any_direct_up", "cd_size_pair",
+        "lower_counts",
+    )
+
+
+def _graph_struct(graph: InterferenceGraph) -> _GraphStruct:
+    """The graph's batch structure, built on first use and cached."""
+    struct = getattr(graph, "_batch_struct", None)
+    if struct is None:
+        struct = _build_struct(graph)
+        graph._batch_struct = struct
+    return struct
+
+
+def _build_struct(graph: InterferenceGraph) -> _GraphStruct:
+    cd_size, cd_lo, cd_hi = graph.geometry_matrices()
+    n = cd_size.shape[0]
+    struct = _GraphStruct()
+    struct.n = n
+    # Lower-triangular adjacency: adj[i, j] == True iff τj ∈ S^D_i.
+    adj = cd_size > 0
+    adj &= _np.tri(n, dtype=bool, k=-1)
+    pair_i, pair_j = _np.nonzero(adj)
+    pair_i = pair_i.astype(_np.int64)
+    pair_j = pair_j.astype(_np.int64)
+    num_pairs = len(pair_i)
+    struct.pair_i = pair_i
+    struct.pair_j = pair_j
+    struct.pair_offsets = _np.searchsorted(
+        pair_i, _np.arange(n + 1)
+    ).astype(_np.int64)
+    struct.cd_size_pair = cd_size[pair_i, pair_j].astype(_np.int64)
+    struct.lower_counts = _np.asarray(
+        [graph.lower_priority_shared_links(i) for i in range(n)],
+        dtype=_np.int64,
+    )
+
+    # Downstream/upstream partitions for every pair at once, evaluated
+    # sparsely: the candidates for pair (τi, τj) are exactly the pairs
+    # (τj, τk) of τj's own direct set, so enumerating each pair's
+    # candidate run of the pair table (one repeat + one arange) and
+    # testing membership/geometry with 1-D gathers beats any dense
+    # (pairs × n) formulation.  Route orders fit int16 comfortably.
+    lo16 = cd_lo.astype(_np.int16)
+    hi16 = cd_hi.astype(_np.int16)
+    lo_ji = lo16[pair_j, pair_i]
+    hi_ji = hi16[pair_j, pair_i]
+    # Span of each pair on its *owner's* route (row pair_i, col pair_j):
+    # for a candidate pair q = (τj, τk) these are cd(j,k)'s orders on
+    # τj's route — the quantities the partition rule compares.
+    own_lo = lo16[pair_i, pair_j]
+    own_hi = hi16[pair_i, pair_j]
+    deg = _np.diff(struct.pair_offsets)
+    cand_q, cand_offsets = _gather_segments(
+        struct.pair_offsets[pair_j], deg[pair_j]
+    )
+    cand_lens = deg[pair_j]
+    owner = _np.repeat(_np.arange(num_pairs, dtype=_np.int64), cand_lens)
+    k = pair_j[cand_q]
+    # Members of S^I_i ∩ S^D_j: direct interferers of τj that are
+    # neither direct interferers of τi nor τi itself (k < j < i, so the
+    # k == i exclusion is already implied by the triangle shape).
+    member = ~adj[pair_i[owner], k]
+    down = member & (own_lo[cand_q] > hi_ji[owner])
+    up = member & (own_hi[cand_q] < lo_ji[owner])
+    counts = _segment_sums(down.astype(_np.int64), cand_lens)
+    up_nonempty = _segment_sums(up.astype(_np.int64), cand_lens) > 0
+    struct.down_pair = cand_q[down]
+    struct.down_k = k[down]
+    offsets = _np.zeros(num_pairs + 1, dtype=_np.int64)
+    _np.cumsum(counts, out=offsets[1:])
+    struct.down_offsets = offsets
+    struct.up_nonempty = up_nonempty
+    # The "any_upstream" ablation widening is computed on first use
+    # (see _ensure_any_direct_up); the default rule never reads it.
+    struct.any_direct_up = None
+    return struct
+
+
+def _ensure_any_direct_up(graph: InterferenceGraph, struct: _GraphStruct):
+    """Lazily computed "any_upstream" flags: does any *direct* interferer
+    of τj hit τj strictly upstream of cd_ij?  Only the non-default
+    ``upstream_rule="any_upstream"`` ablation reads these."""
+    if struct.any_direct_up is not None:
+        return struct.any_direct_up
+    cd_size, cd_lo, cd_hi = graph.geometry_matrices()
+    pair_i, pair_j = struct.pair_i, struct.pair_j
+    num_pairs = len(pair_i)
+    lo16 = cd_lo.astype(_np.int16)
+    hi16 = cd_hi.astype(_np.int16)
+    lo_ji = lo16[pair_j, pair_i]
+    own_hi = hi16[pair_i, pair_j]
+    deg = _np.diff(struct.pair_offsets)
+    cand_q, _ = _gather_segments(struct.pair_offsets[pair_j], deg[pair_j])
+    cand_lens = deg[pair_j]
+    owner = _np.repeat(_np.arange(num_pairs, dtype=_np.int64), cand_lens)
+    hit = own_hi[cand_q] < lo_ji[owner]
+    struct.any_direct_up = _segment_sums(hit.astype(_np.int64), cand_lens) > 0
+    return struct.any_direct_up
+
+
+# ---------------------------------------------------------------------------
+# Per-scenario plan: numeric arrays + analysis mode.
+# ---------------------------------------------------------------------------
+
+class _Plan:
+    """Everything one batched scenario contributes to the composition."""
+
+    __slots__ = (
+        "scenario", "graph", "struct", "mode", "n", "c", "period", "jitter",
+        "deadline", "blocking", "warm", "use_bound", "fallback_pair",
+        "bi_pair",
+    )
+
+
+def _numeric_arrays(flowset: FlowSet, cache: dict):
+    """(c, period, jitter, deadline) int64 arrays, shared per FlowSet."""
+    found = cache.get(id(flowset))
+    if found is None:
+        flows = flowset.flows
+        found = (
+            _np.asarray([flowset.c(f.name) for f in flows], dtype=_np.int64),
+            _np.asarray([f.period for f in flows], dtype=_np.int64),
+            _np.asarray([f.jitter for f in flows], dtype=_np.int64),
+            _np.asarray([f.deadline for f in flows], dtype=_np.int64),
+        )
+        cache[id(flowset)] = found
+    return found
+
+
+def _build_plan(scenario: Scenario, numeric_cache: dict) -> _Plan:
+    flowset = scenario.flowset
+    graph = scenario.graph
+    plan = _Plan()
+    plan.scenario = scenario
+    plan.graph = graph
+    struct = _graph_struct(graph)
+    plan.struct = struct
+    plan.mode = _MODES[type(scenario.analysis)]
+    plan.n = struct.n
+    plan.c, plan.period, plan.jitter, plan.deadline = _numeric_arrays(
+        flowset, numeric_cache
+    )
+    platform = flowset.platform
+    if platform.linkl > 1:
+        plan.blocking = (platform.linkl - 1) * struct.lower_counts
+    else:
+        plan.blocking = _np.zeros(plan.n, dtype=_np.int64)
+    plan.warm = _warm_array(scenario, plan)
+    plan.use_bound = False
+    plan.fallback_pair = None
+    plan.bi_pair = None
+    if plan.mode == _MODE_IBN:
+        analysis = scenario.analysis
+        plan.use_bound = analysis.use_buffer_bound
+        has_down = _np.diff(struct.down_offsets) > 0
+        fallback = struct.up_nonempty.copy()
+        if analysis.upstream_rule == "any_upstream":
+            fallback |= _ensure_any_direct_up(graph, struct)
+        plan.fallback_pair = has_down & fallback
+        if platform.is_homogeneous:
+            plan.bi_pair = (
+                platform.buf * platform.linkl
+            ) * struct.cd_size_pair
+        else:
+            # Per-link depths (Equation 6 generalised): rare enough that
+            # a per-pair Python sum is fine.
+            linkl = platform.linkl
+            plan.bi_pair = _np.asarray(
+                [
+                    linkl * sum(
+                        platform.buf_of_link(link)
+                        for link in graph.cd_links_by_index(int(i), int(j))
+                    )
+                    for i, j in zip(struct.pair_i, struct.pair_j)
+                ],
+                dtype=_np.int64,
+            )
+    return plan
+
+
+def _warm_array(scenario: Scenario, plan: _Plan):
+    """Per-flow warm-start values (0 = cold), scalar-engine rules."""
+    warm = _np.zeros(plan.n, dtype=_np.int64)
+    source = scenario.warm_from
+    if source is None:
+        return warm
+    graph = scenario.graph
+    if not (
+        graph.compatible_with(source.flowset)
+        and _timing_equal(
+            scenario.flowset.platform, source.flowset.platform
+        )
+    ):
+        return warm
+    source_flows = source.flows
+    for index, flow in enumerate(scenario.flowset.flows):
+        record = source_flows.get(flow.name)
+        if record is not None and record.converged and not record.tainted:
+            warm[index] = record.response_time
+    return warm
+
+
+# ---------------------------------------------------------------------------
+# Segment helpers (int64-exact, empty-segment-safe).
+# ---------------------------------------------------------------------------
+
+def _segment_sums(values, counts):
+    """Sum ``values`` per contiguous segment of the given lengths.
+
+    Empty segments sum to 0 wherever they appear.  ``reduceat`` handles
+    empty *interior* segments via its repeated-index quirk (masked back
+    to 0 below); a trailing empty segment would need an out-of-range
+    index, so a zero sentinel is appended for that case only.
+    """
+    sums = _np.zeros(len(counts), dtype=_np.int64)
+    if values.size == 0:
+        return sums
+    starts = _np.zeros(len(counts), dtype=_np.int64)
+    _np.cumsum(counts[:-1], out=starts[1:])
+    if counts[len(counts) - 1] == 0:
+        values = _np.append(values, 0)
+    sums = _np.add.reduceat(values, starts)
+    sums[counts == 0] = 0
+    return sums
+
+
+def _gather_segments(starts, lens):
+    """Indices gathering variable-length segments, plus their offsets."""
+    offsets = _np.zeros(len(lens) + 1, dtype=_np.int64)
+    _np.cumsum(lens, out=offsets[1:])
+    total = int(offsets[-1])
+    if total == 0:
+        return _np.empty(0, dtype=_np.int64), offsets
+    idx = _np.repeat(starts - offsets[:-1], lens) + _np.arange(
+        total, dtype=_np.int64
+    )
+    return idx, offsets
+
+
+def _ceil_div(numer, denom):
+    """Vector ``⌈numer/denom⌉`` matching the engine's inlined form."""
+    return -((-numer) // denom)
+
+
+# ---------------------------------------------------------------------------
+# The batched fixed point.
+# ---------------------------------------------------------------------------
+
+def _solve_rows(start, warm_active, base, give, cold, wj, period, cost,
+                counts):
+    """Solve one level's recurrences for all rows simultaneously.
+
+    Returns ``(response, converged, iterations, unsafe)`` per row, with
+    the exact iterate sequence of the scalar engine: converged rows keep
+    the fixed point, overrun rows keep the first iterate beyond their
+    give-up, failed warm attempts replay from the cold start.  Rows
+    whose iterate approaches the int64 safety bound (or the iteration
+    budget) are flagged ``unsafe`` for scalar diversion.
+    """
+    nrows = len(start)
+    out_r = _np.zeros(nrows, dtype=_np.int64)
+    out_conv = _np.zeros(nrows, dtype=bool)
+    out_iters = _np.zeros(nrows, dtype=_np.int64)
+    out_unsafe = _np.zeros(nrows, dtype=bool)
+    idx = _np.arange(nrows, dtype=_np.int64)
+    r = start.copy()
+    warm = warm_active.copy()
+    iteration = 0
+    while len(idx):
+        iteration += 1
+        expanded = _np.repeat(r, counts)
+        contrib = _ceil_div(expanded + wj, period) * cost
+        r_new = base + _segment_sums(contrib, counts)
+        out_iters[idx] += 1
+        conv = r_new == r
+        over = r_new > give
+        dec = r_new < r
+        unsafe = (r_new > _SAFE_RESPONSE) | (r_new < base)
+        if iteration >= _MAX_ITERATIONS:
+            unsafe |= ~conv
+        # Failed warm attempts (overran the cut-off or the start was
+        # invalid and the map dipped) restart from the cold start.
+        restart = warm & ~conv & (dec | over) & ~unsafe
+        finish_ok = conv & ~unsafe
+        finish_fail = over & ~conv & ~warm & ~unsafe
+        done = finish_ok | finish_fail | unsafe
+        out_r[idx[finish_ok]] = r[finish_ok]
+        out_conv[idx[finish_ok]] = True
+        out_r[idx[finish_fail]] = r_new[finish_fail]
+        out_unsafe[idx[unsafe]] = True
+        cont = ~done
+        if not cont.any():
+            break
+        r = _np.where(restart, cold, r_new)[cont]
+        warm = (warm & ~restart)[cont]
+        idx = idx[cont]
+        if not cont.all():
+            keep_pairs = _np.repeat(cont, counts)
+            wj = wj[keep_pairs]
+            period = period[keep_pairs]
+            cost = cost[keep_pairs]
+            counts = counts[cont]
+            base = base[cont]
+            give = give[cont]
+            cold = cold[cont]
+    return out_r, out_conv, out_iters, out_unsafe
+
+
+# ---------------------------------------------------------------------------
+# Batch composition and the level loop.
+# ---------------------------------------------------------------------------
+
+class BatchReport:
+    """Diagnostics of one :func:`analyze_batch` call."""
+
+    __slots__ = ("iterations", "scalar_fallbacks")
+
+    def __init__(self, size: int) -> None:
+        #: recurrence iterations spent per scenario (0 for fallbacks).
+        self.iterations = [0] * size
+        #: indices of scenarios answered by the scalar engine.
+        self.scalar_fallbacks: list[int] = []
+
+
+def analyze_batch(
+    scenarios: Sequence[Scenario],
+    *,
+    stop_at_deadline: bool = True,
+    early_exit: bool = False,
+    report: BatchReport | None = None,
+) -> list[AnalysisResult]:
+    """Analyse B scenarios as one array program.
+
+    Results are byte-identical to calling scalar
+    :func:`~repro.core.engine.analyze` per scenario with the same
+    ``stop_at_deadline``/``early_exit``/``warm_from`` arguments, in the
+    input order.  Scenarios whose analysis the array program cannot
+    express are transparently answered by the scalar engine (see the
+    module docstring for the triggers); pass ``report`` to observe
+    which path served each scenario.
+    """
+    scenarios = list(scenarios)
+    if report is None:
+        report = BatchReport(len(scenarios))
+    elif len(report.iterations) != len(scenarios):
+        raise ValueError("report size does not match the scenario count")
+    # Mirror the scalar engine's graph handling (build or validate).
+    for scenario in scenarios:
+        if scenario.graph is None:
+            scenario.graph = InterferenceGraph(scenario.flowset)
+        elif not scenario.graph.compatible_with(scenario.flowset):
+            raise ValueError(
+                "interference graph was built for a different flow set"
+            )
+    results: list[AnalysisResult | None] = [None] * len(scenarios)
+    batched: list[int] = []
+    for index, scenario in enumerate(scenarios):
+        if batchable(scenario.analysis):
+            batched.append(index)
+    needs_scalar: set[int] = set(range(len(scenarios))) - set(batched)
+    if batched:
+        solved = _run_batch(
+            [scenarios[i] for i in batched],
+            stop_at_deadline=stop_at_deadline,
+            early_exit=early_exit,
+        )
+        for position, index in enumerate(batched):
+            outcome = solved[position]
+            if outcome is None:
+                needs_scalar.add(index)
+            else:
+                results[index], report.iterations[index] = outcome
+    for index in sorted(needs_scalar):
+        scenario = scenarios[index]
+        results[index] = analyze(
+            scenario.flowset,
+            scenario.analysis,
+            graph=scenario.graph,
+            stop_at_deadline=stop_at_deadline,
+            early_exit=early_exit,
+            warm_from=scenario.warm_from,
+        )
+        report.scalar_fallbacks.append(index)
+    report.scalar_fallbacks.sort()
+    return results  # type: ignore[return-value]
+
+
+def _run_batch(scenarios, *, stop_at_deadline, early_exit):
+    """The array program proper; ``None`` entries mean "divert"."""
+    numeric_cache: dict = {}
+    plans = [_build_plan(s, numeric_cache) for s in scenarios]
+    B = len(plans)
+    sizes = _np.asarray([p.n for p in plans], dtype=_np.int64)
+    slot_base = _np.zeros(B + 1, dtype=_np.int64)
+    _np.cumsum(sizes, out=slot_base[1:])
+    total_slots = int(slot_base[-1])
+    max_f = int(sizes.max())
+
+    # ---- flat per-slot arrays (scenario-major) ------------------------
+    C = _np.concatenate([p.c for p in plans])
+    T = _np.concatenate([p.period for p in plans])
+    J = _np.concatenate([p.jitter for p in plans])
+    D = _np.concatenate([p.deadline for p in plans])
+    BLK = _np.concatenate([p.blocking for p in plans])
+    WARM = _np.concatenate([p.warm for p in plans])
+    GIVE = D if stop_at_deadline else _np.full(
+        total_slots, RESPONSE_CAP, dtype=_np.int64
+    )
+    slot_scn = _np.repeat(_np.arange(B, dtype=_np.int64), sizes)
+    slot_level = _np.concatenate(
+        [_np.arange(p.n, dtype=_np.int64) for p in plans]
+    )
+    # Level-major views: slots (and pairs, below) regrouped so each
+    # level is one contiguous slice, scenarios ascending within it.
+    slot_perm = _np.argsort(slot_level, kind="stable")
+    level_slot_bounds = _np.searchsorted(
+        slot_level[slot_perm], _np.arange(max_f + 2)
+    )
+
+    # ---- flat pair arrays --------------------------------------------
+    pair_bases = _np.zeros(B + 1, dtype=_np.int64)
+    _np.cumsum(
+        _np.asarray([len(p.struct.pair_i) for p in plans], dtype=_np.int64),
+        out=pair_bases[1:],
+    )
+    pair_level = _np.concatenate([p.struct.pair_i for p in plans])
+    pair_j_slot = _np.concatenate(
+        [p.struct.pair_j + int(slot_base[b]) for b, p in enumerate(plans)]
+    )
+    pair_mode = _np.concatenate(
+        [
+            _np.full(len(p.struct.pair_i), p.mode, dtype=_np.int64)
+            for p in plans
+        ]
+    )
+    pair_fallback = _np.concatenate(
+        [
+            p.fallback_pair
+            if p.fallback_pair is not None
+            else _np.zeros(len(p.struct.pair_i), dtype=bool)
+            for p in plans
+        ]
+    )
+    pair_bi = _np.concatenate(
+        [
+            p.bi_pair
+            if p.bi_pair is not None
+            else _np.zeros(len(p.struct.pair_i), dtype=_np.int64)
+            for p in plans
+        ]
+    )
+    pair_use_bound = _np.concatenate(
+        [
+            _np.full(len(p.struct.pair_i), p.use_bound, dtype=bool)
+            for p in plans
+        ]
+    )
+    pperm = _np.argsort(pair_level, kind="stable")
+    inv_pperm = _np.empty_like(pperm)
+    inv_pperm[pperm] = _np.arange(len(pperm), dtype=_np.int64)
+    pair_j_slot = pair_j_slot[pperm]
+    pair_mode = pair_mode[pperm]
+    pair_fallback = pair_fallback[pperm]
+    pair_bi = pair_bi[pperm]
+    pair_use_bound = pair_use_bound[pperm]
+    level_pair_bounds = _np.searchsorted(
+        pair_level[pperm], _np.arange(max_f + 2)
+    )
+    # Per-slot direct-set sizes, level-major (row segmentation).
+    slot_counts = _np.concatenate(
+        [_np.diff(p.struct.pair_offsets) for p in plans]
+    )[slot_perm]
+
+    # ---- flat downstream arrays (regrouped to the pair permutation) ---
+    down_lens_sm = _np.concatenate(
+        [_np.diff(p.struct.down_offsets) for p in plans]
+    )
+    down_starts_sm = _np.zeros(len(down_lens_sm), dtype=_np.int64)
+    down_total = _np.zeros(B + 1, dtype=_np.int64)
+    _np.cumsum(
+        _np.asarray([len(p.struct.down_pair) for p in plans]),
+        out=down_total[1:],
+    )
+    down_pair_sm = _np.concatenate(
+        [
+            inv_pperm[p.struct.down_pair + int(pair_bases[b])]
+            if len(p.struct.down_pair)
+            else _np.empty(0, dtype=_np.int64)
+            for b, p in enumerate(plans)
+        ]
+    ) if int(down_total[-1]) else _np.empty(0, dtype=_np.int64)
+    down_k_slot_sm = _np.concatenate(
+        [
+            p.struct.down_k + int(slot_base[b])
+            if len(p.struct.down_k)
+            else _np.empty(0, dtype=_np.int64)
+            for b, p in enumerate(plans)
+        ]
+    ) if int(down_total[-1]) else _np.empty(0, dtype=_np.int64)
+    _np.cumsum(down_lens_sm[:-1], out=down_starts_sm[1:])
+    gather_idx, down_offsets = _gather_segments(
+        down_starts_sm[pperm], down_lens_sm[pperm]
+    )
+    down_pair = (
+        down_pair_sm[gather_idx] if gather_idx.size else down_pair_sm
+    )
+    down_k_slot = (
+        down_k_slot_sm[gather_idx] if gather_idx.size else down_k_slot_sm
+    )
+    down_starts = down_offsets[:-1]
+    down_lens = down_lens_sm[pperm]
+
+    # ---- dynamic state ------------------------------------------------
+    R = _np.zeros(total_slots, dtype=_np.int64)
+    CONV = _np.zeros(total_slots, dtype=bool)
+    TAINT = _np.zeros(total_slots, dtype=bool)
+    BAD = _np.zeros(total_slots, dtype=_np.int64)  # ~conv | taint, 0/1
+    totals = _np.zeros(len(pperm), dtype=_np.int64)
+    hitcost = _np.zeros(len(pperm), dtype=_np.int64)
+    stopped = _np.zeros(B, dtype=bool)
+    diverted = _np.zeros(B, dtype=bool)
+    last_level = sizes - 1
+    iterations = _np.zeros(B, dtype=_np.int64)
+
+    # Batch-wide fast-path flags: skip whole term families no scenario
+    # needs, and skip the live-filtering machinery until a scenario
+    # actually retires (early exit or scalar diversion).
+    modes_present = {p.mode for p in plans}
+    need_sum = bool(modes_present & {_MODE_XLWX, _MODE_IBN})
+    need_eq8 = _MODE_IBN in modes_present
+    sb_present = _MODE_SB in modes_present
+    xlwx_present = _MODE_XLWX in modes_present
+    has_blocking = bool(BLK.any())
+    any_warm = bool(WARM.any())
+    any_retired = False
+
+    for level in range(max_f):
+        s0, s1 = int(level_slot_bounds[level]), int(level_slot_bounds[level + 1])
+        slots_all = slot_perm[s0:s1]
+        scns_all = slot_scn[slots_all]
+        counts_all = slot_counts[s0:s1]
+        p0, p1 = int(level_pair_bounds[level]), int(level_pair_bounds[level + 1])
+        live_all = True
+        if any_retired:
+            live = ~(stopped[scns_all] | diverted[scns_all])
+            live_all = bool(live.all())
+            if not live_all and not live.any():
+                continue
+        if live_all:
+            # The common case is one contiguous slice per level: no
+            # index arrays, and the level's downstream entries are one
+            # contiguous run of the flat arrays.
+            slots, scns, counts = slots_all, scns_all, counts_all
+            sel = slice(p0, p1)
+            dlen = down_lens[sel]
+            d0, d1 = int(down_offsets[p0]), int(down_offsets[p1])
+            dp = down_pair[d0:d1]
+            dk = down_k_slot[d0:d1]
+        else:
+            slots = slots_all[live]
+            scns = scns_all[live]
+            counts = counts_all[live]
+            # Select the live scenarios' pair runs without touching the
+            # retired ones: one prefix sum over the level, then gathers
+            # proportional to the *surviving* pairs only.
+            prefix = _np.zeros(len(counts_all) + 1, dtype=_np.int64)
+            _np.cumsum(counts_all, out=prefix[1:])
+            sel, _ = _gather_segments(p0 + prefix[:-1][live], counts)
+            dlen = down_lens[sel]
+            gidx, _ = _gather_segments(down_starts[sel], dlen)
+            dp = down_pair[gidx]
+            dk = down_k_slot[gidx]
+        pj = pair_j_slot[sel]
+        r_j = R[pj]
+        wj = J[pj] + r_j - C[pj]
+
+        # Downstream terms, evaluated per family over the level's flat
+        # downstream run (empty per-pair segments naturally sum to 0):
+        # the totals sum feeds XLWX pairs and IBN's application-rule
+        # fallback, Equation 8's recounted-and-capped hits feed the
+        # remaining IBN pairs, SB pairs take 0.
+        sums = eq8 = None
+        if need_sum and dp.size:
+            sums = _segment_sums(totals[dp], dlen)
+        if need_eq8 and dp.size:
+            hits = _ceil_div(_np.repeat(r_j, dlen) + J[dk], T[dk])
+            per_hit = hitcost[dp]
+            capped = _np.repeat(pair_use_bound[sel], dlen)
+            bi_exp = _np.repeat(pair_bi[sel], dlen)
+            per_hit = _np.where(capped & (bi_exp < per_hit), bi_exp, per_hit)
+            eq8 = _segment_sums(hits * per_hit, dlen)
+        if sums is None:
+            cost = C[pj]
+        else:
+            if eq8 is None:
+                down_term = sums
+                if sb_present:
+                    down_term = _np.where(
+                        pair_mode[sel] == _MODE_XLWX, sums, 0
+                    )
+            else:
+                takes_sum = pair_fallback[sel]
+                if xlwx_present:
+                    takes_sum = takes_sum | (pair_mode[sel] == _MODE_XLWX)
+                down_term = _np.where(takes_sum, sums, eq8)
+                if sb_present:
+                    down_term = _np.where(
+                        pair_mode[sel] == _MODE_SB, 0, down_term
+                    )
+            cost = C[pj] + down_term
+        hitcost[sel] = cost
+
+        cold = C[slots]
+        give = GIVE[slots]
+        if has_blocking:
+            blocking = BLK[slots]
+            base = cold + blocking
+            iter_cost = cost + _np.repeat(blocking, counts)
+        else:
+            base = cold
+            iter_cost = cost
+        if any_warm:
+            warm = WARM[slots]
+            warm_ok = (cold < warm) & (warm <= give)
+            start = _np.where(warm_ok, warm, cold)
+        else:
+            warm_ok = _np.zeros(len(slots), dtype=bool)
+            start = cold
+        r_fin, conv_fin, iters, unsafe = _solve_rows(
+            start, warm_ok, base, give, cold, wj, T[pj], iter_cost, counts
+        )
+        iterations[scns] += iters
+        if unsafe.any():
+            any_retired = True
+            diverted[scns[unsafe]] = True
+            keep = ~unsafe
+            if not keep.any():
+                continue
+            if isinstance(sel, slice):
+                sel = _np.arange(p0, p1, dtype=_np.int64)
+            slots, scns = slots[keep], scns[keep]
+            pair_keep = _np.repeat(keep, counts)
+            sel, pj, wj = sel[pair_keep], pj[pair_keep], wj[pair_keep]
+            cost = cost[pair_keep]
+            counts = counts[keep]
+            r_fin, conv_fin = r_fin[keep], conv_fin[keep]
+
+        R[slots] = r_fin
+        CONV[slots] = conv_fin
+        # Totals (the I_kj cache) use the final iterate and the per-hit
+        # cost *without* the non-preemptive blocking term, as scalar.
+        totals[sel] = (
+            _ceil_div(_np.repeat(r_fin, counts) + wj, T[pj]) * cost
+        )
+        tainted = _segment_sums(BAD[pj], counts) > 0
+        TAINT[slots] = tainted
+        BAD[slots] = (~conv_fin | tainted).astype(_np.int64)
+        if early_exit:
+            failed = ~(conv_fin & (r_fin <= D[slots]))
+            if failed.any():
+                any_retired = True
+                stopped[scns[failed]] = True
+                last_level[scns[failed]] = level
+
+    # ---- materialise --------------------------------------------------
+    outcomes: list = []
+    for b, plan in enumerate(plans):
+        if diverted[b]:
+            outcomes.append(None)
+            continue
+        flowset = plan.scenario.flowset
+        analysis = plan.scenario.analysis
+        base_slot = int(slot_base[b])
+        flows: dict[str, FlowResult] = {}
+        upto = int(last_level[b])
+        for index, flow in enumerate(flowset.flows[: upto + 1]):
+            slot = base_slot + index
+            flows[flow.name] = FlowResult(
+                name=flow.name,
+                priority=flow.priority,
+                c=int(C[slot]),
+                deadline=flow.deadline,
+                response_time=int(R[slot]),
+                converged=bool(CONV[slot]),
+                tainted=bool(TAINT[slot]),
+            )
+        outcomes.append(
+            (
+                AnalysisResult(
+                    analysis_name=analysis.label(flowset.platform.buf),
+                    unsafe=analysis.unsafe,
+                    flowset=flowset,
+                    flows=flows,
+                    complete=not bool(stopped[b]),
+                ),
+                int(iterations[b]),
+            )
+        )
+    return outcomes

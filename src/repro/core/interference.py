@@ -314,6 +314,28 @@ class InterferenceGraph:
             "analyses require dimension-order routing"
         )
 
+    def geometry_matrices(self):
+        """Dense ``(cd_size, cd_lo, cd_hi)`` as n×n int64 numpy arrays.
+
+        The batched analysis engine (:mod:`repro.core.batch`) derives its
+        flat pair/downstream index tables from these with whole-matrix
+        algebra instead of per-pair accessor calls.  Requires numpy; the
+        vector discovery gear hands back its backing matrices, the scalar
+        gear's nested lists are converted on the fly.
+        """
+        if _np is None:  # pragma: no cover - the toolchain ships numpy
+            raise RuntimeError("geometry_matrices requires numpy")
+
+        def dense(table):
+            matrix = getattr(table, "_matrix", None)
+            if matrix is not None:
+                return matrix
+            return _np.array(
+                [table[i] for i in range(len(table))], dtype=_np.int64
+            )
+
+        return dense(self._cd_size), dense(self._cd_lo), dense(self._cd_hi)
+
     def pair_geometry(self, i: int, j: int) -> PairGeometry | None:
         """The pair's :class:`PairGeometry` (``None`` when disjoint).
 

@@ -86,15 +86,48 @@ def _chunk_flows_and_graphs(
 @_registry.job_executor("buffer_chunk")
 def run_buffer_chunk(params: Mapping) -> dict:
     """Worker: IBN verdicts for one depth over one chunk of flow sets."""
-    cols, rows = params["mesh"]
-    platform = worker_platform(cols, rows, params["depth"])
-    analysis = IBNAnalysis()
-    schedulable = 0
-    for flows, graph in _chunk_flows_and_graphs(platform, params):
-        schedulable += is_schedulable(
-            FlowSet(platform, flows), analysis, graph=graph
-        )
-    return {"schedulable": schedulable, "sets": params["set_count"]}
+    return run_buffer_chunk_block([params])[0]
+
+
+@_registry.block_executor("buffer_chunk")
+def run_buffer_chunk_block(params_list: Sequence[Mapping]) -> list[dict]:
+    """Worker: a block of depth-chunks as one mixed-depth scenario batch.
+
+    Every (depth, set) cell of the block becomes one scenario of a
+    single :func:`~repro.core.batch.analyze_batch` call; the cells of
+    different depths share their flow sets and buffer-agnostic graphs
+    through the worker-local chunk cache exactly as the per-job path
+    does.  Per-job results are identical to :func:`run_buffer_chunk`.
+    """
+    from repro.core.batch import Scenario, analyze_batch
+
+    scenarios: list[Scenario] = []
+    spans: list[tuple[int, int]] = []
+    for params in params_list:
+        cols, rows = params["mesh"]
+        platform = worker_platform(cols, rows, params["depth"])
+        analysis = IBNAnalysis()
+        start = len(scenarios)
+        for flows, graph in _chunk_flows_and_graphs(platform, params):
+            scenarios.append(
+                Scenario(FlowSet(platform, flows), analysis, graph=graph)
+            )
+        spans.append((start, len(scenarios)))
+    if sum(len(s.flowset) for s in scenarios) >= 1024:
+        batch = analyze_batch(scenarios, early_exit=True)
+        verdicts = [r.complete and r.schedulable for r in batch]
+    else:
+        verdicts = [
+            is_schedulable(s.flowset, s.analysis, graph=s.graph)
+            for s in scenarios
+        ]
+    return [
+        {
+            "schedulable": sum(verdicts[start:stop]),
+            "sets": params["set_count"],
+        }
+        for params, (start, stop) in zip(params_list, spans)
+    ]
 
 
 def buffer_sweep_spec(

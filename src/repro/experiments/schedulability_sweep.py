@@ -27,6 +27,14 @@ chunks (duplicate x-axis points) share one content-addressed result.
 Workers reuse a process-local platform per mesh — and with it the
 memoized route table — via
 :func:`repro.campaigns.scheduler.worker_platform`.
+
+Batched hot lane: the scheduler ships same-kind jobs in *blocks*, and
+the registered block executor (:func:`run_sched_chunk_block`) feeds
+every set of every chunk in a block into :func:`spec_verdicts_batch`
+— the bisection rounds then run as mixed-analysis
+:func:`repro.core.batch.analyze_batch` calls, one vectorized solve per
+round instead of one per set.  Per-job results (and hence job hashes,
+stores and goldens) are identical to the scalar path.
 """
 
 from __future__ import annotations
@@ -122,6 +130,103 @@ class SweepResult:
         )
 
 
+class _VerdictState:
+    """Bisection bookkeeping for one flow set's verdict chain.
+
+    Encapsulates exactly the decision sequence of the original
+    ``spec_verdicts`` loop — midpoint selection over the
+    tightness-sorted undecided list, warm-source lookup, verdict
+    propagation along the pointwise partial order — so the scalar path
+    and the batched path (:func:`spec_verdicts_batch`) provably make
+    identical decisions; only who computes each analysis differs.
+    """
+
+    __slots__ = ("specs", "flowsets", "graph", "by_tightness", "verdicts",
+                 "sources")
+
+    def __init__(
+        self,
+        base_flowset: FlowSet,
+        specs: Sequence[AnalysisSpec],
+        graph: InterferenceGraph,
+    ) -> None:
+        base_platform = base_flowset.platform
+        self.specs = specs
+        self.graph = graph
+        self.flowsets: list[FlowSet] = []
+        for spec in specs:
+            if spec.buf is None or spec.buf == base_platform.buf:
+                self.flowsets.append(base_flowset)
+            else:
+                self.flowsets.append(
+                    base_flowset.on_platform(
+                        base_platform.with_buffers(spec.buf)
+                    )
+                )
+        self.by_tightness = sorted(
+            range(len(specs)),
+            key=lambda idx: (
+                tightness_rank(specs[idx].analysis, self.flowsets[idx].platform),
+                idx,
+            ),
+        )
+        self.verdicts: dict[int, bool] = {}
+        self.sources: list[tuple[int, object]] = []
+
+    @property
+    def done(self) -> bool:
+        return len(self.verdicts) >= len(self.specs)
+
+    def pick(self) -> tuple[int, FlowSet, object, object]:
+        """Next (spec index, flowset, analysis, warm source) to run."""
+        undecided = [
+            idx for idx in self.by_tightness if idx not in self.verdicts
+        ]
+        idx = undecided[len(undecided) // 2]
+        spec, flowset = self.specs[idx], self.flowsets[idx]
+        warm = None
+        for tight_idx, tight_result in reversed(self.sources):
+            if analysis_pointwise_le(
+                self.specs[tight_idx].analysis,
+                spec.analysis,
+                self.flowsets[tight_idx].platform,
+                flowset.platform,
+            ):
+                warm = tight_result
+                break
+        return idx, flowset, spec.analysis, warm
+
+    def absorb(self, idx: int, result) -> None:
+        """Record one analysis result and propagate its verdict."""
+        spec, flowset = self.specs[idx], self.flowsets[idx]
+        verdict = result.complete and result.schedulable
+        self.verdicts[idx] = verdict
+        self.sources.append((idx, result))
+        for other in self.by_tightness:
+            if other in self.verdicts:
+                continue
+            if verdict and analysis_pointwise_le(
+                self.specs[other].analysis,
+                spec.analysis,
+                self.flowsets[other].platform,
+                flowset.platform,
+            ):
+                self.verdicts[other] = True
+            elif not verdict and analysis_pointwise_le(
+                spec.analysis,
+                self.specs[other].analysis,
+                flowset.platform,
+                self.flowsets[other].platform,
+            ):
+                self.verdicts[other] = False
+
+    def labelled(self) -> dict[str, bool]:
+        return {
+            self.specs[idx].label: self.verdicts[idx]
+            for idx in range(len(self.specs))
+        }
+
+
 def spec_verdicts(
     base_flowset: FlowSet,
     specs: Sequence[AnalysisSpec],
@@ -148,68 +253,73 @@ def spec_verdicts(
     Verdicts are identical to running every spec cold; the dict order
     follows ``specs``.
     """
-    base_platform = base_flowset.platform
     if graph is None:
         graph = InterferenceGraph(base_flowset)
-    flowsets: list[FlowSet] = []
-    for spec in specs:
-        if spec.buf is None or spec.buf == base_platform.buf:
-            flowsets.append(base_flowset)
-        else:
-            flowsets.append(
-                base_flowset.on_platform(base_platform.with_buffers(spec.buf))
-            )
-    by_tightness = sorted(
-        range(len(specs)),
-        key=lambda idx: (
-            tightness_rank(specs[idx].analysis, flowsets[idx].platform),
-            idx,
-        ),
-    )
-    verdicts: dict[int, bool] = {}
-    sources: list[tuple[int, object]] = []  # (spec index, AnalysisResult)
-
-    def decide(idx: int) -> None:
-        spec, flowset = specs[idx], flowsets[idx]
-        warm = None
-        for tight_idx, tight_result in reversed(sources):
-            if analysis_pointwise_le(
-                specs[tight_idx].analysis,
-                spec.analysis,
-                flowsets[tight_idx].platform,
-                flowset.platform,
-            ):
-                warm = tight_result
-                break
+    state = _VerdictState(base_flowset, specs, graph)
+    while not state.done:
+        idx, flowset, analysis, warm = state.pick()
         result = analyze(
-            flowset, spec.analysis, graph=graph, early_exit=True, warm_from=warm
+            flowset, analysis, graph=graph, early_exit=True, warm_from=warm
         )
-        verdict = result.complete and result.schedulable
-        verdicts[idx] = verdict
-        sources.append((idx, result))
-        # Propagate along the partial order to everything still undecided.
-        for other in by_tightness:
-            if other in verdicts:
-                continue
-            if verdict and analysis_pointwise_le(
-                specs[other].analysis,
-                spec.analysis,
-                flowsets[other].platform,
-                flowset.platform,
-            ):
-                verdicts[other] = True
-            elif not verdict and analysis_pointwise_le(
-                spec.analysis,
-                specs[other].analysis,
-                flowset.platform,
-                flowsets[other].platform,
-            ):
-                verdicts[other] = False
+        state.absorb(idx, result)
+    return state.labelled()
 
-    while len(verdicts) < len(specs):
-        undecided = [idx for idx in by_tightness if idx not in verdicts]
-        decide(undecided[len(undecided) // 2])
-    return {specs[idx].label: verdicts[idx] for idx in range(len(specs))}
+
+#: Rounds with fewer total flows than this run on the scalar engine —
+#: the array assembly only pays for itself once a round carries real
+#: volume (many sets, large sets, or both).  Calibrated against
+#: ``benchmarks/bench_batch.py``: the crossover sits near a thousand
+#: stacked flows on current hardware.
+_MIN_BATCH_FLOWS = 1024
+
+
+def spec_verdicts_batch(
+    entries: Sequence[tuple[FlowSet, Sequence[AnalysisSpec]]],
+    *,
+    graphs: Sequence[InterferenceGraph | None] | None = None,
+) -> list[dict[str, bool]]:
+    """Verdicts for many flow sets, batched through the columnar kernel.
+
+    Each entry is one ``(base flow set, analysis specs)`` pair; the
+    return list is aligned with the input.  Per set, the decision
+    sequence is *identical* to :func:`spec_verdicts` — the bisection
+    over the verdict chain runs in lock-stepped rounds, and each
+    round's pending analyses across all sets form one mixed-analysis
+    :func:`~repro.core.batch.analyze_batch` call (scalar for tiny
+    rounds, where array assembly would cost more than it saves).
+    """
+    from repro.core.batch import Scenario, analyze_batch
+
+    states: list[_VerdictState] = []
+    for position, (base_flowset, specs) in enumerate(entries):
+        graph = graphs[position] if graphs is not None else None
+        if graph is None:
+            graph = InterferenceGraph(base_flowset)
+        states.append(_VerdictState(base_flowset, specs, graph))
+    pending = [state for state in states if not state.done]
+    while pending:
+        picked = [(state, state.pick()) for state in pending]
+        scenarios = [
+            Scenario(flowset, analysis, graph=state.graph, warm_from=warm)
+            for state, (_, flowset, analysis, warm) in picked
+        ]
+        if sum(len(s.flowset) for s in scenarios) >= _MIN_BATCH_FLOWS:
+            results = analyze_batch(scenarios, early_exit=True)
+        else:
+            results = [
+                analyze(
+                    s.flowset,
+                    s.analysis,
+                    graph=s.graph,
+                    early_exit=True,
+                    warm_from=s.warm_from,
+                )
+                for s in scenarios
+            ]
+        for (state, (idx, _, _, _)), result in zip(picked, results):
+            state.absorb(idx, result)
+        pending = [state for state in pending if not state.done]
+    return [state.labelled() for state in states]
 
 
 def analyse_set(
@@ -235,14 +345,8 @@ def default_chunk_size(sets_per_point: int) -> int:
     return max(1, -(-sets_per_point // 8))
 
 
-@_registry.job_executor("sched_chunk")
-def run_sched_chunk(params: Mapping) -> dict:
-    """Worker: one contiguous chunk of a point's flow sets.
-
-    Returns raw schedulable counts (not percentages); the per-set seed
-    depends only on the campaign seed and the set index, making results
-    independent of the chunking.
-    """
+def _chunk_sets(params: Mapping) -> tuple[tuple[AnalysisSpec, ...], list[FlowSet]]:
+    """One chunk's analysis specs and generated flow sets, in set order."""
     cols, rows = params["mesh"]
     platform = worker_platform(cols, rows, params["small_buf"])
     specs = fig4_specs(
@@ -252,15 +356,53 @@ def run_sched_chunk(params: Mapping) -> dict:
     )
     num_flows = params["num_flows"]
     config = SyntheticConfig(num_flows=num_flows, **params["config"])
-    counts = {spec.label: 0 for spec in specs}
+    flowsets = []
     set_start = params["set_start"]
     for set_index in range(set_start, set_start + params["set_count"]):
         rng = spawn_rng(params["seed"], "synthetic", num_flows, set_index)
         flows = synthetic_flows(config, platform.topology.num_nodes, rng)
-        verdicts = spec_verdicts(FlowSet(platform, flows), specs)
-        for label, ok in verdicts.items():
-            counts[label] += ok
-    return {"counts": counts, "sets": params["set_count"]}
+        flowsets.append(FlowSet(platform, flows))
+    return specs, flowsets
+
+
+@_registry.job_executor("sched_chunk")
+def run_sched_chunk(params: Mapping) -> dict:
+    """Worker: one contiguous chunk of a point's flow sets.
+
+    Returns raw schedulable counts (not percentages); the per-set seed
+    depends only on the campaign seed and the set index, making results
+    independent of the chunking.
+    """
+    return run_sched_chunk_block([params])[0]
+
+
+@_registry.block_executor("sched_chunk")
+def run_sched_chunk_block(params_list: Sequence[Mapping]) -> list[dict]:
+    """Worker: a whole block of chunk jobs as one scenario batch.
+
+    All sets of all chunks in the block feed one
+    :func:`spec_verdicts_batch` call — the columnar kernel solves each
+    bisection round across the entire block at once.  Per-job results
+    are identical to running :func:`run_sched_chunk` per chunk (so job
+    content addresses, resume, and the campaign goldens are unaffected);
+    only the throughput changes.
+    """
+    entries: list[tuple[FlowSet, Sequence[AnalysisSpec]]] = []
+    spans: list[tuple[int, int, tuple[AnalysisSpec, ...]]] = []
+    for params in params_list:
+        specs, flowsets = _chunk_sets(params)
+        start = len(entries)
+        entries.extend((flowset, specs) for flowset in flowsets)
+        spans.append((start, len(entries), specs))
+    verdict_rows = spec_verdicts_batch(entries)
+    results = []
+    for params, (start, stop, specs) in zip(params_list, spans):
+        counts = {spec.label: 0 for spec in specs}
+        for verdicts in verdict_rows[start:stop]:
+            for label, ok in verdicts.items():
+                counts[label] += ok
+        results.append({"counts": counts, "sets": params["set_count"]})
+    return results
 
 
 def schedulability_spec(

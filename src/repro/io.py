@@ -90,25 +90,27 @@ def flowset_to_dict(
     }
 
 
-def flowset_from_dict(data: dict) -> FlowSet:
-    """Rebuild a flow set from :func:`flowset_to_dict` data.
+def platform_from_dict(
+    platform_data: dict, *, topology=None, routing=None
+) -> NoCPlatform:
+    """Rebuild just the platform section of a flow-set document.
 
-    Accepts every version in :data:`READ_FORMATS`; fields introduced by
-    later versions default to their ``/1`` meaning when absent.
+    Exposed separately so servers can cache platforms (and with them the
+    memoized route tables) across requests that repeat a topology — see
+    :mod:`repro.serve.jobs`.  ``topology`` substitutes an existing
+    :class:`Mesh2D` for the document's (caller vouches the dimensions
+    match); ``routing`` substitutes a shared routing-function instance,
+    whose per-topology route memo then carries across documents.
     """
-    declared = data.get("format")
-    if declared not in READ_FORMATS:
-        raise ValueError(
-            f"unsupported format {declared!r}; "
-            f"expected one of {', '.join(READ_FORMATS)}"
-        )
-    platform_data = data["platform"]
     topology_data = platform_data["topology"]
     if topology_data.get("type") != "mesh":
         raise ValueError(f"unknown topology type {topology_data.get('type')!r}")
+    if topology is None:
+        topology = Mesh2D(topology_data["cols"], topology_data["rows"])
     buf_map_data = platform_data.get("buf_map")
-    platform = NoCPlatform(
-        Mesh2D(topology_data["cols"], topology_data["rows"]),
+    kwargs = {} if routing is None else {"routing": routing}
+    return NoCPlatform(
+        topology,
         buf=platform_data["buf"],
         linkl=platform_data["linkl"],
         routl=platform_data["routl"],
@@ -118,7 +120,27 @@ def flowset_from_dict(data: dict) -> FlowSet:
             if buf_map_data
             else None
         ),
+        **kwargs,
     )
+
+
+def flowset_from_dict(data: dict, *, platform: NoCPlatform | None = None) -> FlowSet:
+    """Rebuild a flow set from :func:`flowset_to_dict` data.
+
+    Accepts every version in :data:`READ_FORMATS`; fields introduced by
+    later versions default to their ``/1`` meaning when absent.
+    ``platform`` optionally substitutes an already-built platform for
+    the document's platform section — the caller vouches that it was
+    built from an identical section (the serving layer's cache does).
+    """
+    declared = data.get("format")
+    if declared not in READ_FORMATS:
+        raise ValueError(
+            f"unsupported format {declared!r}; "
+            f"expected one of {', '.join(READ_FORMATS)}"
+        )
+    if platform is None:
+        platform = platform_from_dict(data["platform"])
     flows = [
         Flow(
             name=f["name"],

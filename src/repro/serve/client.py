@@ -124,6 +124,34 @@ class ServeClient:
             "buf": buf,
         })
 
+    def analyze_batch(
+        self,
+        flowsets,
+        *,
+        analysis: str = "ibn",
+        buf: int | None = None,
+    ) -> dict:
+        """``POST /analyze/batch``: many flow sets in one round trip.
+
+        ``flowsets`` entries may be :class:`FlowSet` objects, flow-set
+        documents, or fully-formed ``/analyze`` request bodies (dicts
+        with their own ``"flowset"`` key — these pass through verbatim,
+        letting entries carry per-request ``analysis``/``buf``).
+        """
+        requests = []
+        for entry in flowsets:
+            if isinstance(entry, Mapping) and "flowset" in entry:
+                body = dict(entry)
+                body["flowset"] = _flowset_payload(body["flowset"])
+                requests.append(body)
+            else:
+                requests.append({
+                    "flowset": _flowset_payload(entry),
+                    "analysis": analysis,
+                    "buf": buf,
+                })
+        return self.request("POST", "/analyze/batch", {"requests": requests})
+
     def sizing(
         self,
         flowset: FlowSet | Mapping[str, Any],

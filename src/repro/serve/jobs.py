@@ -21,9 +21,11 @@ raise ``ValueError`` with a client-addressable message, mapped to HTTP
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+import threading
+from typing import Any, Mapping, Sequence
 
-from repro.campaigns.registry import job_executor
+from repro.campaigns.registry import block_executor, job_executor
+from repro.campaigns.spec import canonical_json
 from repro.core.analyses import (
     ALL_COMPARISON,
     ANALYSES_BY_NAME,
@@ -32,10 +34,57 @@ from repro.core.analyses import (
 from repro.core.engine import analyze, compare
 from repro.core.sizing import sizing_summary
 from repro.flows.flowset import FlowSet
-from repro.io import flowset_from_dict, result_to_dict
+from repro.io import flowset_from_dict, platform_from_dict, result_to_dict
+from repro.noc.platform import NoCPlatform
 
 #: ``analysis`` selector values accepted by ``POST /analyze``.
 ANALYZE_CHOICES = (*sorted(ANALYSES_BY_NAME), "all")
+
+#: Worker-local platform/topology caches, keyed by the canonical JSON
+#: of the document's platform section (respectively the mesh size).
+#: Buffer-depth variants of one mesh share a single Mesh2D, and all
+#: cached platforms share one routing instance — whose per-topology
+#: route memo therefore carries across requests, the analogue of the
+#: campaign workers' :func:`repro.campaigns.scheduler.worker_platform`.
+#: Bounded FIFO so adversarial topology churn cannot grow worker
+#: memory without limit.
+_PLATFORMS: dict[str, NoCPlatform] = {}
+_MESHES: dict[tuple, Any] = {}
+_PLATFORM_CACHE_LIMIT = 64
+_SHARED_ROUTING = None
+#: ``workers=0`` servers run these executors on concurrent threads, so
+#: cache fills and evictions must be serialised (worker processes are
+#: single-threaded — the lock is uncontended there).
+_CACHE_LOCK = threading.Lock()
+
+
+def _cached_platform(platform_data: Mapping[str, Any]) -> NoCPlatform:
+    global _SHARED_ROUTING
+    key = canonical_json(platform_data)
+    platform = _PLATFORMS.get(key)
+    if platform is not None:
+        return platform
+    with _CACHE_LOCK:
+        platform = _PLATFORMS.get(key)
+        if platform is None:
+            if _SHARED_ROUTING is None:
+                from repro.noc.routing import XYRouting
+
+                _SHARED_ROUTING = XYRouting()
+            topology_data = platform_data.get("topology") or {}
+            mesh_key = (topology_data.get("cols"), topology_data.get("rows"))
+            platform = platform_from_dict(
+                dict(platform_data),
+                topology=_MESHES.get(mesh_key),
+                routing=_SHARED_ROUTING,
+            )
+            _MESHES.setdefault(mesh_key, platform.topology)
+            while len(_PLATFORMS) >= _PLATFORM_CACHE_LIMIT:
+                _PLATFORMS.pop(next(iter(_PLATFORMS)))
+            while len(_MESHES) > _PLATFORM_CACHE_LIMIT:
+                _MESHES.pop(next(iter(_MESHES)))
+            _PLATFORMS[key] = platform
+    return platform
 
 
 def _positive_int(data: Mapping[str, Any], key: str) -> int | None:
@@ -65,12 +114,19 @@ def _flowset_doc(data: Mapping[str, Any]) -> dict:
 
 
 def _materialise(params: Mapping[str, Any]) -> FlowSet:
-    """Worker side: rebuild the flow set, applying any buffer override."""
-    flowset = flowset_from_dict(params["flowset"])
+    """Worker side: rebuild the flow set, applying any buffer override.
+
+    The platform comes from the worker-local cache, so repeat
+    topologies reuse one Mesh2D and its memoized route table instead of
+    recomputing every route per request.
+    """
+    doc = params["flowset"]
+    platform = _cached_platform(doc["platform"])
     buf = params.get("buf")
     if buf is not None:
-        flowset = flowset.on_platform(flowset.platform.with_buffers(buf))
-    return flowset
+        platform = _cached_platform({**doc["platform"], "buf": buf,
+                                     "buf_map": None})
+    return flowset_from_dict(doc, platform=platform)
 
 
 def analyze_params(data: Mapping[str, Any]) -> dict:
@@ -135,6 +191,45 @@ def run_analyze(params: Mapping[str, Any]) -> dict:
             label: result_to_dict(result) for label, result in results.items()
         },
     }
+
+
+@block_executor("serve_analyze")
+def run_analyze_many(params_list: Sequence[Mapping[str, Any]]) -> list[dict]:
+    """Execute a block of analyze jobs as one batched kernel call.
+
+    Single-analysis requests become scenarios of one
+    :func:`~repro.core.batch.analyze_batch` call (mixed analyses,
+    topologies and buffer depths welcome); ``analysis == "all"``
+    requests keep the scalar :func:`~repro.core.engine.compare` chain,
+    which already warm-starts internally.  Each returned body is
+    byte-identical to what :func:`run_analyze` produces for that
+    request, so cache entries from either path are interchangeable.
+    """
+    from repro.core.batch import Scenario, analyze_batch
+
+    bodies: list[dict | None] = [None] * len(params_list)
+    scenarios: list[Scenario] = []
+    positions: list[int] = []
+    for index, params in enumerate(params_list):
+        if params["analysis"] == "all":
+            bodies[index] = run_analyze(params)
+            continue
+        scenarios.append(
+            Scenario(
+                _materialise(params), analysis_by_name(params["analysis"])
+            )
+        )
+        positions.append(index)
+    if scenarios:
+        for index, verdict in zip(
+            positions, analyze_batch(scenarios, stop_at_deadline=False)
+        ):
+            bodies[index] = {
+                "analysis": verdict.analysis_name,
+                "schedulable": verdict.schedulable,
+                "results": {verdict.analysis_name: result_to_dict(verdict)},
+            }
+    return bodies  # type: ignore[return-value]
 
 
 @job_executor("serve_sizing")

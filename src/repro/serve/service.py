@@ -18,6 +18,12 @@ One :class:`AnalysisService` instance is the whole application state of
   rest await it.  Futures resolve to ``("ok", value)`` / ``("err",
   exc)`` tuples so an unobserved failure never trips the event loop's
   un-retrieved-exception warning.
+* **Micro-batching** — concurrent *distinct* analyze misses queue for
+  the batch flusher, which ships them as one ``serve_analyze`` block
+  per flush — a single batched-kernel call on the worker path (see
+  :mod:`repro.core.batch`).  A lone miss bypasses the queue entirely,
+  so sequential traffic pays nothing; ``POST /analyze/batch`` carries
+  many requests per round trip through the same machinery.
 * **Pool** — with ``workers > 0`` the service owns one
   ``ProcessPoolExecutor`` shared by single-request jobs *and* submitted
   campaigns (injected into the :class:`~repro.campaigns.Scheduler`);
@@ -89,6 +95,13 @@ class ServeConfig:
     #: submissions of *new* specs get HTTP 429 (polling and coalescing
     #: resubmissions are unaffected).
     max_active_campaigns: int = 8
+    #: Seconds the analyze micro-batcher waits after the first queued
+    #: cache miss before flushing, coalescing concurrent ``/analyze``
+    #: misses into one batched kernel call.  ``0`` flushes on the next
+    #: event-loop tick (no added latency beyond already-queued work).
+    batch_window_s: float = 0.0
+    #: Upper bound on requests per batched kernel call.
+    max_batch: int = 64
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -110,6 +123,12 @@ class ServeConfig:
                 "max_active_campaigns must be >= 1, got "
                 f"{self.max_active_campaigns}"
             )
+        if self.batch_window_s < 0:
+            raise ValueError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if not 0 <= self.port <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
 
@@ -194,6 +213,15 @@ class AnalysisService:
         self.requests = 0
         self.started_at = time.monotonic()
         self._tasks: set[asyncio.Task] = set()
+        #: analyze micro-batcher: queued (params, future) cache misses
+        #: plus the counters ``GET /stats`` reports under "batching".
+        self._batch_queue: list[tuple[dict, asyncio.Future]] = []
+        self._batch_flusher: asyncio.Task | None = None
+        self._analyze_active = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.direct_requests = 0
+        self.max_batch_seen = 0
 
     # ------------------------------------------------------------------
     # dispatch
@@ -216,6 +244,9 @@ class AnalysisService:
             return await self._job_endpoint(
                 request, "serve_analyze", jobs.analyze_params
             )
+        if path == "/analyze/batch":
+            self._require(request, "POST")
+            return await self._analyze_batch_endpoint(request)
         if path == "/sizing":
             self._require(request, "POST")
             return await self._job_endpoint(
@@ -250,6 +281,7 @@ class AnalysisService:
                 "GET /healthz": "liveness + uptime",
                 "GET /stats": "cache / coalescing / campaign counters",
                 "POST /analyze": "flowset + analysis -> bounds and verdict",
+                "POST /analyze/batch": "many analyze requests, one batched kernel call",
                 "POST /sizing": "flowset -> buffer-depth and payload headroom",
                 "POST /campaign": "submit a campaign spec (async)",
                 "GET /campaign": "list submitted campaigns",
@@ -278,6 +310,13 @@ class AnalysisService:
             "inflight": len(self.inflight),
             "cache": self.cache.stats(),
             "campaigns": by_state,
+            "batching": {
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "direct_requests": self.direct_requests,
+                "max_batch": self.max_batch_seen,
+                "queued": len(self._batch_queue),
+            },
         }
 
     # ------------------------------------------------------------------
@@ -310,7 +349,7 @@ class AnalysisService:
         }
 
     async def _run_job(
-        self, kind: str, params: dict
+        self, kind: str, params: dict, *, prefer_batch: bool = False
     ) -> tuple[str, Any, str]:
         """Serve one content-addressed job: cache, coalesce or compute.
 
@@ -340,9 +379,31 @@ class AnalysisService:
                 )
                 source = "cache"
                 if not found:
-                    value = await loop.run_in_executor(
-                        self.pool, registry.execute_job, kind, params
-                    )
+                    if kind == "serve_analyze" and (
+                        prefer_batch
+                        or self._analyze_active > 0
+                        or self._batch_queue
+                    ):
+                        # Another analyze is computing (or this request
+                        # arrived as part of a batch): funnel through
+                        # the micro-batcher so concurrent misses become
+                        # one batched kernel call on the worker path.
+                        value = await self._compute_batched(params)
+                    elif kind == "serve_analyze":
+                        # Lone miss: straight to the worker path — the
+                        # batcher must never tax sequential traffic.
+                        self._analyze_active += 1
+                        self.direct_requests += 1
+                        try:
+                            value = await loop.run_in_executor(
+                                self.pool, registry.execute_job, kind, params
+                            )
+                        finally:
+                            self._analyze_active -= 1
+                    else:
+                        value = await loop.run_in_executor(
+                            self.pool, registry.execute_job, kind, params
+                        )
                     value = await loop.run_in_executor(
                         None, self.cache.put, job_id, value
                     )
@@ -355,6 +416,139 @@ class AnalysisService:
             return job_id, value, source
         finally:
             self.inflight.pop(job_id, None)
+
+    async def _compute_batched(self, params: dict):
+        """Queue one analyze computation for the next batch flush."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._batch_queue.append((params, future))
+        if self._batch_flusher is None or self._batch_flusher.done():
+            task = loop.create_task(self._flush_batches())
+            self._batch_flusher = task
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        return await future
+
+    async def _flush_batches(self) -> None:
+        """Drain the analyze queue in batched kernel calls.
+
+        One task at a time: created by the first queued miss, lives
+        until the queue is empty.  Each flush waits ``batch_window_s``
+        (or just the next loop tick) so concurrent requests land in the
+        same batch, then ships up to ``max_batch`` of them as
+        ``serve_analyze`` blocks to the worker path — one block on the
+        thread executor (``workers=0``, where batching is the whole
+        win), sharded across the process pool otherwise so the batch
+        never serialises what the pool could run in parallel.
+        """
+        loop = asyncio.get_running_loop()
+        while self._batch_queue:
+            if self.config.batch_window_s > 0:
+                await asyncio.sleep(self.config.batch_window_s)
+            else:
+                await asyncio.sleep(0)
+            batch = self._batch_queue[: self.config.max_batch]
+            del self._batch_queue[: len(batch)]
+            if not batch:
+                break
+            shards = self._shard(batch)
+            self.batches += len(shards)
+            self.batched_requests += len(batch)
+            self.max_batch_seen = max(
+                self.max_batch_seen, max(len(shard) for shard in shards)
+            )
+            outcomes = await asyncio.gather(
+                *[
+                    loop.run_in_executor(
+                        self.pool,
+                        registry.execute_block,
+                        "serve_analyze",
+                        [params for params, _ in shard],
+                    )
+                    for shard in shards
+                ],
+                return_exceptions=True,
+            )
+            for shard, outcome in zip(shards, outcomes):
+                if isinstance(outcome, BaseException):
+                    for _, future in shard:
+                        if not future.done():
+                            future.set_exception(outcome)
+                    continue
+                for (_, future), value in zip(shard, outcome):
+                    if not future.done():
+                        future.set_result(value)
+
+    def _shard(self, batch: list) -> list[list]:
+        """Split one flush over the process pool's width (≥1 shard)."""
+        workers = self.config.workers
+        if workers <= 1 or len(batch) <= 1:
+            return [batch]
+        size = -(-len(batch) // workers)
+        return [
+            batch[start:start + size]
+            for start in range(0, len(batch), size)
+        ]
+
+    async def _analyze_batch_endpoint(
+        self, request: HttpRequest
+    ) -> tuple[int, dict]:
+        """``POST /analyze/batch``: many analyze requests in one call.
+
+        Each entry of the ``requests`` array is one ``POST /analyze``
+        body; entries flow through the same per-request content
+        addressing (cache hits, in-flight coalescing) and the misses
+        coalesce into batched kernel calls.  The response's ``results``
+        array is aligned with the request order.
+        """
+
+        def decode_and_validate() -> list[dict]:
+            body = request.json()
+            entries = body.get("requests")
+            if not isinstance(entries, list) or not entries:
+                raise ValueError(
+                    "request needs a non-empty 'requests' array of "
+                    "analyze documents"
+                )
+            if len(entries) > 256:
+                raise ValueError(
+                    f"at most 256 requests per batch, got {len(entries)}"
+                )
+            params_list = []
+            for index, entry in enumerate(entries):
+                if not isinstance(entry, dict):
+                    raise ValueError(f"requests[{index}] must be an object")
+                try:
+                    params_list.append(jobs.analyze_params(entry))
+                except ValueError as exc:
+                    raise ValueError(f"requests[{index}]: {exc}") from None
+            return params_list
+
+        try:
+            params_list = await asyncio.get_running_loop().run_in_executor(
+                None, decode_and_validate
+            )
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        outcomes = await asyncio.gather(
+            *[
+                self._run_job("serve_analyze", params, prefer_batch=True)
+                for params in params_list
+            ],
+            return_exceptions=True,
+        )
+        results = []
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+            job_id, body, source = outcome
+            results.append({
+                "job": job_id,
+                "cached": source != "computed",
+                "source": source,
+                **body,
+            })
+        return 200, {"count": len(results), "results": results}
 
     # ------------------------------------------------------------------
     # campaigns

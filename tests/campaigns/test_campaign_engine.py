@@ -196,4 +196,7 @@ class TestInjectedPool:
         pooled, _ = Scheduler(pool=pool).run(jobs, MemoryStore())
         serial, _ = Scheduler().run(jobs, MemoryStore())
         assert pooled == serial
-        assert pool.submitted == len(jobs)
+        # Same-kind jobs ship as blocks: fewer pickles than jobs, and
+        # every job's result still comes back individually.
+        assert 1 <= pool.submitted <= len(jobs)
+        assert len(pooled) == len(jobs)

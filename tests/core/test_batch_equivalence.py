@@ -1,0 +1,265 @@
+"""Batch-vs-scalar equivalence: the columnar engine against its oracle.
+
+:func:`repro.core.batch.analyze_batch` promises results **byte
+identical** to scalar :func:`repro.core.engine.analyze` calls — same
+response times, convergence and taint flags, early-exit truncation and
+warm-start acceptance.  These property-style tests enforce that across
+randomized platforms, heterogeneous buffer maps, multi-cycle links,
+ragged batches, mixed analyses, degenerate single-flow sets, and the
+consumers built on top (verdict chains, chunk/block executors).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.core.analyses.sb import SBAnalysis
+from repro.core.analyses.xlw16 import XLW16Analysis
+from repro.core.analyses.xlwx import XLWXAnalysis
+from repro.core.batch import BatchReport, Scenario, analyze_batch, batchable
+from repro.core.engine import analyze
+from repro.core.interference import InterferenceGraph
+from repro.experiments.schedulability_sweep import (
+    fig4_specs,
+    run_sched_chunk,
+    run_sched_chunk_block,
+    spec_verdicts,
+    spec_verdicts_batch,
+)
+from repro.flows.flow import Flow
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.util.rng import spawn_rng
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
+
+ANALYSES = [
+    SBAnalysis(),
+    XLWXAnalysis(),
+    IBNAnalysis(),
+    IBNAnalysis(upstream_rule="any_upstream"),
+    IBNAnalysis(use_buffer_bound=False),
+]
+
+
+def _random_flowset(n, seed, *, mesh=(4, 4), buf=2, linkl=1, routl=0,
+                    buf_map=None, tag="batch-eq"):
+    platform = NoCPlatform(
+        Mesh2D(*mesh), buf=buf, linkl=linkl, routl=routl, buf_map=buf_map
+    )
+    rng = spawn_rng(seed, tag, *mesh, n)
+    flows = synthetic_flows(
+        SyntheticConfig(num_flows=n), platform.topology.num_nodes, rng
+    )
+    return FlowSet(platform, flows)
+
+
+def _assert_results_equal(batch_result, scalar_result):
+    assert batch_result.flows == scalar_result.flows
+    assert batch_result.complete == scalar_result.complete
+    assert batch_result.analysis_name == scalar_result.analysis_name
+    assert batch_result.unsafe == scalar_result.unsafe
+
+
+class TestScenarioEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(3, 60),
+        st.integers(0, 10**6),
+        st.sampled_from(ANALYSES),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_single_scenario_matches_scalar(self, n, seed, analysis, stop, ee):
+        flowset = _random_flowset(n, seed)
+        graph = InterferenceGraph(flowset)
+        batch = analyze_batch(
+            [Scenario(flowset, analysis, graph=graph)],
+            stop_at_deadline=stop,
+            early_exit=ee,
+        )[0]
+        cold = analyze(
+            flowset, analysis, graph=graph,
+            stop_at_deadline=stop, early_exit=ee,
+        )
+        _assert_results_equal(batch, cold)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(5, 40), st.integers(0, 10**6))
+    def test_ragged_mixed_analysis_batch(self, n, seed):
+        """Scenarios of different sizes, platforms and analyses in one
+        call — each must equal its own scalar run."""
+        scenarios = []
+        for index, analysis in enumerate(ANALYSES):
+            flowset = _random_flowset(
+                3 + (n + 7 * index) % 50, seed + index, tag="ragged"
+            )
+            scenarios.append(Scenario(flowset, analysis))
+        results = analyze_batch(scenarios, early_exit=True)
+        for scenario, result in zip(scenarios, results):
+            cold = analyze(
+                scenario.flowset, scenario.analysis,
+                graph=scenario.graph, early_exit=True,
+            )
+            _assert_results_equal(result, cold)
+
+    def test_multicycle_links_and_heterogeneous_buffers(self):
+        """linkl > 1 (non-preemptive blocking) and per-router buf_map
+        (per-link Equation 6) both flow through the batch terms."""
+        slow = _random_flowset(30, 11, linkl=3, routl=1)
+        hetero = _random_flowset(30, 12, buf_map={3: 8, 5: 1, 10: 4})
+        for flowset in (slow, hetero):
+            for analysis in ANALYSES:
+                batch = analyze_batch([Scenario(flowset, analysis)])[0]
+                cold = analyze(flowset, analysis)
+                _assert_results_equal(batch, cold)
+
+    def test_degenerate_single_and_local_flows(self):
+        platform = NoCPlatform(Mesh2D(2, 2), buf=2)
+        lone = FlowSet(
+            platform, [Flow("a", 1, 100, 10, src=0, dst=3)]
+        )
+        local = FlowSet(
+            platform,
+            [
+                Flow("a", 1, 100, 10, src=1, dst=1),   # never networked
+                Flow("b", 2, 200, 5, src=0, dst=3),
+            ],
+        )
+        for flowset in (lone, local):
+            for analysis in (SBAnalysis(), IBNAnalysis()):
+                batch = analyze_batch([Scenario(flowset, analysis)])[0]
+                _assert_results_equal(batch, analyze(flowset, analysis))
+
+    def test_incompatible_graph_rejected_like_scalar(self):
+        a = _random_flowset(10, 1)
+        b = _random_flowset(12, 2)
+        graph_b = InterferenceGraph(b)
+        with pytest.raises(ValueError, match="different flow set"):
+            analyze_batch([Scenario(a, SBAnalysis(), graph=graph_b)])
+
+
+class TestWarmStarts:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(10, 60), st.integers(0, 10**6))
+    def test_warm_started_batch_equals_cold(self, n, seed):
+        """Warm results identical; iteration counts strictly drop."""
+        flowset = _random_flowset(n, seed, tag="warm")
+        graph = InterferenceGraph(flowset)
+        tight = analyze(flowset, SBAnalysis(), graph=graph)
+        report = BatchReport(2)
+        warm, cold = analyze_batch(
+            [
+                Scenario(flowset, XLWXAnalysis(), graph=graph,
+                         warm_from=tight),
+                Scenario(flowset, XLWXAnalysis(), graph=graph),
+            ],
+            report=report,
+        )
+        _assert_results_equal(warm, cold)
+        _assert_results_equal(
+            warm, analyze(flowset, XLWXAnalysis(), graph=graph,
+                          warm_from=tight)
+        )
+        assert report.iterations[0] <= report.iterations[1]
+
+    def test_invalid_timing_warm_source_degrades_to_cold(self):
+        flowset = _random_flowset(20, 5, tag="warm-timing")
+        slow_platform = NoCPlatform(
+            flowset.platform.topology, buf=2, linkl=3, routl=1
+        )
+        slow = analyze(flowset.on_platform(slow_platform), SBAnalysis())
+        batch = analyze_batch(
+            [Scenario(flowset, SBAnalysis(), warm_from=slow)]
+        )[0]
+        _assert_results_equal(batch, analyze(flowset, SBAnalysis()))
+
+    def test_exact_warm_source_into_capped_run(self):
+        """A beyond-deadline exact bound must not fabricate a converged
+        verdict through the batched warm path either."""
+        platform = NoCPlatform(Mesh2D(4, 1), buf=2)
+        flowset = FlowSet(
+            platform,
+            [
+                Flow("hi", priority=1, period=110, length=100, src=0, dst=3),
+                Flow("lo", priority=2, period=400, length=200, src=1, dst=3),
+            ],
+        )
+        graph = InterferenceGraph(flowset)
+        exact = analyze(
+            flowset, SBAnalysis(), graph=graph, stop_at_deadline=False
+        )
+        batch = analyze_batch(
+            [Scenario(flowset, SBAnalysis(), graph=graph, warm_from=exact)]
+        )[0]
+        _assert_results_equal(batch, analyze(flowset, SBAnalysis(),
+                                             graph=graph))
+
+
+class TestFallbacks:
+    def test_unsupported_analysis_falls_back_to_scalar(self):
+        flowset = _random_flowset(15, 3, tag="fallback")
+        assert not batchable(XLW16Analysis())
+        report = BatchReport(2)
+        results = analyze_batch(
+            [
+                Scenario(flowset, XLW16Analysis()),
+                Scenario(flowset, SBAnalysis()),
+            ],
+            stop_at_deadline=False,
+            report=report,
+        )
+        _assert_results_equal(
+            results[0],
+            analyze(flowset, XLW16Analysis(), stop_at_deadline=False),
+        )
+        assert report.scalar_fallbacks == [0]
+
+    def test_report_size_mismatch_rejected(self):
+        flowset = _random_flowset(5, 4)
+        with pytest.raises(ValueError, match="report size"):
+            analyze_batch(
+                [Scenario(flowset, SBAnalysis())], report=BatchReport(3)
+            )
+
+
+class TestVerdictConsumers:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_spec_verdicts_batch_equals_scalar(self, seed):
+        """The lock-stepped batched bisection decides exactly like the
+        per-set chain, including on rounds below the batch threshold."""
+        specs = fig4_specs()
+        entries = [
+            (_random_flowset(10 + (seed + i * 13) % 120, seed + i,
+                             tag="verdicts"), specs)
+            for i in range(5)
+        ]
+        batched = spec_verdicts_batch(entries)
+        for (flowset, _), verdicts in zip(entries, batched):
+            assert verdicts == spec_verdicts(flowset, specs)
+
+    def test_sched_chunk_block_equals_per_job(self):
+        params = {
+            "mesh": [4, 4], "num_flows": 40, "set_start": 0, "set_count": 3,
+            "seed": 7, "config": {}, "small_buf": 2, "large_buf": 100,
+            "include_sb": True,
+        }
+        other = dict(params, num_flows=80, set_start=3)
+        block = run_sched_chunk_block([params, other])
+        assert block == [run_sched_chunk(params), run_sched_chunk(other)]
+
+    def test_buffer_chunk_block_equals_per_job(self):
+        from repro.experiments.buffer_sweep import (
+            run_buffer_chunk,
+            run_buffer_chunk_block,
+        )
+
+        base = {
+            "mesh": [4, 4], "num_flows": 64, "set_start": 0, "set_count": 4,
+            "seed": 3, "config": {},
+        }
+        jobs = [dict(base, depth=depth) for depth in (2, 16, 100)]
+        block = run_buffer_chunk_block(jobs)
+        assert block == [run_buffer_chunk(job) for job in jobs]

@@ -1,0 +1,161 @@
+"""``POST /analyze/batch`` and the analyze micro-batcher, end to end.
+
+Same setup as ``test_server.py`` — a real asyncio server on an
+ephemeral port, driven through :class:`repro.serve.ServeClient`.
+Covered: per-request results identical to single ``/analyze`` calls,
+per-entry content addressing (cache hits inside a batch), the
+batching counters of ``GET /stats``, validation errors naming the bad
+entry, and the worker-local platform cache surviving repeat
+topologies.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.io import flowset_to_dict
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.serve import ServeClient, ServeConfig, ServeError, start_in_thread
+from repro.workloads.didactic import didactic_flowset
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flowset
+
+
+@pytest.fixture
+def server():
+    handle = start_in_thread(ServeConfig(port=0, workers=0))
+    yield handle
+    handle.close()
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient(server.host, server.port) as c:
+        yield c
+
+
+def _docs(count, num_flows=12):
+    platform = NoCPlatform(Mesh2D(3, 3), buf=2)
+    return [
+        flowset_to_dict(
+            synthetic_flowset(
+                platform,
+                SyntheticConfig(num_flows=num_flows),
+                seed=99,
+                set_index=index,
+            )
+        )
+        for index in range(count)
+    ]
+
+
+class TestBatchEndpoint:
+    def test_results_match_single_analyze(self, client):
+        docs = _docs(5)
+        batch = client.analyze_batch(docs)
+        assert batch["count"] == 5
+        singles = [client.analyze(doc) for doc in docs]
+        for got, want in zip(batch["results"], singles):
+            assert got["job"] == want["job"]
+            assert got["schedulable"] == want["schedulable"]
+            assert got["results"] == want["results"]
+            # the second round was answered from the cache the batch
+            # populated — proving the entries share content addresses
+            assert want["cached"]
+
+    def test_mixed_analyses_and_all(self, client):
+        doc = flowset_to_dict(didactic_flowset(buf=2))
+        batch = client.analyze_batch([
+            {"flowset": doc, "analysis": "sb"},
+            {"flowset": doc, "analysis": "all"},
+            {"flowset": doc, "analysis": "ibn", "buf": 100},
+        ])
+        labels = [entry["analysis"] for entry in batch["results"]]
+        assert labels[0] == "SB"
+        assert labels[1].startswith("IBN")      # verdict of the safe chain
+        assert labels[2] == "IBN100"
+        all_results = batch["results"][1]["results"]
+        assert {"SB", "XLWX"} <= set(all_results)
+
+    def test_cache_hits_inside_batch(self, client):
+        docs = _docs(3)
+        client.analyze_batch(docs)
+        stats = client.stats()
+        assert stats["executed"] == 3
+        again = client.analyze_batch(docs + _docs(1, num_flows=9))
+        sources = [entry["source"] for entry in again["results"]]
+        assert sources[:3] == ["cache", "cache", "cache"]
+        assert sources[3] == "computed"
+
+    def test_duplicate_entries_coalesce(self, client):
+        doc = _docs(1)[0]
+        batch = client.analyze_batch([doc, doc, doc])
+        sources = {entry["source"] for entry in batch["results"]}
+        assert "computed" in sources
+        assert client.stats()["executed"] == 1
+
+    def test_batching_counters(self, client):
+        docs = _docs(6)
+        client.analyze_batch(docs)
+        batching = client.stats()["batching"]
+        assert batching["batched_requests"] == 6
+        assert 1 <= batching["batches"] <= 6
+        assert batching["max_batch"] >= 1
+        assert batching["queued"] == 0
+
+    def test_concurrent_singles_share_batches(self, server):
+        docs = _docs(8)
+
+        def fire(doc):
+            with ServeClient(server.host, server.port) as c:
+                return c.analyze(doc)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(fire, docs))
+        assert all(not out["cached"] for out in outcomes)
+        with ServeClient(server.host, server.port) as c:
+            stats = c.stats()
+        assert stats["executed"] == 8
+        # Lone misses go straight to the workers, the overlap funnels
+        # through the batcher; together they account for every request.
+        batching = stats["batching"]
+        assert batching["batched_requests"] + batching["direct_requests"] == 8
+
+    def test_validation_names_bad_entry(self, client):
+        good = _docs(1)[0]
+        with pytest.raises(ServeError) as err:
+            client.request("POST", "/analyze/batch", {
+                "requests": [{"flowset": good}, {"flowset": 7}],
+            })
+        assert err.value.status == 400
+        assert "requests[1]" in err.value.message
+
+    def test_empty_and_missing_requests_rejected(self, client):
+        for payload in ({}, {"requests": []}, {"requests": "nope"}):
+            with pytest.raises(ServeError) as err:
+                client.request("POST", "/analyze/batch", payload)
+            assert err.value.status == 400
+
+    def test_wrong_method_rejected(self, client):
+        with pytest.raises(ServeError) as err:
+            client.request("GET", "/analyze/batch")
+        assert err.value.status == 405
+
+
+class TestWorkerPlatformCache:
+    def test_repeat_topologies_reuse_platform(self):
+        from repro.serve import jobs
+
+        jobs._PLATFORMS.clear()
+        jobs._MESHES.clear()
+        docs = _docs(2)
+        first = jobs._materialise({"flowset": docs[0], "analysis": "ibn",
+                                   "buf": None})
+        second = jobs._materialise({"flowset": docs[1], "analysis": "ibn",
+                                    "buf": None})
+        assert first.platform is second.platform
+        # a buffer override shares the topology (and its route table)
+        override = jobs._materialise({"flowset": docs[0], "analysis": "ibn",
+                                      "buf": 7})
+        assert override.platform.buf == 7
+        assert override.platform.topology is first.platform.topology

@@ -455,7 +455,13 @@ class TestErrorPaths:
         def explode(kind, params):
             raise RuntimeError("worker crashed")
 
+        def explode_block(kind, params_list):
+            raise RuntimeError("worker crashed")
+
         monkeypatch.setattr(registry, "execute_job", explode)
+        # analyze cache misses reach workers through the micro-batcher's
+        # block path; both entry points must surface as 500.
+        monkeypatch.setattr(registry, "execute_block", explode_block)
         with ServeClient(server.host, server.port) as c:
             with pytest.raises(ServeError) as err:
                 c.analyze(flowset)
@@ -479,6 +485,13 @@ class TestCoalescingInternals:
             return {"v": 1}
 
         monkeypatch.setattr(registry, "execute_job", slow_execute)
+        monkeypatch.setattr(
+            registry,
+            "execute_block",
+            lambda kind, params_list: [
+                slow_execute(kind, p) for p in params_list
+            ],
+        )
 
         async def go():
             service = AnalysisService(ServeConfig(workers=0))
@@ -512,6 +525,13 @@ class TestCoalescingInternals:
             raise RuntimeError("boom")
 
         monkeypatch.setattr(registry, "execute_job", failing_execute)
+        monkeypatch.setattr(
+            registry,
+            "execute_block",
+            lambda kind, params_list: [
+                failing_execute(kind, p) for p in params_list
+            ],
+        )
 
         async def go():
             service = AnalysisService(ServeConfig(workers=0))

@@ -1,0 +1,130 @@
+"""The perf-trajectory gate (tools/bench_regress.py) and BENCH dedupe."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import bench_regress  # noqa: E402  (path set up above)
+
+
+def entry(label, revision, **metrics):
+    return {"label": label, "revision": revision, "metrics": metrics}
+
+
+class TestCompare:
+    def test_ok_within_threshold(self):
+        before = entry("a", "r1", fig4_ci_s=1.0, analyse_set_ms=20.0)
+        after = entry("b", "r2", fig4_ci_s=1.1, analyse_set_ms=22.0)
+        assert bench_regress.compare(before, after, 0.20) == []
+
+    def test_lower_is_better_regression(self):
+        before = entry("a", "r1", fig4_ci_s=1.0)
+        after = entry("b", "r2", fig4_ci_s=1.5)
+        problems = bench_regress.compare(before, after, 0.20)
+        assert len(problems) == 1 and "fig4_ci_s" in problems[0]
+
+    def test_higher_is_better_regression(self):
+        before = entry("a", "r1", campaign={"jobs_per_s": 100.0})
+        after = entry("b", "r2", campaign={"jobs_per_s": 70.0})
+        problems = bench_regress.compare(before, after, 0.20)
+        assert len(problems) == 1 and "jobs_per_s" in problems[0]
+
+    def test_missing_metrics_skipped(self):
+        before = entry("a", "r1", fig4_ci_s=1.0)
+        after = entry("b", "r2", serve={"cold_rps": 100.0})
+        assert bench_regress.compare(before, after, 0.20) == []
+
+    def test_noise_floor_suppresses_tiny_wallclocks(self):
+        before = entry("a", "r1", recurrence_ms={"SB": 0.2, "IBN": 0.3})
+        after = entry("b", "r2", recurrence_ms={"SB": 0.5, "IBN": 0.6})
+        assert bench_regress.compare(before, after, 0.20) == []
+
+    def test_nested_batch_metrics_tracked(self):
+        before = entry(
+            "a", "r1", batch={"sweep": {"batched_scenarios_per_s": 80.0}}
+        )
+        after = entry(
+            "b", "r2", batch={"sweep": {"batched_scenarios_per_s": 40.0}}
+        )
+        problems = bench_regress.compare(before, after, 0.20)
+        assert len(problems) == 1 and "batched_scenarios_per_s" in problems[0]
+
+
+class TestMain:
+    def _write(self, tmp_path, entries):
+        target = tmp_path / "bench.json"
+        target.write_text(json.dumps(entries), encoding="utf-8")
+        return target
+
+    def test_single_entry_passes(self, tmp_path, capsys):
+        target = self._write(tmp_path, [entry("a", "r1", fig4_ci_s=1.0)])
+        assert bench_regress.main(["--file", str(target)]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_missing_file_passes(self, tmp_path):
+        assert bench_regress.main(
+            ["--file", str(tmp_path / "absent.json")]
+        ) == 0
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        target = self._write(tmp_path, [
+            entry("a", "r1", fig4_ci_s=1.0),
+            entry("b", "r2", fig4_ci_s=2.0),
+        ])
+        assert bench_regress.main(["--file", str(target)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        target = self._write(tmp_path, [
+            entry("a", "r1", fig4_ci_s=1.0),
+            entry("b", "r2", fig4_ci_s=1.5),
+        ])
+        assert bench_regress.main(
+            ["--file", str(target), "--threshold", "0.6"]
+        ) == 0
+
+    def test_same_label_baseline_preferred(self, tmp_path):
+        """An ad-hoc LABEL=... entry (other scale, loaded host) between
+        two smoke runs must not become the smoke baseline."""
+        target = self._write(tmp_path, [
+            entry("smoke", "r1", fig4_ci_s=1.0),
+            entry("paper", "r1", fig4_ci_s=60.0),   # paper-scale run
+            entry("smoke", "r2", fig4_ci_s=1.05),
+        ])
+        assert bench_regress.main(["--file", str(target)]) == 0
+
+    def test_compares_latest_two_only(self, tmp_path):
+        target = self._write(tmp_path, [
+            entry("a", "r1", fig4_ci_s=0.1),  # ancient and fast
+            entry("b", "r2", fig4_ci_s=1.0),
+            entry("c", "r3", fig4_ci_s=1.1),
+        ])
+        assert bench_regress.main(["--file", str(target)]) == 0
+
+
+class TestRecordDedupe:
+    def test_keeps_latest_per_label_revision(self):
+        sys.path.insert(
+            0,
+            str(Path(__file__).resolve().parent.parent / "benchmarks"),
+        )
+        from record_engine_bench import dedupe
+
+        history = [
+            entry("seed", "r0", fig4_ci_s=2.0),
+            entry("smoke", "r1", fig4_ci_s=1.0),
+            entry("milestone", "r1", fig4_ci_s=0.9),
+            entry("smoke", "r1", fig4_ci_s=0.8),
+            entry("smoke", "r2", fig4_ci_s=0.7),
+        ]
+        deduped = dedupe(history)
+        assert [(e["label"], e["revision"]) for e in deduped] == [
+            ("seed", "r0"),
+            ("milestone", "r1"),
+            ("smoke", "r1"),
+            ("smoke", "r2"),
+        ]
+        # the surviving ("smoke", "r1") entry is the newest one
+        assert deduped[2]["metrics"]["fig4_ci_s"] == 0.8
