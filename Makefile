@@ -5,7 +5,7 @@ export PYTHONPATH := src
 export REPRO_SCALE ?= ci
 
 .PHONY: test test-slow bench-smoke bench-record bench-figures campaign-smoke \
-	docs-check bench-regress smoke
+	docs-check bench-regress chaos-smoke smoke
 
 ## Tier-1 test suite (the gate every PR must keep green).  Tests marked
 ## `slow` (paper-scale simulation sweeps) are deselected here.
@@ -43,9 +43,15 @@ docs-check:
 bench-regress:
 	$(PYTHON) tools/bench_regress.py
 
-## The full smoke path: tier-1 tests, executable documentation, and the
-## perf-trajectory regression gate.
-smoke: test docs-check bench-regress
+## Fault-injection scenarios at smoke scale: poison quarantine, worker
+## crash + pool self-heal, hang timeout, CLI worker kill (CSV must be
+## byte-identical to an undisturbed run), and a live-server pool kill.
+chaos-smoke:
+	$(PYTHON) tools/chaos.py
+
+## The full smoke path: tier-1 tests, executable documentation, the
+## fault-injection scenarios, and the perf-trajectory regression gate.
+smoke: test docs-check chaos-smoke bench-regress
 
 ## Fast perf gate: ci-scale hot-path microbenchmarks (analysis kernel +
 ## simulator + serve throughput) plus the campaign-engine smoke and the

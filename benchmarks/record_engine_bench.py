@@ -31,6 +31,9 @@ analysis kernel optimisation targets:
   scalar scenarios/s at B ∈ {1, 32, 256} plus the end-to-end sweep
   comparison and the ci-scale Figure 4(a) wall clock; see
   ``bench_batch.py``.
+* ``chaos``                — the fault-injection suite at smoke scale
+  (``tools/chaos.py``): scenarios passed and the wall-clock overhead
+  the recovery machinery adds to a worker-killed CLI campaign.
 
 The resulting trajectory lets future PRs compare against every past
 revision; ``make bench-smoke`` runs this plus the pytest-benchmark
@@ -147,7 +150,27 @@ def collect() -> dict:
     metrics["campaign"] = _campaign_metrics()
     metrics["serve"] = _serve_metrics()
     metrics["batch"] = _batch_metrics(metrics["fig4_ci_s"])
+    metrics["chaos"] = _chaos_metrics()
     return metrics
+
+
+def _chaos_metrics() -> dict:
+    """Fault-injection suite outcome (see ``tools/chaos.py``).
+
+    The in-process scenarios only — the CLI-subprocess and live-server
+    ones cost tens of seconds and are ``make chaos-smoke``'s job; the
+    recorded block just needs a trackable scenarios-passed floor plus
+    the recovery counters.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+    from chaos import chaos_metrics
+
+    block = chaos_metrics(
+        ["poison_quarantine", "crash_recovery", "hang_timeout"]
+    )
+    scenarios = block.pop("scenarios")
+    block["recovery_overhead_s"] = scenarios["hang_timeout"]["recovery_s"]
+    return block
 
 
 def _batch_metrics(fig4_ci_s: float) -> dict:

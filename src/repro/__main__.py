@@ -105,6 +105,7 @@ def cmd_campaign(args) -> int:
     from repro.campaigns.engine import expand_jobs, run_campaign
     from repro.campaigns.export import CsvExporter, JsonExporter, TextExporter
     from repro.campaigns.progress import stderr_progress
+    from repro.campaigns.scheduler import FaultPolicy
     from repro.campaigns.spec import load_spec
 
     spec = load_spec(args.spec)
@@ -119,6 +120,9 @@ def cmd_campaign(args) -> int:
         store=args.run_dir,
         workers=args.workers,
         progress=stderr_progress,
+        faults=FaultPolicy(
+            retries=args.retries, job_timeout_s=args.job_timeout
+        ),
     )
     TextExporter().export(run)
     if args.csv_dir is not None:
@@ -126,13 +130,19 @@ def cmd_campaign(args) -> int:
     if args.json_dir is not None:
         JsonExporter(args.json_dir).export(run)
     stats = run.stats
-    print(
+    line = (
         f"[{stats.jobs_total} jobs: {stats.jobs_run} run, "
-        f"{stats.jobs_skipped} resumed from store, "
-        f"{stats.elapsed_s:.1f}s]",
-        file=sys.stderr,
+        f"{stats.jobs_skipped} resumed from store"
     )
-    return 0
+    if stats.jobs_quarantined:
+        line += f", {stats.jobs_quarantined} quarantined"
+    if stats.retries:
+        line += f", {stats.retries} retries"
+    line += f", {stats.elapsed_s:.1f}s]"
+    print(line, file=sys.stderr)
+    # A partial campaign produced an artefact with holes: succeed-ish
+    # output, non-zero exit so scripts notice.
+    return 1 if run.partial else 0
 
 
 def cmd_serve(args) -> int:
@@ -148,6 +158,9 @@ def cmd_serve(args) -> int:
             cache_size=args.cache_size,
             run_dir=args.run_dir,
             batch_window_s=args.batch_window,
+            request_timeout_s=args.request_timeout,
+            rebuild_cooldown_s=args.rebuild_cooldown,
+            drain_timeout_s=args.drain_timeout,
         )
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
@@ -214,6 +227,16 @@ def main(argv: list[str] | None = None) -> int:
         "--dry-run", action="store_true",
         help="print the expanded job list instead of running",
     )
+    p_campaign.add_argument(
+        "--retries", type=int, default=2,
+        help="re-executions per failing job before it is quarantined "
+             "(default 2: each job runs at most 3 times)",
+    )
+    p_campaign.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per job block; hung blocks are killed, "
+             "retried, and eventually quarantined (default: unlimited)",
+    )
     p_campaign.set_defaults(func=cmd_campaign)
 
     p_serve = sub.add_parser(
@@ -245,6 +268,21 @@ def main(argv: list[str] | None = None) -> int:
         help="how long the analyze micro-batcher waits before flushing "
              "queued cache misses as one batched kernel call "
              "(0 = next event-loop tick)",
+    )
+    p_serve.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request compute deadline: requests still running after "
+             "this long get 504 (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--rebuild-cooldown", type=float, default=0.5, metavar="SECONDS",
+        help="backpressure window after a worker-pool rebuild during "
+             "which cache-miss requests get 503 + Retry-After",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="on SIGTERM, how long to let in-flight requests finish "
+             "before forcing connections closed",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -18,7 +18,13 @@ they all run on:
   (jobs done / total, ETA) every campaign reports through.
 """
 
-from repro.campaigns.engine import CampaignRun, expand_jobs, run_campaign
+from repro.campaigns.engine import (
+    CampaignError,
+    CampaignRun,
+    QuarantinedJob,
+    expand_jobs,
+    run_campaign,
+)
 from repro.campaigns.export import CsvExporter, JsonExporter, TextExporter
 from repro.campaigns.progress import Progress, ProgressEvent, stderr_progress
 from repro.campaigns.registry import (
@@ -28,7 +34,12 @@ from repro.campaigns.registry import (
     kind_names,
     register_kind,
 )
-from repro.campaigns.scheduler import RunStats, Scheduler, worker_platform
+from repro.campaigns.scheduler import (
+    FaultPolicy,
+    RunStats,
+    Scheduler,
+    worker_platform,
+)
 from repro.campaigns.spec import (
     CampaignSpec,
     Job,
@@ -40,16 +51,19 @@ from repro.campaigns.spec import (
 from repro.campaigns.store import MemoryStore, ResultStore, open_store
 
 __all__ = [
+    "CampaignError",
     "CampaignKind",
     "CampaignRun",
     "CampaignSpec",
     "CsvExporter",
+    "FaultPolicy",
     "Job",
     "JsonExporter",
     "MemoryStore",
     "Plan",
     "Progress",
     "ProgressEvent",
+    "QuarantinedJob",
     "ResultStore",
     "RunStats",
     "Scheduler",

@@ -10,6 +10,15 @@ Because expansion and aggregation are pure functions of the spec and
 the job results are content-addressed, re-running a killed campaign
 with the same spec and run directory picks up exactly where it stopped
 and reproduces the final tables byte-identically.
+
+**Degraded campaigns**: when the scheduler quarantines poison jobs
+(see DESIGN.md "Fault tolerance"), their slots hold ``repro-error/1``
+documents instead of results.  Aggregation then runs over the clean
+results only; if the kind's aggregate cannot cope with the holes, the
+campaign completes with ``result=None`` and the quarantine list tells
+the caller exactly which jobs are missing and why.  Only a run where
+*nothing* succeeded raises :class:`CampaignError` — partial progress
+is never thrown away.
 """
 
 from __future__ import annotations
@@ -21,9 +30,31 @@ from typing import Any
 
 from repro.campaigns import registry
 from repro.campaigns.progress import Progress
-from repro.campaigns.scheduler import RunStats, Scheduler
+from repro.campaigns.scheduler import FaultPolicy, RunStats, Scheduler
 from repro.campaigns.spec import CampaignSpec
-from repro.campaigns.store import MemoryStore, open_store
+from repro.campaigns.store import MemoryStore, is_error_result, open_store
+
+
+class CampaignError(RuntimeError):
+    """A campaign where every attempted job was quarantined."""
+
+
+@dataclass(frozen=True)
+class QuarantinedJob:
+    """One job the scheduler gave up on, with its stored error document."""
+
+    job_id: str
+    label: str
+    error: dict
+
+    def describe(self) -> str:
+        """One human-readable line: label, reason, attempts, error."""
+        return (
+            f"{self.label or self.job_id[:12]}: "
+            f"{self.error.get('reason', 'error')} after "
+            f"{self.error.get('attempts', '?')} attempts — "
+            f"{self.error.get('error', '')}"
+        )
 
 
 @dataclass(frozen=True)
@@ -33,10 +64,39 @@ class CampaignRun:
     spec: CampaignSpec
     result: Any
     stats: RunStats
+    quarantine: tuple[QuarantinedJob, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        """True when quarantined jobs left holes in the campaign."""
+        return bool(self.quarantine)
 
     def render(self) -> str:
-        """The campaign's full text report (delegates to its kind)."""
-        return registry.get_kind(self.spec.kind).render(self.spec, self.result)
+        """The campaign's full text report (delegates to its kind).
+
+        Partial campaigns whose aggregate could not run render a
+        degradation report instead of the kind's table.
+        """
+        if self.result is None and self.partial:
+            lines = [
+                f"campaign {self.spec.name}: PARTIAL — "
+                f"{len(self.quarantine)} of {self.stats.jobs_total} jobs "
+                "quarantined, aggregate unavailable"
+            ]
+            lines += [f"  {item.describe()}" for item in self.quarantine]
+            return "\n".join(lines)
+        report = registry.get_kind(self.spec.kind).render(
+            self.spec, self.result
+        )
+        if self.partial:
+            lines = [
+                report,
+                f"WARNING: partial campaign — {len(self.quarantine)} "
+                "quarantined jobs excluded:",
+            ]
+            lines += [f"  {item.describe()}" for item in self.quarantine]
+            return "\n".join(lines)
+        return report
 
 
 def expand_jobs(spec: CampaignSpec) -> list:
@@ -51,6 +111,7 @@ def run_campaign(
     workers: int = 1,
     progress: Progress | None = None,
     pool: "Executor | None" = None,
+    faults: FaultPolicy | None = None,
 ) -> CampaignRun:
     """Run (or resume) one campaign end to end.
 
@@ -59,13 +120,47 @@ def run_campaign(
     in-memory run.  ``workers`` sizes the shared process pool; results
     are identical for every worker count.  ``pool`` optionally hands the
     scheduler an externally-owned executor instead (see
-    :class:`~repro.campaigns.scheduler.Scheduler`).
+    :class:`~repro.campaigns.scheduler.Scheduler`); ``faults`` tunes
+    retry/timeout/quarantine behaviour (default
+    :class:`~repro.campaigns.scheduler.FaultPolicy`).
     """
     kind = registry.get_kind(spec.kind)
     plan = kind.plan(spec)
     backing = open_store(store)
     backing.prepare(spec)
-    scheduler = Scheduler(workers=workers, progress=progress, pool=pool)
+    scheduler = Scheduler(
+        workers=workers, progress=progress, pool=pool, faults=faults
+    )
     results, stats = scheduler.run(plan.jobs, backing)
-    result = kind.aggregate(spec, plan, results)
-    return CampaignRun(spec=spec, result=result, stats=stats)
+
+    quarantine: list[QuarantinedJob] = []
+    if stats.jobs_quarantined:
+        labels = {job.job_id: job.label for job in plan.jobs}
+        quarantine = [
+            QuarantinedJob(job_id=job_id, label=labels.get(job_id, ""),
+                           error=result)
+            for job_id, result in results.items()
+            if is_error_result(result)
+        ]
+    if quarantine and stats.jobs_run == 0 and stats.jobs_skipped == 0:
+        raise CampaignError(
+            f"campaign {spec.name!r}: all {len(quarantine)} attempted jobs "
+            "were quarantined — "
+            + "; ".join(item.describe() for item in quarantine)
+        )
+
+    if quarantine:
+        clean = {
+            job_id: result
+            for job_id, result in results.items()
+            if not is_error_result(result)
+        }
+        try:
+            result = kind.aggregate(spec, plan, clean)
+        except Exception:  # noqa: BLE001 - degrade instead of dying
+            result = None
+    else:
+        result = kind.aggregate(spec, plan, results)
+    return CampaignRun(
+        spec=spec, result=result, stats=stats, quarantine=tuple(quarantine)
+    )

@@ -46,7 +46,7 @@ class CsvExporter:
     def export(self, run: CampaignRun) -> Path | None:
         """Write the CSV file; returns its path (None when unsupported)."""
         kind = registry.get_kind(run.spec.kind)
-        if kind.to_csv is None:
+        if kind.to_csv is None or run.result is None:
             return None
         return write_csv(
             self.csv_dir / f"{run.spec.name}.csv",
@@ -71,13 +71,22 @@ class JsonExporter:
                 "jobs_skipped": run.stats.jobs_skipped,
                 "jobs_run": run.stats.jobs_run,
                 "elapsed_s": round(run.stats.elapsed_s, 3),
+                "jobs_quarantined": run.stats.jobs_quarantined,
+                "retries": run.stats.retries,
+                "timeouts": run.stats.timeouts,
+                "pool_rebuilds": run.stats.pool_rebuilds,
             },
             "result": (
                 kind.to_jsonable(run.spec, run.result)
-                if kind.to_jsonable is not None
+                if kind.to_jsonable is not None and run.result is not None
                 else None
             ),
         }
+        if run.partial:
+            payload["quarantine"] = [
+                {"job": item.job_id, "label": item.label, **item.error}
+                for item in run.quarantine
+            ]
         self.json_dir.mkdir(parents=True, exist_ok=True)
         target = self.json_dir / f"{run.spec.name}.json"
         target.write_text(

@@ -1,0 +1,174 @@
+"""Fault-injection jobs: the test surface of the fault-tolerant tier.
+
+The ``fault`` job kind misbehaves *on demand* — raise, hang, die by
+SIGKILL (how the kernel's OOM killer takes a worker out), or fail only
+the first N attempts — so the scheduler's retry / timeout / quarantine
+/ pool-self-healing machinery can be exercised deterministically by
+ordinary campaigns (``tools/chaos.py`` and the test suite).  The
+matching ``faults`` campaign *kind* wraps a list of such jobs into a
+spec whose aggregation is the trivial key -> value mapping, giving the
+chaos scenarios a byte-comparable artefact.
+
+Fail-N-times jobs count their attempts in a shared ``state_dir`` using
+``O_CREAT | O_EXCL`` marker files, the only primitive that stays atomic
+across processes — every execution attempt (in any worker, after any
+pool rebuild) claims exactly one attempt number.  The ``state_dir`` is
+part of the job params on purpose: attempt state is semantic input for
+a job whose behaviour depends on how often it ran, so two scenarios
+never share a content address.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.campaigns.registry import (
+    CampaignKind,
+    Plan,
+    block_executor,
+    job_executor,
+    register_kind,
+)
+from repro.campaigns.spec import CampaignSpec, Job, spec_param
+
+#: Failure modes ``run_fault`` understands.
+FAULT_MODES = ("ok", "raise", "hang", "kill", "exit")
+
+
+class FaultInjected(RuntimeError):
+    """The deliberate failure raised by ``mode="raise"`` fault jobs."""
+
+
+def _claim_attempt(state_dir: str, key: str) -> int:
+    """Atomically claim the next attempt number for a fail-N job.
+
+    Marker files ``<key>.<n>`` are created with ``O_CREAT | O_EXCL``;
+    the first ``n`` this process manages to create is its attempt
+    number.  Works across processes and pool rebuilds — exactly one
+    claimant per number, ever.
+    """
+    directory = Path(state_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    attempt = 1
+    while True:
+        marker = directory / f"{key}.{attempt}"
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            attempt += 1
+            continue
+        os.close(fd)
+        return attempt
+
+
+@job_executor("fault")
+def run_fault(params: Mapping[str, Any]) -> dict:
+    """Execute one fault job: misbehave as instructed, else succeed.
+
+    Params: ``key`` (required; names the job), ``mode`` (one of
+    :data:`FAULT_MODES`, default ``"ok"``), ``value`` (success payload,
+    default the key), ``fail_times`` + ``state_dir`` (misbehave only on
+    the first N attempts, counted durably in ``state_dir``), ``hang_s``
+    (sleep length for ``mode="hang"``, default 60).
+    """
+    key = params["key"]
+    mode = params.get("mode", "ok")
+    if mode not in FAULT_MODES:
+        raise ValueError(f"unknown fault mode {mode!r}")
+    fail_times = params.get("fail_times")
+    if fail_times is not None:
+        attempt = _claim_attempt(params["state_dir"], key)
+        if attempt > fail_times:
+            mode = "ok"
+    if mode == "raise":
+        raise FaultInjected(f"injected failure for {key!r}")
+    if mode == "hang":
+        time.sleep(params.get("hang_s", 60))
+    elif mode == "kill":
+        # SIGKILL this worker — indistinguishable from an OOM kill.
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif mode == "exit":
+        os._exit(3)
+    return {"key": key, "value": params.get("value", key)}
+
+
+@block_executor("fault")
+def run_fault_block(params_list: Sequence[Mapping[str, Any]]) -> list[dict]:
+    """Trivial block executor: lets fault jobs ship in multi-job blocks.
+
+    Exists so the scheduler's block-splitting path (a failed multi-job
+    block re-run as singletons) is exercisable — a kind without a block
+    executor only ever ships one job per block.
+    """
+    return [run_fault(params) for params in params_list]
+
+
+def _plan(spec: CampaignSpec) -> Plan:
+    entries = spec_param(spec, "jobs")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(
+            f"campaign {spec.name!r}: 'jobs' must be a non-empty list"
+        )
+    jobs = []
+    for entry in entries:
+        if not isinstance(entry, Mapping) or "key" not in entry:
+            raise ValueError(
+                f"campaign {spec.name!r}: each fault job needs a 'key'"
+            )
+        jobs.append(
+            Job(kind="fault", params=dict(entry),
+                label=f"fault {entry['key']}")
+        )
+    return Plan(jobs=jobs, context=None)
+
+
+def _aggregate(spec: CampaignSpec, plan: Plan, results: Mapping[str, Any]):
+    values = {}
+    for job in plan.jobs:
+        body = results[job.job_id]
+        values[body["key"]] = body["value"]
+    return {"values": values}
+
+
+def _render(spec: CampaignSpec, result: Any) -> str:
+    lines = [f"faults campaign {spec.name}: {len(result['values'])} jobs"]
+    lines += [
+        f"  {key} = {value}" for key, value in sorted(result["values"].items())
+    ]
+    return "\n".join(lines)
+
+
+def _to_csv(spec: CampaignSpec, result: Any) -> str:
+    rows = ["key,value"]
+    rows += [
+        f"{key},{value}" for key, value in sorted(result["values"].items())
+    ]
+    return "\n".join(rows) + "\n"
+
+
+def _to_jsonable(spec: CampaignSpec, result: Any) -> Any:
+    return result
+
+
+register_kind(
+    CampaignKind(
+        name="faults",
+        plan=_plan,
+        aggregate=_aggregate,
+        render=_render,
+        to_csv=_to_csv,
+        to_jsonable=_to_jsonable,
+    )
+)
+
+
+def faults_spec(entries: Sequence[Mapping[str, Any]],
+                name: str = "faults") -> CampaignSpec:
+    """Build a ``faults`` campaign spec from job entries."""
+    return CampaignSpec(
+        kind="faults", name=name, params={"jobs": [dict(e) for e in entries]}
+    )

@@ -42,6 +42,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.didactic_table",
     "repro.experiments.validation_sweep",
     "repro.serve.jobs",
+    "repro.campaigns.faults",
 )
 
 

@@ -29,6 +29,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 RESULTS_NAME = "results.jsonl"
 SPEC_NAME = "spec.json"
 
+#: Format tag for quarantined-job records.  A job that keeps failing is
+#: recorded in the store as a *structured error document* instead of a
+#: result, so the failure is durable (a resumed run knows the job was
+#: attempted) without being mistaken for a completed job: the scheduler
+#: re-attempts error-documented jobs on the next run.
+ERROR_FORMAT = "repro-error/1"
+
+
+def error_result(
+    kind: str, error: str, attempts: int, reason: str
+) -> dict[str, Any]:
+    """The quarantine document stored for a permanently-failing job.
+
+    ``reason`` is the scheduler's failure class (``"error"``,
+    ``"crash"`` or ``"timeout"``); ``error`` is the repr of the last
+    exception (or a synthesized description for crashes/timeouts).
+    """
+    return {
+        "format": ERROR_FORMAT,
+        "kind": kind,
+        "error": error,
+        "attempts": attempts,
+        "reason": reason,
+    }
+
+
+def is_error_result(result: Any) -> bool:
+    """True when a stored result is a quarantine document."""
+    return isinstance(result, dict) and result.get("format") == ERROR_FORMAT
+
 
 def result_line(job_id: str, normalised: Any) -> str:
     """One store line: the canonical ``{"job", "result"}`` record.

@@ -31,6 +31,7 @@ from pathlib import Path
 from repro.campaigns.engine import run_campaign
 from repro.campaigns.export import CsvExporter, TextExporter
 from repro.campaigns.progress import stderr_progress
+from repro.campaigns.scheduler import FaultPolicy
 from repro.campaigns.spec import CampaignSpec
 from repro.experiments.av_topologies import av_topologies_spec
 from repro.experiments.buffer_sweep import buffer_sweep_spec
@@ -143,7 +144,8 @@ def run_command(
     workers: int,
     csv_dir: Path | None,
     run_dir: Path | None,
-) -> None:
+    faults: FaultPolicy | None = None,
+):
     """Build one command's spec, run it and export the results."""
     spec = _COMMANDS[name](scale)
     run = run_campaign(
@@ -151,10 +153,12 @@ def run_command(
         store=None if run_dir is None else run_dir / spec.name,
         workers=workers,
         progress=stderr_progress,
+        faults=faults,
     )
     TextExporter().export(run)
     if csv_dir is not None:
         CsvExporter(csv_dir).export(run)
+    return run
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -194,31 +198,65 @@ def main(argv: list[str] | None = None) -> int:
         "--run-dir", type=Path, default=None,
         help="result-store root making each command's campaign resumable",
     )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="re-executions per failing job before it is quarantined "
+             "(default 2: each job runs at most 3 times)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per job block; hung blocks are killed, "
+             "retried and eventually quarantined (default: unlimited)",
+    )
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
+    faults = FaultPolicy(retries=args.retries, job_timeout_s=args.job_timeout)
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
     chosen = list(_COMMANDS) if args.experiment == "all" else [args.experiment]
-    failures = []
+    failures: list[dict] = []
     for name in chosen:
         start = time.time()
         print(f"=== {name} (scale={scale.name}) ===")
         try:
-            run_command(name, scale, args.workers, args.csv_dir, args.run_dir)
-        except Exception:
+            run = run_command(
+                name, scale, args.workers, args.csv_dir, args.run_dir, faults
+            )
+            if run.partial:
+                # Quarantined jobs mean the artefact is incomplete:
+                # report it like a failure but keep the partial output.
+                failures.append({
+                    "name": name,
+                    "error": (
+                        f"partial: {run.stats.jobs_quarantined} of "
+                        f"{run.stats.jobs_total} jobs quarantined"
+                    ),
+                    "elapsed_s": round(time.time() - start, 1),
+                })
+                print(f"=== {name} PARTIAL ===", file=sys.stderr)
+        except Exception as exc:
             # `all` campaigns keep going: one broken experiment should
             # not lose the completed ones or the remaining runs.
             if args.experiment != "all":
                 raise
-            failures.append(name)
+            failures.append({
+                "name": name,
+                "error": repr(exc),
+                "elapsed_s": round(time.time() - start, 1),
+            })
             print(f"=== {name} FAILED ===", file=sys.stderr)
             traceback.print_exc()
         print(f"=== {name} done in {time.time() - start:.1f}s ===\n")
     if failures:
         print(
-            f"{len(failures)} command(s) failed: {', '.join(failures)}",
-            file=sys.stderr,
+            f"{len(failures)} command(s) failed:", file=sys.stderr
         )
+        for record in failures:
+            print(
+                f"  {record['name']}: {record['error']} "
+                f"(after {record['elapsed_s']}s)",
+                file=sys.stderr,
+            )
         return 1
     return 0
 

@@ -24,6 +24,7 @@ hand-rolled HTTP/1.1 framing in :mod:`repro.serve.http`); see
 from repro.serve.cache import ServeCache
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.http import HttpError, HttpRequest
+from repro.serve.pool import ResilientPool
 from repro.serve.server import ServerHandle, run_server, serve, start_in_thread
 from repro.serve.service import (
     AnalysisService,
@@ -37,6 +38,7 @@ __all__ = [
     "CampaignStatus",
     "HttpError",
     "HttpRequest",
+    "ResilientPool",
     "ServeCache",
     "ServeClient",
     "ServeConfig",

@@ -25,12 +25,31 @@ from repro.io import flowset_to_dict
 
 
 class ServeError(Exception):
-    """A non-2xx response: carries the HTTP status and server message."""
+    """A non-2xx response: carries the HTTP status and server message.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` holds the server's ``Retry-After`` backpressure
+    hint (seconds) when one was sent — 503 while the worker pool
+    rebuilds — else ``None``.
+    """
+
+    def __init__(
+        self, status: int, message: str,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    """Parse a delta-seconds ``Retry-After`` header (None when absent)."""
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None
 
 
 def _flowset_payload(flowset: FlowSet | Mapping[str, Any]) -> dict:
@@ -50,6 +69,13 @@ class ServeClient:
         self.port = port
         self.timeout = timeout
         self._conn: http.client.HTTPConnection | None = None
+        #: Client-side resilience counters (mirrors of the behaviours
+        #: the server reports in ``GET /stats``): transparent reconnect
+        #: retries, ``wait_campaign`` backoff sleeps, and honored
+        #: ``Retry-After`` waits.
+        self.counters = {
+            "reconnects": 0, "backoff_sleeps": 0, "retry_after_waits": 0
+        }
 
     # ------------------------------------------------------------------
     # transport
@@ -69,12 +95,17 @@ class ServeClient:
                 ConnectionResetError):
             # Stale keep-alive connection (server restarted / timed out):
             # one transparent retry on a fresh socket.
+            self.counters["reconnects"] += 1
             self.close()
             response = self._exchange(method, path, body, headers)
         status = response.status
+        retry_after = _parse_retry_after(response.getheader("Retry-After"))
         data = json.loads(response.read().decode("utf-8"))
         if status >= 400:
-            raise ServeError(status, data.get("error", "unknown error"))
+            raise ServeError(
+                status, data.get("error", "unknown error"),
+                retry_after=retry_after,
+            )
         return data
 
     def _exchange(self, method, path, body, headers):
@@ -182,17 +213,51 @@ class ServeClient:
         return self.request("GET", "/campaign")["campaigns"]
 
     def wait_campaign(
-        self, campaign_id: str, *, timeout: float = 120.0, poll_s: float = 0.05
+        self,
+        campaign_id: str,
+        *,
+        timeout: float = 120.0,
+        poll_s: float = 0.05,
+        max_poll_s: float = 1.0,
     ) -> dict:
-        """Poll until the campaign reaches ``done``/``failed`` (or timeout)."""
+        """Poll until the campaign reaches ``done``/``failed`` (or timeout).
+
+        Polling starts at ``poll_s`` and backs off exponentially to
+        ``max_poll_s`` — long campaigns no longer hammer the server at
+        a fixed 50ms.  A 503 (worker pool rebuilding) is not terminal:
+        the client honors the server's ``Retry-After`` hint and keeps
+        polling within the same deadline.
+        """
         deadline = time.monotonic() + timeout
+        interval = poll_s
         while True:
-            status = self.campaign(campaign_id)
-            if status["state"] in ("done", "failed"):
-                return status
-            if time.monotonic() >= deadline:
+            retry_hint = None
+            try:
+                status = self.campaign(campaign_id)
+            except ServeError as exc:
+                if exc.status != 503:
+                    raise
+                status = None
+                retry_hint = exc.retry_after
+            if status is not None:
+                if status["state"] in ("done", "failed"):
+                    return status
+                wait = interval
+                counter = "backoff_sleeps"
+            else:
+                # Backpressure: wait what the server asked (or one
+                # interval when the hint is missing), without backing
+                # the poll interval itself off.
+                wait = retry_hint or interval
+                counter = "retry_after_waits"
+            now = time.monotonic()
+            if now >= deadline:
+                state = "unavailable" if status is None else status["state"]
                 raise TimeoutError(
-                    f"campaign {campaign_id[:12]} still {status['state']} "
+                    f"campaign {campaign_id[:12]} still {state} "
                     f"after {timeout}s"
                 )
-            time.sleep(poll_s)
+            self.counters[counter] += 1
+            time.sleep(min(wait, max(0.0, deadline - now)))
+            if status is not None:
+                interval = min(interval * 2, max_poll_s)

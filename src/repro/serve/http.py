@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, urlsplit
 
@@ -43,6 +44,8 @@ STATUS_PHRASES = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -52,16 +55,35 @@ def _reject_constant(name: str):
 
 
 class HttpError(Exception):
-    """A request failure that maps to one JSON error response."""
+    """A request failure that maps to one JSON error response.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` (seconds) adds a ``Retry-After`` header — the
+    backpressure contract of 503 responses while the worker pool
+    rebuilds: clients should wait that long before retrying.
+    """
+
+    def __init__(
+        self, status: int, message: str, *, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
     def body(self) -> dict:
         """The JSON error payload sent to the client."""
-        return {"error": self.message, "status": self.status}
+        payload = {"error": self.message, "status": self.status}
+        if self.retry_after is not None:
+            payload["retry_after"] = self.retry_after
+        return payload
+
+    def headers(self) -> dict[str, str]:
+        """Extra response headers this error carries."""
+        if self.retry_after is None:
+            return {}
+        # Retry-After is integer delta-seconds; round up so 0.2s never
+        # becomes an immediate-retry "0".
+        return {"Retry-After": str(max(1, math.ceil(self.retry_after)))}
 
 
 @dataclass
@@ -172,6 +194,7 @@ def render_response(
     *,
     content_type: str = "application/json",
     keep_alive: bool = True,
+    extra_headers: dict[str, str] | None = None,
 ) -> bytes:
     """Serialise one response (JSON payloads are encoded here)."""
     if isinstance(payload, bytes):
@@ -179,10 +202,15 @@ def render_response(
     else:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
     phrase = STATUS_PHRASES.get(status, "Unknown")
+    extras = "".join(
+        f"{name}: {value}\r\n"
+        for name, value in (extra_headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {phrase}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extras}"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         "\r\n"
     )

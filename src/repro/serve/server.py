@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import signal
 import sys
 import threading
 from dataclasses import dataclass, field
@@ -67,26 +68,37 @@ async def _handle_connection(
                 break  # stalled or idle peer: reclaim the connection
             except HttpError as exc:
                 writer.write(
-                    render_response(exc.status, exc.body(), keep_alive=False)
+                    render_response(
+                        exc.status, exc.body(), keep_alive=False,
+                        extra_headers=exc.headers(),
+                    )
                 )
                 await writer.drain()
                 await _drain_peer(reader)
                 break
             if request is None:
                 break
-            keep_alive = request.keep_alive
+            keep_alive = request.keep_alive and not service.draining
+            extra_headers: dict[str, str] = {}
             try:
                 status, payload = await service.handle(request)
             except HttpError as exc:
                 status, payload = exc.status, exc.body()
+                extra_headers = exc.headers()
             except Exception as exc:  # handler bug -> 500, connection lives
                 status = 500
                 payload = {
                     "error": f"{type(exc).__name__}: {exc}",
                     "status": 500,
                 }
+            # Draining may have started while the handler ran: answer
+            # this request, then close instead of keeping alive.
+            keep_alive = keep_alive and not service.draining
             writer.write(
-                render_response(status, payload, keep_alive=keep_alive)
+                render_response(
+                    status, payload, keep_alive=keep_alive,
+                    extra_headers=extra_headers,
+                )
             )
             await writer.drain()
             if not keep_alive:
@@ -120,21 +132,49 @@ async def serve(
     """
     config = config or ServeConfig()
     service = service or AnalysisService(config)
-    server = await asyncio.start_server(
-        lambda reader, writer: _handle_connection(service, reader, writer),
-        config.host,
-        config.port,
-    )
+    stop = stop or asyncio.Event()
+    conn_tasks: set[asyncio.Task] = set()
+
+    async def handler(reader, writer) -> None:
+        task = asyncio.current_task()
+        conn_tasks.add(task)
+        try:
+            await _handle_connection(service, reader, writer)
+        finally:
+            conn_tasks.discard(task)
+
+    server = await asyncio.start_server(handler, config.host, config.port)
     host, port = server.sockets[0].getsockname()[:2]
+    loop = asyncio.get_running_loop()
+    # Graceful drain on SIGTERM (the container/orchestrator stop
+    # signal).  add_signal_handler is main-thread-only and POSIX-only;
+    # background-thread servers (tests) simply skip it.
+    sigterm_hooked = False
+    with contextlib.suppress(ValueError, NotImplementedError,
+                             RuntimeError, AttributeError):
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+        sigterm_hooked = True
     if on_started is not None:
         on_started(host, port, service)
     try:
-        async with server:
-            if stop is None:
-                await asyncio.Event().wait()  # park until cancelled
-            else:
-                await stop.wait()
+        await stop.wait()
     finally:
+        # Graceful drain: stop accepting, let in-flight exchanges
+        # finish (bounded by drain_timeout_s), then flush and close.
+        service.draining = True
+        server.close()
+        await server.wait_closed()
+        if conn_tasks:
+            _done, pending = await asyncio.wait(
+                conn_tasks, timeout=config.drain_timeout_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if sigterm_hooked:
+            with contextlib.suppress(ValueError, RuntimeError):
+                loop.remove_signal_handler(signal.SIGTERM)
         await service.aclose()
 
 

@@ -50,7 +50,7 @@ import contextlib
 import hashlib
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping
@@ -64,6 +64,7 @@ from repro.campaigns.spec import CampaignSpec, job_hash, jsonable
 from repro.serve import jobs
 from repro.serve.cache import JsonlQueryStore, ServeCache
 from repro.serve.http import HttpError, HttpRequest
+from repro.serve.pool import ResilientPool
 
 
 @dataclass(frozen=True)
@@ -102,6 +103,17 @@ class ServeConfig:
     batch_window_s: float = 0.0
     #: Upper bound on requests per batched kernel call.
     max_batch: int = 64
+    #: Per-request compute deadline in seconds (``None`` = unbounded):
+    #: a job still running past it answers 504 while the computation
+    #: finishes in the background and fills the cache.
+    request_timeout_s: float | None = None
+    #: Backpressure window after a worker-pool rebuild: cache misses
+    #: answer 503 with ``Retry-After`` until the fresh workers warmed
+    #: up for this long (cache hits and coalesced requests still serve).
+    rebuild_cooldown_s: float = 0.5
+    #: Seconds a graceful drain (SIGTERM / stop) waits for in-flight
+    #: requests before cancelling their connections.
+    drain_timeout_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -129,6 +141,20 @@ class ServeConfig:
             )
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError(
+                "request_timeout_s must be positive or None, got "
+                f"{self.request_timeout_s}"
+            )
+        if self.rebuild_cooldown_s < 0:
+            raise ValueError(
+                "rebuild_cooldown_s must be >= 0, got "
+                f"{self.rebuild_cooldown_s}"
+            )
+        if self.drain_timeout_s < 0:
+            raise ValueError(
+                f"drain_timeout_s must be >= 0, got {self.drain_timeout_s}"
+            )
         if not 0 <= self.port <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
 
@@ -138,17 +164,23 @@ class CampaignStatus:
 
     __slots__ = (
         "id", "spec", "state", "progress", "stats", "error", "render", "data",
+        "partial", "quarantine",
     )
 
     def __init__(self, campaign_id: str, spec: CampaignSpec) -> None:
         self.id = campaign_id
         self.spec = spec
-        self.state = "pending"  # pending -> running -> done | failed
+        # pending -> running -> done | failed.  One transient detour:
+        # "failed: worker pool broken (restarted)" while the service
+        # auto-resubmits a pool-break victim from its resumable store.
+        self.state = "pending"
         self.progress: ProgressEvent | None = None
         self.stats: RunStats | None = None
         self.error: str | None = None
         self.render: str | None = None
         self.data: Any = None
+        self.partial = False
+        self.quarantine: list[dict] = []
 
     def to_jsonable(self, *, include_result: bool = True) -> dict:
         """The status document ``GET /campaign/<id>`` returns."""
@@ -175,8 +207,15 @@ class CampaignStatus:
                 "jobs_run": stats.jobs_run,
                 "jobs_skipped": stats.jobs_skipped,
                 "elapsed_s": round(stats.elapsed_s, 3),
+                "jobs_quarantined": stats.jobs_quarantined,
+                "retries": stats.retries,
+                "timeouts": stats.timeouts,
+                "pool_rebuilds": stats.pool_rebuilds,
             },
         }
+        if self.partial:
+            payload["partial"] = True
+            payload["quarantine"] = self.quarantine
         if include_result:
             payload["result"] = (
                 None if self.state != "done"
@@ -201,8 +240,13 @@ class AnalysisService:
             # what this process holds in memory.
             store = JsonlQueryStore(Path(self.config.run_dir) / "queries")
         self.cache = ServeCache(maxsize=self.config.cache_size, store=store)
-        self.pool: ProcessPoolExecutor | None = (
-            ProcessPoolExecutor(max_workers=self.config.workers)
+        # The shared pool is supervised: worker deaths rebuild it and
+        # resubmit the queued work instead of poisoning every future.
+        self.pool: ResilientPool | None = (
+            ResilientPool(
+                self.config.workers,
+                cooldown_s=self.config.rebuild_cooldown_s,
+            )
             if self.config.workers > 0
             else None
         )
@@ -222,6 +266,14 @@ class AnalysisService:
         self.batched_requests = 0
         self.direct_requests = 0
         self.max_batch_seen = 0
+        #: Resilience counters (``GET /stats`` "resilience" block).
+        self.rejected_503 = 0
+        self.deadline_timeouts = 0
+        self.campaign_pool_restarts = 0
+        #: Set by the transport on graceful shutdown: finish in-flight
+        #: exchanges, answer with ``Connection: close``, accept nothing
+        #: new.
+        self.draining = False
 
     # ------------------------------------------------------------------
     # dispatch
@@ -317,6 +369,17 @@ class AnalysisService:
                 "max_batch": self.max_batch_seen,
                 "queued": len(self._batch_queue),
             },
+            "resilience": {
+                "pool_rebuilds": getattr(self.pool, "rebuilds", 0),
+                "pool_resubmits": getattr(self.pool, "resubmits", 0),
+                "pool_rebuilding": bool(
+                    getattr(self.pool, "rebuilding", False)
+                ),
+                "rejected_503": self.rejected_503,
+                "deadline_timeouts": self.deadline_timeouts,
+                "campaign_pool_restarts": self.campaign_pool_restarts,
+                "draining": self.draining,
+            },
         }
 
     # ------------------------------------------------------------------
@@ -340,13 +403,57 @@ class AnalysisService:
             )
         except ValueError as exc:
             raise HttpError(400, str(exc)) from None
-        job_id, body, source = await self._run_job(kind, params)
+        job_id, body, source = await self._deadline(
+            self._run_job(kind, params)
+        )
         return 200, {
             "job": job_id,
             "cached": source != "computed",
             "source": source,
             **body,
         }
+
+    async def _deadline(self, coro):
+        """Bound one request by ``request_timeout_s`` (no-op when None).
+
+        The underlying computation is shielded: a deadline answers 504
+        to *this* client while the job finishes in the background and
+        fills the cache (and resolves any coalesced waiters) — exactly
+        the semantics a deterministic content-addressed job allows.
+        """
+        timeout = self.config.request_timeout_s
+        if timeout is None:
+            return await coro
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        # Keep the background outcome observed either way, or the loop
+        # logs "exception was never retrieved" after a timeout.
+        task.add_done_callback(
+            lambda t: t.cancelled() or t.exception()
+        )
+        try:
+            return await asyncio.wait_for(asyncio.shield(task), timeout)
+        except asyncio.TimeoutError:
+            self.deadline_timeouts += 1
+            raise HttpError(
+                504,
+                f"request exceeded the {timeout}s deadline; the "
+                "computation continues and its result will be cached",
+                retry_after=timeout,
+            ) from None
+
+    def _reject_if_rebuilding(self) -> None:
+        """503 + Retry-After while the worker pool is rebuilding."""
+        pool = self.pool
+        if pool is not None and pool.rebuilding:
+            self.rejected_503 += 1
+            raise HttpError(
+                503,
+                "worker pool is rebuilding after a worker crash; "
+                "retry shortly",
+                retry_after=pool.rebuilding_for,
+            )
 
     async def _run_job(
         self, kind: str, params: dict, *, prefer_batch: bool = False
@@ -379,6 +486,9 @@ class AnalysisService:
                 )
                 source = "cache"
                 if not found:
+                    # Cache misses need fresh compute: shed load while
+                    # the pool recovers (hits/coalesces still serve).
+                    self._reject_if_rebuilding()
                     if kind == "serve_analyze" and (
                         prefer_batch
                         or self._analyze_active > 0
@@ -611,17 +721,39 @@ class AnalysisService:
                 Path(self.config.run_dir) / "campaigns" / status.id[:16]
             )
         try:
-            run = await self._run_campaign_on_thread(status, store,
-                                                     record_progress)
+            run = None
+            for attempt in (1, 2):
+                try:
+                    run = await self._run_campaign_on_thread(
+                        status, store, record_progress
+                    )
+                    break
+                except BrokenExecutor as exc:
+                    self.campaign_pool_restarts += 1
+                    if attempt == 2:
+                        raise
+                    # The shared pool broke beyond its self-healing
+                    # budget under this campaign.  Surface the distinct
+                    # transient status and auto-resubmit once: with a
+                    # run_dir the resumable store replays every
+                    # completed job, so only the tail re-runs.
+                    status.error = f"{type(exc).__name__}: {exc}"
+                    status.state = "failed: worker pool broken (restarted)"
             kind = registry.get_kind(status.spec.kind)
             data = (
                 kind.to_jsonable(status.spec, run.result)
-                if kind.to_jsonable is not None
+                if kind.to_jsonable is not None and run.result is not None
                 else None
             )
             status.render = run.render()
             status.data = None if data is None else jsonable(data)
             status.stats = run.stats
+            status.partial = run.partial
+            status.quarantine = [
+                {"job": item.job_id, "label": item.label, **item.error}
+                for item in run.quarantine
+            ]
+            status.error = None
             status.state = "done"
         except Exception as exc:  # failed campaigns park, server lives on
             status.error = f"{type(exc).__name__}: {exc}"

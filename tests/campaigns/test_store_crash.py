@@ -1,0 +1,156 @@
+"""Torn-write recovery: stores survive a writer SIGKILLed mid-``put``.
+
+The append-only JSONL stores (:class:`ResultStore` and the serving
+tier's :class:`JsonlQueryStore`) promise a *committed-prefix*
+invariant: whatever a killed writer managed to flush line-complete is
+recovered on reopen, a torn final line is repaired away, and resume
+skips exactly the committed jobs — no more, no fewer.  These tests
+enforce that with a real subprocess writer killed by ``SIGKILL``
+mid-stream, not a simulated truncation (that case is covered too).
+"""
+
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.campaigns.engine import expand_jobs, run_campaign
+from repro.campaigns.faults import faults_spec
+from repro.campaigns.spec import save_spec
+from repro.campaigns.store import ResultStore
+from repro.serve.cache import JsonlQueryStore
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+#: Writer subprocess: compute-and-put one campaign job at a time, slowly
+#: enough for the parent to SIGKILL it mid-stream.
+WRITER = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.campaigns import registry
+from repro.campaigns.engine import expand_jobs
+from repro.campaigns.spec import load_spec
+from repro.campaigns.store import ResultStore
+
+spec = load_spec({spec_path!r})
+store = ResultStore({run_dir!r})
+store.prepare(spec)
+for job in expand_jobs(spec):
+    store.put(job.job_id, registry.execute_job(job.kind, job.params))
+    time.sleep(0.01)
+"""
+
+#: Writer subprocess for the serve-side query store: raw puts.
+QUERY_WRITER = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.serve.cache import JsonlQueryStore
+
+store = JsonlQueryStore({directory!r})
+for i in range(1000):
+    store.put(f"q{{i}}", {{"answer": i}})
+    time.sleep(0.01)
+"""
+
+
+def kill_once_writing(proc, path, min_lines=3, timeout=30.0):
+    """SIGKILL ``proc`` once ``path`` holds at least ``min_lines`` lines."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"writer exited before it could be killed:\n"
+                f"{proc.stderr.read()}"
+            )
+        if path.exists() and path.read_bytes().count(b"\n") >= min_lines:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+            return
+        time.sleep(0.005)
+    raise AssertionError("writer never produced enough lines to kill")
+
+
+class TestResultStoreCrash:
+    def test_sigkilled_writer_leaves_committed_prefix(self, tmp_path):
+        entries = [{"key": f"k{i:03d}", "value": i} for i in range(50)]
+        spec = faults_spec(entries, name="crashy")
+        spec_path = save_spec(spec, tmp_path / "crashy.json")
+        run_dir = tmp_path / "run"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", WRITER.format(
+                src=str(SRC), spec_path=str(spec_path), run_dir=str(run_dir)
+            )],
+            stderr=subprocess.PIPE, text=True,
+        )
+        kill_once_writing(proc, run_dir / "results.jsonl")
+
+        # Reopen: every recovered record is intact, and because the
+        # writer committed in plan order the recovered set is exactly
+        # the first N jobs of the campaign.
+        recovered = ResultStore(run_dir).load()
+        assert 0 < len(recovered) < len(entries)
+        by_id = {job.job_id: job for job in expand_jobs(spec)}
+        for job_id, result in recovered.items():
+            job = by_id[job_id]
+            assert result == {"key": job.params["key"],
+                              "value": job.params["value"]}
+
+        # Resume skips exactly the committed jobs and completes the
+        # campaign with the same values an undisturbed run produces.
+        resumed = run_campaign(spec, store=run_dir)
+        assert resumed.stats.jobs_skipped == len(recovered)
+        assert resumed.stats.jobs_run == len(entries) - len(recovered)
+        assert resumed.result["values"] == {
+            e["key"]: e["value"] for e in entries
+        }
+
+    def test_torn_tail_then_append_roundtrips(self, tmp_path):
+        store = ResultStore(tmp_path / "run")
+        store.put("j1", {"v": 1})
+        store.put("j2", {"v": 2})
+        path = tmp_path / "run" / "results.jsonl"
+        # Chop the final record mid-JSON: a crash inside write().
+        path.write_bytes(path.read_bytes()[:-7])
+        repaired = ResultStore(tmp_path / "run")
+        assert repaired.load() == {"j1": {"v": 1}}
+        # Appending over the torn tail must not merge with it.
+        repaired.put("j3", {"v": 3})
+        assert ResultStore(tmp_path / "run").load() == {
+            "j1": {"v": 1}, "j3": {"v": 3}
+        }
+
+
+class TestJsonlQueryStoreCrash:
+    def test_sigkilled_writer_leaves_committed_prefix(self, tmp_path):
+        directory = tmp_path / "queries"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", QUERY_WRITER.format(
+                src=str(SRC), directory=str(directory)
+            )],
+            stderr=subprocess.PIPE, text=True,
+        )
+        kill_once_writing(proc, directory / "results.jsonl")
+
+        reopened = JsonlQueryStore(directory)
+        count = len(reopened)
+        assert count > 0
+        # Committed prefix: q0..q(count-1) all readable, nothing beyond.
+        for i in range(count):
+            assert reopened.get(f"q{i}") == {"answer": i}
+        assert f"q{count}" not in reopened
+
+    def test_torn_tail_then_append_roundtrips(self, tmp_path):
+        directory = tmp_path / "queries"
+        store = JsonlQueryStore(directory)
+        store.put("q1", {"answer": 1})
+        store.put("q2", {"answer": 2})
+        path = directory / "results.jsonl"
+        path.write_bytes(path.read_bytes()[:-5])
+        repaired = JsonlQueryStore(directory)
+        assert repaired.get("q1") == {"answer": 1}
+        assert repaired.get("q2") is None  # torn away: recomputes
+        repaired.put("q3", {"answer": 3})
+        fresh = JsonlQueryStore(directory)
+        assert fresh.get("q1") == {"answer": 1}
+        assert fresh.get("q3") == {"answer": 3}

@@ -1,8 +1,18 @@
 """The campaign runner CLI."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.experiments.runner import main
+
+
+def fake_run(partial=False, quarantined=0, total=5):
+    """A stand-in for the CampaignRun that run_command returns."""
+    return SimpleNamespace(
+        partial=partial,
+        stats=SimpleNamespace(jobs_quarantined=quarantined, jobs_total=total),
+    )
 
 
 class TestRunner:
@@ -44,12 +54,27 @@ class TestRunner:
     def test_single_command_failure_raises(self, monkeypatch, capsys):
         from repro.experiments import runner
 
-        def boom(name, scale, workers, csv_dir, run_dir):
+        def boom(name, scale, workers, csv_dir, run_dir, faults=None):
             raise RuntimeError("broken campaign")
 
         monkeypatch.setattr(runner, "run_command", boom)
         with pytest.raises(RuntimeError, match="broken campaign"):
             main(["buffers", "--scale", "ci"])
+
+    def test_fault_flags_build_policy(self, monkeypatch, capsys):
+        from repro.experiments import runner
+
+        seen = {}
+
+        def capture(name, scale, workers, csv_dir, run_dir, faults=None):
+            seen["faults"] = faults
+            return fake_run()
+
+        monkeypatch.setattr(runner, "run_command", capture)
+        assert main(["buffers", "--scale", "ci", "--retries", "5",
+                     "--job-timeout", "7.5"]) == 0
+        assert seen["faults"].retries == 5
+        assert seen["faults"].job_timeout_s == 7.5
 
     def test_run_dir_resumes_between_invocations(self, capsys, tmp_path):
         assert main(
@@ -69,11 +94,12 @@ class TestRunnerAll:
         from repro.experiments import runner
 
         calls = []
-        monkeypatch.setattr(
-            runner,
-            "run_command",
-            lambda name, scale, workers, csv_dir, run_dir: calls.append(name),
-        )
+
+        def record(name, scale, workers, csv_dir, run_dir, faults=None):
+            calls.append(name)
+            return fake_run()
+
+        monkeypatch.setattr(runner, "run_command", record)
         target = tmp_path / "deep" / "csv"
         assert main(["all", "--scale", "ci", "--csv-dir", str(target)]) == 0
         assert target.is_dir()
@@ -86,14 +112,35 @@ class TestRunnerAll:
 
         calls = []
 
-        def sometimes_boom(name, scale, workers, csv_dir, run_dir):
+        def sometimes_boom(name, scale, workers, csv_dir, run_dir,
+                           faults=None):
             calls.append(name)
             if name in ("fig4a", "fig5"):
                 raise RuntimeError(f"{name} broke")
+            return fake_run()
 
         monkeypatch.setattr(runner, "run_command", sometimes_boom)
         assert main(["all", "--scale", "ci"]) == 1
-        # Every command still ran despite the two failures.
+        # Every command still ran despite the two failures, and the
+        # summary carries structured records: name, exception repr,
+        # and elapsed time per failed campaign.
         assert calls == list(runner._COMMANDS)
         err = capsys.readouterr().err
-        assert "2 command(s) failed: fig4a, fig5" in err
+        assert "2 command(s) failed:" in err
+        assert "fig4a: RuntimeError('fig4a broke') (after" in err
+        assert "fig5: RuntimeError('fig5 broke') (after" in err
+
+    def test_all_counts_partial_campaigns_as_failures(
+        self, monkeypatch, capsys
+    ):
+        from repro.experiments import runner
+
+        def sometimes_partial(name, scale, workers, csv_dir, run_dir,
+                              faults=None):
+            return fake_run(partial=(name == "fig5"), quarantined=3)
+
+        monkeypatch.setattr(runner, "run_command", sometimes_partial)
+        assert main(["all", "--scale", "ci"]) == 1
+        err = capsys.readouterr().err
+        assert "1 command(s) failed:" in err
+        assert "fig5: partial: 3 of 5 jobs quarantined" in err

@@ -1,0 +1,280 @@
+"""The serving tier's fault tolerance: self-healing pool, backpressure,
+request deadlines, graceful drain, and campaign auto-resubmission.
+
+Unit tests drive :class:`ResilientPool` directly (kill its workers,
+watch it rebuild and resubmit); the end-to-end tests stand up a real
+server with :func:`start_in_thread` and assert the HTTP-visible
+behaviours — 503 + ``Retry-After`` while the pool rebuilds, 504 on a
+blown request deadline, in-flight requests completing through a drain,
+and a campaign that loses its pool getting the distinct transient
+status and one automatic resubmission.
+"""
+
+import threading
+import time
+from concurrent.futures import BrokenExecutor
+
+import pytest
+
+from repro.campaigns import registry
+from repro.campaigns.faults import faults_spec
+from repro.serve import (
+    ResilientPool,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    start_in_thread,
+)
+from repro.serve import service as service_mod
+from repro.workloads.didactic import didactic_flowset
+
+
+def square(x):
+    return x * x
+
+
+@pytest.fixture
+def flowset():
+    return didactic_flowset(buf=2)
+
+
+class TestResilientPool:
+    def test_roundtrip(self):
+        pool = ResilientPool(2)
+        try:
+            assert pool.submit(square, 7).result(timeout=30) == 49
+            assert pool.rebuilds == 0
+        finally:
+            pool.shutdown()
+
+    def test_killed_workers_rebuild_transparently(self):
+        pool = ResilientPool(2, cooldown_s=0.2)
+        try:
+            assert pool.submit(square, 2).result(timeout=30) == 4
+            pool.kill_workers()
+            # The next submit hits the broken pool, heals it, and still
+            # returns the right answer — callers never see the break.
+            assert pool.submit(square, 3).result(timeout=30) == 9
+            assert pool.rebuilds >= 1
+            assert pool.resubmits >= 1
+        finally:
+            pool.shutdown()
+
+    def test_rebuilding_window_reports_backpressure(self):
+        pool = ResilientPool(1, cooldown_s=30.0)
+        try:
+            assert pool.submit(square, 1).result(timeout=30) == 1
+            assert not pool.rebuilding
+            pool.kill_workers()
+            assert pool.submit(square, 2).result(timeout=30) == 4
+            assert pool.rebuilding
+            assert pool.rebuilding_for > 0
+        finally:
+            pool.shutdown()
+
+    def test_resubmit_budget_exhausts_to_caller(self):
+        pool = ResilientPool(1, max_resubmits=0, cooldown_s=0.1)
+        try:
+            assert pool.submit(square, 1).result(timeout=30) == 1
+            pool.kill_workers()
+            with pytest.raises(BrokenExecutor):
+                pool.submit(square, 2).result(timeout=30)
+        finally:
+            pool.shutdown()
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = ResilientPool(1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(square, 1)
+
+
+class TestRebuildBackpressure:
+    def test_503_with_retry_after_during_cooldown(self, flowset):
+        config = ServeConfig(port=0, workers=2, rebuild_cooldown_s=30.0)
+        with start_in_thread(config) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                # Spawn the workers, then murder them.
+                assert "schedulable" in client.analyze(flowset, buf=1)
+                handle.service.pool.kill_workers()
+                # This request trips the break and rides the rebuilt
+                # pool — transparent to the caller.
+                assert "schedulable" in client.analyze(flowset, buf=2)
+                # But the cooldown window now sheds fresh compute work.
+                with pytest.raises(ServeError) as info:
+                    client.analyze(flowset, buf=3)
+                assert info.value.status == 503
+                assert info.value.retry_after is not None
+                assert info.value.retry_after > 0
+                # Cache hits still serve during the cooldown.
+                assert "schedulable" in client.analyze(flowset, buf=1)
+                stats = client.stats()["resilience"]
+                assert stats["pool_rebuilds"] >= 1
+                assert stats["rejected_503"] >= 1
+                assert stats["pool_rebuilding"] is True
+
+
+class TestRequestDeadline:
+    def test_slow_request_gets_504(self, monkeypatch, flowset):
+        real = registry.execute_job
+
+        def slow(kind, params):
+            time.sleep(0.5)
+            return real(kind, params)
+
+        monkeypatch.setattr(registry, "execute_job", slow)
+        config = ServeConfig(port=0, workers=0, request_timeout_s=0.1)
+        with start_in_thread(config) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                with pytest.raises(ServeError) as info:
+                    client.analyze(flowset, buf=1)
+                assert info.value.status == 504
+                assert client.stats()["resilience"]["deadline_timeouts"] == 1
+
+
+class TestGracefulDrain:
+    def test_inflight_request_completes_through_drain(
+        self, monkeypatch, flowset
+    ):
+        real = registry.execute_job
+        started = threading.Event()
+
+        def slow(kind, params):
+            started.set()
+            time.sleep(0.4)
+            return real(kind, params)
+
+        monkeypatch.setattr(registry, "execute_job", slow)
+        config = ServeConfig(port=0, workers=0, drain_timeout_s=10.0)
+        handle = start_in_thread(config)
+        client = ServeClient(handle.host, handle.port)
+        outcome = {}
+
+        def request():
+            try:
+                outcome["body"] = client.analyze(flowset, buf=1)
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=request)
+        thread.start()
+        assert started.wait(10), "request never reached the handler"
+        handle.close()  # SIGTERM path: stop accepting, drain in-flight
+        thread.join(timeout=15)
+        client.close()
+        assert not thread.is_alive()
+        assert "error" not in outcome, outcome.get("error")
+        assert "schedulable" in outcome["body"]
+
+
+class TestWaitCampaign:
+    def test_backoff_counters_move_on_real_server(self):
+        spec = faults_spec(
+            [{"key": "slow", "mode": "hang", "hang_s": 0.3}],
+            name="wait_backoff",
+        )
+        with start_in_thread(ServeConfig(port=0, workers=0)) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                cid = client.submit_campaign(spec)["id"]
+                status = client.wait_campaign(cid, timeout=30, poll_s=0.01)
+                assert status["state"] == "done"
+                assert client.counters["backoff_sleeps"] >= 1
+
+    def test_retry_after_honored_without_backoff(self, monkeypatch):
+        client = ServeClient("nowhere.invalid", 1)
+        responses = [
+            ServeError(503, "rebuilding", retry_after=0.01),
+            ServeError(503, "rebuilding", retry_after=0.01),
+            {"state": "done"},
+        ]
+
+        def fake_campaign(cid):
+            item = responses.pop(0)
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+        monkeypatch.setattr(client, "campaign", fake_campaign)
+        status = client.wait_campaign("abc", timeout=10, poll_s=0.01)
+        assert status["state"] == "done"
+        assert client.counters["retry_after_waits"] == 2
+        assert client.counters["backoff_sleeps"] == 0
+
+    def test_times_out_with_last_state(self, monkeypatch):
+        client = ServeClient("nowhere.invalid", 1)
+        monkeypatch.setattr(
+            client, "campaign", lambda cid: {"state": "running"}
+        )
+        with pytest.raises(TimeoutError, match="running"):
+            client.wait_campaign("abc", timeout=0.05, poll_s=0.01)
+
+
+class TestCampaignPoolBreak:
+    def test_broken_pool_resubmits_once_with_transient_status(
+        self, monkeypatch
+    ):
+        calls = {"n": 0}
+        gate = threading.Event()
+        real = service_mod.run_campaign
+
+        def flaky_run(spec, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise BrokenExecutor("worker pool is broken")
+            gate.wait(10)
+            return real(spec, **kwargs)
+
+        monkeypatch.setattr(service_mod, "run_campaign", flaky_run)
+        spec = faults_spec([{"key": "a", "value": 1}], name="pool_break")
+        with start_in_thread(ServeConfig(port=0, workers=0)) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                cid = client.submit_campaign(spec)["id"]
+                # Attempt 1 broke the pool: the distinct transient
+                # status is visible until the resubmission finishes.
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    state = client.campaign(cid)["state"]
+                    if state == "failed: worker pool broken (restarted)":
+                        break
+                    time.sleep(0.01)
+                else:
+                    pytest.fail("transient broken-pool status never seen")
+                gate.set()
+                status = client.wait_campaign(cid, timeout=30, poll_s=0.01)
+                assert status["state"] == "done"
+                assert calls["n"] == 2
+                stats = client.stats()
+                assert stats["resilience"]["campaign_pool_restarts"] == 1
+
+    def test_pool_broken_twice_fails_for_good(self, monkeypatch):
+        def always_broken(spec, **kwargs):
+            raise BrokenExecutor("worker pool is broken")
+
+        monkeypatch.setattr(service_mod, "run_campaign", always_broken)
+        spec = faults_spec([{"key": "a", "value": 1}], name="pool_dead")
+        with start_in_thread(ServeConfig(port=0, workers=0)) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                cid = client.submit_campaign(spec)["id"]
+                status = client.wait_campaign(cid, timeout=30, poll_s=0.01)
+                assert status["state"] == "failed"
+                assert "BrokenExecutor" in status["error"]
+                stats = client.stats()
+                assert stats["resilience"]["campaign_pool_restarts"] == 2
+
+
+class TestPartialCampaignStatus:
+    def test_quarantined_jobs_reported_in_status(self):
+        spec = faults_spec(
+            [{"key": "poison", "mode": "raise"}, {"key": "ok", "value": 5}],
+            name="serve_partial",
+        )
+        with start_in_thread(ServeConfig(port=0, workers=0)) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                cid = client.submit_campaign(spec)["id"]
+                status = client.wait_campaign(cid, timeout=60, poll_s=0.01)
+                assert status["state"] == "done"
+                assert status["partial"] is True
+                [item] = status["quarantine"]
+                assert item["label"] == "fault poison"
+                assert item["reason"] == "error"
+                assert status["stats"]["jobs_quarantined"] == 1

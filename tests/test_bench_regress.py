@@ -52,6 +52,71 @@ class TestCompare:
         assert len(problems) == 1 and "batched_scenarios_per_s" in problems[0]
 
 
+class TestMachineDrift:
+    """Self-calibration: uniform machine drift must not trip the gate,
+    a single genuinely-slower hot path still must."""
+
+    def _slow_box(self, factor, fig4=None):
+        before = entry(
+            "a", "r1",
+            graph_build_ms={"400": 6.0}, analyse_set_ms=20.0,
+            recurrence_ms={"SB": 3.0, "IBN": 6.0}, fig4_ci_s=0.6,
+            campaign={"jobs_per_s": 100.0},
+        )
+        after = entry(
+            "b", "r2",
+            graph_build_ms={"400": 6.0 * factor},
+            analyse_set_ms=20.0 * factor,
+            recurrence_ms={"SB": 3.0 * factor, "IBN": 6.0 * factor},
+            fig4_ci_s=(fig4 if fig4 is not None else 0.6 * factor),
+            campaign={"jobs_per_s": 100.0 / factor},
+        )
+        return before, after
+
+    def test_uniform_drift_normalised_out(self):
+        before, after = self._slow_box(1.3)   # 30% slower box, all paths
+        assert bench_regress.compare(before, after, 0.20) == []
+        drift, samples = bench_regress.machine_drift(before, after)
+        assert samples == 6
+        assert abs(drift - 1.3) < 1e-9
+
+    def test_single_path_regression_still_caught(self):
+        # Box flat everywhere, but fig4 itself took a 50% hit.
+        before, after = self._slow_box(1.0, fig4=0.9)
+        problems = bench_regress.compare(before, after, 0.20)
+        assert len(problems) == 1 and "fig4_ci_s" in problems[0]
+
+    def test_regression_on_slow_box_reported_net_of_drift(self):
+        # 30% drift everywhere plus a real 2x hit on fig4.
+        before, after = self._slow_box(1.3, fig4=0.6 * 1.3 * 2.0)
+        problems = bench_regress.compare(before, after, 0.20)
+        assert len(problems) == 1 and "fig4_ci_s" in problems[0]
+        assert "net of x1.30 drift" in problems[0]
+
+    def test_faster_box_does_not_hide_regression(self):
+        # Box 2x faster; fig4 unchanged raw = 2x slower net of drift.
+        before, after = self._slow_box(0.5, fig4=0.6)
+        problems = bench_regress.compare(before, after, 0.20)
+        assert len(problems) == 1 and "fig4_ci_s" in problems[0]
+
+    def test_too_few_samples_compares_raw(self):
+        before = entry("a", "r1", fig4_ci_s=1.0, analyse_set_ms=20.0)
+        after = entry("b", "r2", fig4_ci_s=1.5, analyse_set_ms=30.0)
+        drift, samples = bench_regress.machine_drift(before, after)
+        assert drift == 1.0 and samples == 2
+        assert len(bench_regress.compare(before, after, 0.20)) == 2
+
+    def test_speed_kind_classification(self):
+        assert bench_regress.speed_kind("recurrence_ms.SB") == "duration"
+        assert bench_regress.speed_kind("fig4_ci_s") == "duration"
+        assert bench_regress.speed_kind("serve.cold_rps") == "rate"
+        assert bench_regress.speed_kind(
+            "batch.sweep.batched_scenarios_per_s"
+        ) == "rate"
+        assert bench_regress.speed_kind("sim.mesh8x8_speedup") is None
+        assert bench_regress.speed_kind("chaos.scenarios_passed") is None
+
+
 class TestMain:
     def _write(self, tmp_path, entries):
         target = tmp_path / "bench.json"

@@ -1,0 +1,50 @@
+"""The chaos harness (tools/chaos.py) at test scale.
+
+The expensive scenarios (CLI subprocess, live server) run under ``make
+chaos-smoke``; here the in-process ones execute for real — they are
+sub-second — plus the harness's own plumbing: scenario selection,
+failure reporting, and the metrics block the bench recorder stores.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import chaos  # noqa: E402  (path set up above)
+
+
+class TestScenarios:
+    def test_poison_quarantine(self):
+        detail = chaos.poison_quarantine()
+        assert detail["quarantined"] == 1
+        assert detail["siblings_completed"] == 3
+
+    def test_crash_recovery(self):
+        detail = chaos.crash_recovery()
+        assert detail["pool_rebuilds"] >= 1
+
+    def test_hang_timeout(self):
+        detail = chaos.hang_timeout()
+        assert detail["timeouts"] >= 1
+
+
+class TestHarness:
+    def test_metrics_block_shape(self):
+        block = chaos.chaos_metrics(["poison_quarantine"])
+        assert block["scenarios_passed"] == 1
+        assert "poison_quarantine" in block["scenarios"]
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert chaos.main(["chaos.py", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_failing_scenario_reported_and_nonzero(self, monkeypatch, capsys):
+        def boom():
+            raise AssertionError("injected harness failure")
+
+        monkeypatch.setitem(chaos.SCENARIOS, "boom", boom)
+        assert chaos.main(["chaos.py", "boom"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL  boom" in out
+        assert "0/1 scenarios passed" in out

@@ -14,12 +14,26 @@ higher is better).  Metrics missing from either entry are skipped (new
 blocks appear over time), as are wall-clock values beneath a small
 absolute floor where scheduler noise, not code, dominates.  With fewer
 than two entries the script reports and exits 0.
+
+Entries are recorded by different sessions on whatever hardware and
+load the day brings, so raw wall-clock comparisons confuse *machine
+drift* (every timing uniformly slower on a busier or downclocked box)
+with *code regressions* (one hot path slower because a change made it
+slower).  The gate separates the two by self-calibration: the median
+speed ratio across all speed-dependent tracked metrics (durations and
+rates) estimates the drift, and each metric is normalised by it before
+the threshold check.  A genuine single-path regression still trips the
+gate — the median stays ~1 when the other paths are flat — while a
+20% slower machine no longer fails every duration at once.  The
+estimate needs at least :data:`MIN_DRIFT_SAMPLES` speed metrics
+present in both entries; below that the comparison stays raw.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 from pathlib import Path
 
@@ -40,11 +54,16 @@ TRACKED = (
     ("serve.warm_rps", "higher"),
     ("batch.sweep.batched_scenarios_per_s", "higher"),
     ("batch.sweep.speedup", "higher"),
+    ("chaos.scenarios_passed", "higher"),
 )
 
 #: Wall-clock values smaller than these floors are all scheduler noise;
 #: comparisons against them would make the gate flaky.
 FLOORS = {"ms": 1.0, "s": 0.05}
+
+#: Minimum speed-dependent metrics shared by both entries before the
+#: machine-drift estimate is trusted; below this, compare raw.
+MIN_DRIFT_SAMPLES = 3
 
 
 def lookup(metrics: dict, path: str):
@@ -73,9 +92,55 @@ def unit_floor(path: str) -> float:
     return 0.0
 
 
+def speed_kind(path: str) -> str | None:
+    """How machine speed moves a metric, from its unit suffix.
+
+    ``"duration"`` (``*_ms``/``*_s``: slower box -> larger),
+    ``"rate"`` (``*_per_s``/``*_rps``: slower box -> smaller), or
+    ``None`` for speed-independent values (counts, speedup ratios).
+    """
+    for hop in reversed(path.split(".")):
+        if hop.endswith("_per_s") or hop.endswith("_rps"):
+            return "rate"
+        for suffix in FLOORS:
+            if hop.endswith(f"_{suffix}"):
+                return "duration"
+    return None
+
+
+def machine_drift(previous: dict, latest: dict) -> tuple[float, int]:
+    """Estimated machine-speed ratio between two entries.
+
+    Returns ``(drift, samples)``: the median slowdown factor across
+    every speed-dependent tracked metric present in both entries
+    (>1 = the latest entry's box ran slower), and how many metrics
+    fed the median.  With fewer than :data:`MIN_DRIFT_SAMPLES`
+    samples the estimate is untrustworthy and ``(1.0, samples)`` is
+    returned.
+    """
+    ratios = []
+    for path, _direction in TRACKED:
+        kind = speed_kind(path)
+        if kind is None:
+            continue
+        before = lookup(previous.get("metrics", {}), path)
+        after = lookup(latest.get("metrics", {}), path)
+        if before is None or after is None or before <= 0 or after <= 0:
+            continue
+        floor = unit_floor(path)
+        if abs(before) < floor and abs(after) < floor:
+            continue
+        ratios.append(after / before if kind == "duration"
+                      else before / after)
+    if len(ratios) < MIN_DRIFT_SAMPLES:
+        return 1.0, len(ratios)
+    return statistics.median(ratios), len(ratios)
+
+
 def compare(previous: dict, latest: dict, threshold: float) -> list[str]:
     """Human-readable regression reports (empty = gate passes)."""
     problems = []
+    drift, _samples = machine_drift(previous, latest)
     for path, direction in TRACKED:
         before = lookup(previous.get("metrics", {}), path)
         after = lookup(latest.get("metrics", {}), path)
@@ -86,16 +151,24 @@ def compare(previous: dict, latest: dict, threshold: float) -> list[str]:
             continue
         if before <= 0:
             continue
-        change = (after - before) / before
+        kind = speed_kind(path)
+        if kind == "duration":
+            adjusted = after / drift
+        elif kind == "rate":
+            adjusted = after * drift
+        else:
+            adjusted = after
+        change = (adjusted - before) / before
+        note = "" if drift == 1.0 else f" net of x{drift:.2f} drift"
         if direction == "lower" and change > threshold:
             problems.append(
                 f"{path}: {before} -> {after} "
-                f"(+{change * 100:.1f}%, lower is better)"
+                f"(+{change * 100:.1f}%{note}, lower is better)"
             )
         elif direction == "higher" and change < -threshold:
             problems.append(
                 f"{path}: {before} -> {after} "
-                f"({change * 100:.1f}%, higher is better)"
+                f"({change * 100:.1f}%{note}, higher is better)"
             )
     return problems
 
@@ -147,6 +220,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{previous.get('label')}@{previous.get('revision')} -> "
         f"{latest.get('label')}@{latest.get('revision')}"
     )
+    drift, samples = machine_drift(previous, latest)
+    if abs(drift - 1.0) > 0.05:
+        print(
+            f"bench-regress: machine drift x{drift:.2f} "
+            f"(median of {samples} speed metrics) normalised out"
+        )
     if problems:
         print(f"bench-regress: REGRESSION {label}")
         for problem in problems:

@@ -1,0 +1,274 @@
+"""Chaos harness: prove the fault-tolerant tier recovers, byte for byte.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/chaos.py [scenario ...]
+
+Each scenario injects a real fault — a poison job, a SIGKILLed worker,
+a hung block, a worker pool killed under a live HTTP server — and
+asserts two things: the run *survives* (retry / quarantine / rebuild
+instead of crash), and wherever the fault was transient the recovered
+artefact is **byte-identical** to an undisturbed run.  Determinism is
+what makes that comparison meaningful: jobs are content-addressed pure
+functions, so resubmitting one after a crash cannot change the answer.
+
+Scenarios (default: all, in this order):
+
+* ``poison_quarantine``    — a permanently-failing job among healthy
+  siblings is quarantined after its retry budget; the siblings all
+  complete and the campaign reports a partial artefact.
+* ``crash_recovery``       — a job SIGKILLs its worker on the first
+  attempt (an OOM kill, essentially); the pool self-heals and the
+  final result equals the no-fault run exactly.
+* ``hang_timeout``         — a job hangs on the first attempt; the
+  per-block timeout kills the worker, the retry succeeds, and the
+  artefact is whole.
+* ``worker_kill_campaign`` — the same crash through the real CLI
+  (``python -m repro campaign --workers 2``) in a subprocess: exit
+  code 0 and a CSV byte-identical to the calm subprocess run.
+* ``serve_rebuild``        — a live ``repro serve`` instance has its
+  worker pool killed between requests; every response matches the
+  calm server's and the resilience counters show the rebuild.
+
+``chaos_metrics()`` packages the scenario outcomes for
+``benchmarks/record_engine_bench.py`` (the ``chaos`` block), so
+``tools/bench_regress.py`` can gate on the suite staying green.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.campaigns.engine import run_campaign  # noqa: E402
+from repro.campaigns.faults import faults_spec  # noqa: E402
+from repro.campaigns.scheduler import FaultPolicy  # noqa: E402
+from repro.serve import ServeClient, ServeConfig, ServeError  # noqa: E402
+from repro.serve import start_in_thread  # noqa: E402
+from repro.workloads.didactic import didactic_flowset  # noqa: E402
+
+#: Quick fault policy shared by the in-process scenarios: real backoff
+#: shapes but test-scale delays.
+FAST = dict(backoff_s=0.01, backoff_max_s=0.1)
+
+
+def _values(run) -> str:
+    """A campaign result as canonical bytes-comparable JSON."""
+    return json.dumps(run.result, sort_keys=True)
+
+
+def poison_quarantine() -> dict:
+    """A poison job is quarantined; its siblings complete regardless."""
+    spec = faults_spec(
+        [{"key": "poison", "mode": "raise"}]
+        + [{"key": f"ok{i}", "value": i} for i in range(3)],
+        name="chaos_poison",
+    )
+    run = run_campaign(
+        spec, workers=2, faults=FaultPolicy(retries=1, **FAST)
+    )
+    assert run.partial, "poison job was not quarantined"
+    assert run.stats.jobs_quarantined == 1
+    assert run.stats.jobs_run == 3, "healthy siblings did not all finish"
+    [item] = run.quarantine
+    assert item.error["reason"] == "error"
+    assert item.error["attempts"] == 2  # retries=1 -> two executions
+    return {"quarantined": run.stats.jobs_quarantined,
+            "siblings_completed": run.stats.jobs_run}
+
+
+def crash_recovery() -> dict:
+    """A worker dies by SIGKILL mid-job; the rebuilt pool finishes it."""
+    entries = [{"key": f"ok{i}", "value": i} for i in range(4)]
+    calm = run_campaign(faults_spec(entries, name="chaos_crash"), workers=2)
+    with tempfile.TemporaryDirectory() as state_dir:
+        chaotic_entries = [dict(entries[0], mode="kill", fail_times=1,
+                                state_dir=state_dir)] + entries[1:]
+        run = run_campaign(
+            faults_spec(chaotic_entries, name="chaos_crash"),
+            workers=2,
+            faults=FaultPolicy(retries=2, **FAST),
+        )
+    assert run.stats.pool_rebuilds >= 1, "pool never broke — no fault?"
+    assert not run.partial, "transient crash was quarantined"
+    assert _values(run) == _values(calm), "recovered result differs"
+    return {"pool_rebuilds": run.stats.pool_rebuilds,
+            "retries": run.stats.retries}
+
+
+def hang_timeout() -> dict:
+    """A hung job is killed by the block timeout and retried to success."""
+    entries = [{"key": f"ok{i}", "value": i} for i in range(3)]
+    calm = run_campaign(faults_spec(entries, name="chaos_hang"), workers=2)
+    with tempfile.TemporaryDirectory() as state_dir:
+        chaotic_entries = [dict(entries[0], mode="hang", hang_s=30.0,
+                                fail_times=1, state_dir=state_dir)
+                           ] + entries[1:]
+        start = time.monotonic()
+        run = run_campaign(
+            faults_spec(chaotic_entries, name="chaos_hang"),
+            workers=2,
+            faults=FaultPolicy(retries=2, job_timeout_s=0.5, **FAST),
+        )
+        elapsed = time.monotonic() - start
+    assert run.stats.timeouts >= 1, "hang was never timed out"
+    assert not run.partial, "transient hang was quarantined"
+    assert _values(run) == _values(calm), "recovered result differs"
+    assert elapsed < 15, f"timeout recovery took {elapsed:.1f}s"
+    return {"timeouts": run.stats.timeouts,
+            "recovery_s": round(elapsed, 2)}
+
+
+def worker_kill_campaign() -> dict:
+    """The CLI survives a worker SIGKILL; CSV byte-identical to calm."""
+    entries = [{"key": f"ok{i}", "value": i} for i in range(4)]
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        outputs = {}
+        elapsed = {}
+        for flavour in ("calm", "chaotic"):
+            jobs = [dict(entry) for entry in entries]
+            if flavour == "chaotic":
+                jobs[0].update(mode="kill", fail_times=1,
+                               state_dir=str(tmp_path / "state"))
+            spec_path = tmp_path / f"{flavour}.json"
+            spec_path.write_text(
+                json.dumps(faults_spec(jobs, name="chaos_cli").to_dict())
+            )
+            csv_dir = tmp_path / flavour
+            start = time.monotonic()
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "campaign", str(spec_path),
+                 "--workers", "2", "--csv-dir", str(csv_dir),
+                 "--retries", "2"],
+                cwd=ROOT,
+                env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            elapsed[flavour] = time.monotonic() - start
+            assert proc.returncode == 0, (
+                f"{flavour} CLI run failed ({proc.returncode}):\n"
+                f"{proc.stderr}"
+            )
+            outputs[flavour] = (csv_dir / "chaos_cli.csv").read_bytes()
+        assert outputs["chaotic"] == outputs["calm"], (
+            "CSV after worker kill differs from the undisturbed run"
+        )
+    return {"csv_bytes": len(outputs["calm"]),
+            "recovery_overhead_s": round(
+                max(0.0, elapsed["chaotic"] - elapsed["calm"]), 2)}
+
+
+def serve_rebuild() -> dict:
+    """Kill a live server's worker pool; answers stay byte-identical."""
+    flowset = didactic_flowset(buf=2)
+    bufs = list(range(1, 9))
+
+    def collect(client):
+        return [json.dumps(client.analyze(flowset, buf=buf), sort_keys=True)
+                for buf in bufs]
+
+    with start_in_thread(ServeConfig(port=0, workers=2)) as calm:
+        with ServeClient(calm.host, calm.port) as client:
+            baseline = collect(client)
+
+    with start_in_thread(
+        ServeConfig(port=0, workers=2, rebuild_cooldown_s=0.05)
+    ) as chaotic:
+        with ServeClient(chaotic.host, chaotic.port) as client:
+            # First request spawns the worker processes we then murder.
+            first = json.dumps(
+                client.analyze(flowset, buf=bufs[0]), sort_keys=True
+            )
+            chaotic.service.pool.kill_workers()
+            answers = [first]
+            rejected = 0
+            for buf in bufs[1:]:
+                while True:
+                    try:
+                        body = client.analyze(flowset, buf=buf)
+                    except ServeError as exc:
+                        if exc.status != 503:
+                            raise
+                        # Backpressure while the pool rebuilds: honor
+                        # Retry-After like a well-behaved client.
+                        rejected += 1
+                        time.sleep(exc.retry_after or 0.05)
+                        continue
+                    answers.append(json.dumps(body, sort_keys=True))
+                    break
+            stats = client.stats()
+    assert answers == baseline, "post-kill answers differ from calm server"
+    resilience = stats["resilience"]
+    assert resilience["pool_rebuilds"] >= 1, "pool never rebuilt"
+    return {"pool_rebuilds": resilience["pool_rebuilds"],
+            "pool_resubmits": resilience["pool_resubmits"],
+            "rejected_503": rejected}
+
+
+#: scenario name -> callable (ordered: cheap and in-process first).
+SCENARIOS = {
+    "poison_quarantine": poison_quarantine,
+    "crash_recovery": crash_recovery,
+    "hang_timeout": hang_timeout,
+    "worker_kill_campaign": worker_kill_campaign,
+    "serve_rebuild": serve_rebuild,
+}
+
+
+def chaos_metrics(names=None) -> dict:
+    """Run the scenarios; return the block recorded in BENCH_engine.json.
+
+    Raises on the first failing scenario — a red chaos suite must fail
+    the caller (``make chaos-smoke``, the bench recorder), not degrade
+    into a smaller number.
+    """
+    chosen = list(SCENARIOS) if not names else list(names)
+    results = {}
+    for name in chosen:
+        results[name] = SCENARIOS[name]()
+    return {
+        "scenarios_passed": len(results),
+        "recovery_overhead_s": results.get(
+            "worker_kill_campaign", {}
+        ).get("recovery_overhead_s", 0.0),
+        "scenarios": results,
+    }
+
+
+def main(argv: list[str]) -> int:
+    names = argv[1:] or list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        print(f"chaos: unknown scenario(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(SCENARIOS)}", file=sys.stderr)
+        return 2
+    failed = 0
+    for name in names:
+        start = time.monotonic()
+        try:
+            detail = SCENARIOS[name]()
+        except Exception as exc:  # noqa: BLE001 - report and keep going
+            failed += 1
+            print(f"FAIL  {name}: {type(exc).__name__}: {exc}")
+        else:
+            brief = ", ".join(f"{k}={v}" for k, v in detail.items())
+            print(f"ok    {name} ({time.monotonic() - start:.1f}s) {brief}")
+    total = len(names)
+    print(f"chaos: {total - failed}/{total} scenarios passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
