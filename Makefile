@@ -5,7 +5,7 @@ export PYTHONPATH := src
 export REPRO_SCALE ?= ci
 
 .PHONY: test test-slow bench-smoke bench-record bench-figures campaign-smoke \
-	docs-check bench-regress chaos-smoke smoke
+	docs-check bench-regress chaos-smoke cluster-smoke smoke
 
 ## Tier-1 test suite (the gate every PR must keep green).  Tests marked
 ## `slow` (paper-scale simulation sweeps) are deselected here.
@@ -49,9 +49,17 @@ bench-regress:
 chaos-smoke:
 	$(PYTHON) tools/chaos.py
 
+## Sharded-cluster smoke: three supervised front-ends plus a store
+## daemon take a keep-alive load while one front-end is SIGKILLed —
+## every request must answer and the shard store must hold exactly one
+## line per distinct job hash.
+cluster-smoke:
+	$(PYTHON) tools/cluster_smoke.py
+
 ## The full smoke path: tier-1 tests, executable documentation, the
-## fault-injection scenarios, and the perf-trajectory regression gate.
-smoke: test docs-check chaos-smoke bench-regress
+## fault-injection scenarios (cluster kills included), the cluster
+## smoke, and the perf-trajectory regression gate.
+smoke: test docs-check chaos-smoke cluster-smoke bench-regress
 
 ## Fast perf gate: ci-scale hot-path microbenchmarks (analysis kernel +
 ## simulator + serve throughput) plus the campaign-engine smoke and the

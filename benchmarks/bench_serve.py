@@ -1,31 +1,55 @@
-"""Load generator for the analysis service: cold vs. warm requests/s.
+"""Load generators for the analysis service: single server and cluster.
 
-Stands a real server up on an ephemeral port (background thread, the
-same :func:`repro.serve.start_in_thread` path the tests use), then
-fires ``POST /analyze`` requests over a keep-alive connection:
+Single server (``serve_load_metrics``): stands a real server up on an
+ephemeral port (background thread, the same
+:func:`repro.serve.start_in_thread` path the tests use), then fires
+``POST /analyze`` requests over a keep-alive connection:
 
 * **cold** — ``distinct`` different flow sets, every request a cache
   miss that computes on the worker path;
 * **warm** — the same requests repeated ``warm_rounds`` times, every
   one answered from the bounded LRU.
 
-``serve_load_metrics`` is imported by ``record_engine_bench.py`` to
-append the ``serve`` block to BENCH_engine.json; the pytest gate below
-enforces the invariants that make the numbers meaningful (exactly
-``distinct`` computations, all repeats served from cache, warm strictly
-faster than cold).
+Cluster (``cluster_load_metrics``): stands up the real supervised
+cluster — forked front-ends behind one port plus a store-daemon shard —
+and drives it with an **asyncio** load generator: each simulated client
+is one coroutine holding one keep-alive connection, so thousands (10k+)
+of concurrent clients cost one process.  Clients retry 429/503 honoring
+``Retry-After`` and reconnect through dropped sockets, exactly like
+:class:`~repro.serve.ServeClient`.  Recorded per front-end count:
+requests/s and p50/p99/p999 latency — a short scaling curve whose best
+point (``best_rps``) is the number ``tools/bench_regress.py`` tracks.
 
-Run directly::
+Both are imported by ``record_engine_bench.py`` (the ``serve`` and
+``cluster`` blocks of BENCH_engine.json); the pytest gates below
+enforce the invariants that make the numbers meaningful (exactly
+``distinct`` computations, all repeats served from a cache tier, every
+request answered).
+
+Run the gates::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q
+
+Run a bigger cluster load directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \\
+        --frontends 1,2,4 --clients 200 --requests 5000
 """
 
 from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import random
+import tempfile
+import time
 
 from repro.io import flowset_to_dict
 from repro.noc.platform import NoCPlatform
 from repro.noc.topology import Mesh2D
 from repro.serve import ServeClient, ServeConfig, start_in_thread
+from repro.serve.cluster import ClusterConfig, ClusterSupervisor
 from repro.workloads.synthetic import SyntheticConfig, synthetic_flowset
 
 from _common import timed
@@ -123,3 +147,227 @@ def test_serve_throughput_gates():
     assert counters["cache_hits"] == 2 * metrics["warm_requests"]
     # ...and cached answers are measurably faster than computing.
     assert metrics["warm_rps"] > metrics["cold_rps"], metrics
+
+
+# ----------------------------------------------------------------------
+# cluster load generator
+
+
+async def _read_response(reader) -> tuple[int, float | None]:
+    """Read one HTTP/1.1 response; return (status, Retry-After or None)."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    length = 0
+    retry_after = None
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        name = name.strip().lower()
+        if name == "content-length":
+            length = int(value.strip())
+        elif name == "retry-after":
+            try:
+                retry_after = float(value.strip())
+            except ValueError:
+                retry_after = None
+    if length:
+        await reader.readexactly(length)
+    return status, retry_after
+
+
+async def _drive_cluster(
+    host: str, port: int, bodies: list[bytes], total: int, clients: int
+) -> tuple[list[float], dict]:
+    """``clients`` keep-alive coroutine clients draining ``total`` requests.
+
+    Returns per-request wall-clock latencies (including any shed/retry
+    waits — that is the latency a real caller observes) and the retry
+    counters.
+    """
+    head_template = (
+        "POST /analyze HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: %d\r\n\r\n"
+    )
+    requests = [
+        head_template.encode("latin-1") % len(body) + body for body in bodies
+    ]
+    counter = itertools.count()
+    latencies: list[float] = []
+    counters = {"reconnects": 0, "shed_retries": 0}
+
+    async def client_loop() -> None:
+        reader = writer = None
+        try:
+            while True:
+                index = next(counter)
+                if index >= total:
+                    return
+                payload = requests[index % len(requests)]
+                start = time.perf_counter()
+                while True:
+                    try:
+                        if writer is None:
+                            reader, writer = await asyncio.open_connection(
+                                host, port
+                            )
+                        writer.write(payload)
+                        await writer.drain()
+                        status, retry_after = await _read_response(reader)
+                    except (ConnectionError, asyncio.IncompleteReadError,
+                            OSError):
+                        # A killed front-end mid-exchange: reconnect and
+                        # resend (analyze is idempotent).
+                        if writer is not None:
+                            writer.close()
+                            writer = None
+                        counters["reconnects"] += 1
+                        await asyncio.sleep(
+                            0.05 * (0.5 + random.random())
+                        )
+                        continue
+                    if status in (429, 503):
+                        # Load shed / pool rebuild: honor the hint,
+                        # jittered, like ServeClient does.
+                        counters["shed_retries"] += 1
+                        await asyncio.sleep(
+                            (retry_after or 0.05) * (0.5 + random.random())
+                        )
+                        continue
+                    assert status == 200, f"unexpected HTTP {status}"
+                    break
+                latencies.append(time.perf_counter() - start)
+        finally:
+            if writer is not None:
+                writer.close()
+
+    await asyncio.gather(*[client_loop() for _ in range(clients)])
+    return latencies, counters
+
+
+def _percentile_ms(sorted_latencies: list[float], q: float) -> float:
+    index = min(len(sorted_latencies) - 1,
+                int(q * len(sorted_latencies)))
+    return round(sorted_latencies[index] * 1000, 3)
+
+
+def cluster_load_metrics(
+    frontends: tuple[int, ...] = (1, 2),
+    clients: int = 8,
+    requests: int = 400,
+    distinct: int = 8,
+    num_flows: int = 12,
+    max_inflight: int = 64,
+) -> dict:
+    """Scaling curve: requests/s and latency per front-end count.
+
+    For each entry in ``frontends``, stands up a real supervised
+    cluster (store daemon included) and drives ``requests`` keep-alive
+    ``POST /analyze`` requests from ``clients`` concurrent asyncio
+    clients.  A warm-up pass computes each distinct flow set once, so
+    the timed run measures the serving tier (LRU + shard store), not
+    the analysis kernel.  Returns the ``cluster`` block recorded in
+    BENCH_engine.json.
+    """
+    docs = _request_docs(distinct, num_flows)
+    bodies = [
+        json.dumps(
+            {"flowset": doc, "analysis": "ibn", "buf": None}
+        ).encode("utf-8")
+        for doc in docs
+    ]
+    curve = []
+    for count in frontends:
+        with tempfile.TemporaryDirectory() as store_dir:
+            config = ClusterConfig(
+                frontends=count,
+                store_shards=1,
+                store_dir=store_dir,
+                max_inflight=max_inflight,
+                health_interval_s=0.1,
+                backoff_base_s=0.05,
+                backoff_cap_s=0.5,
+            )
+            with ClusterSupervisor(config) as sup:
+                host, port = sup.address
+                with ServeClient(host, port, timeout=60) as warm:
+                    for doc in docs:
+                        warm.analyze(doc)
+                started = time.perf_counter()
+                latencies, counters = asyncio.run(
+                    _drive_cluster(host, port, bodies, requests, clients)
+                )
+                elapsed = time.perf_counter() - started
+                aggregate = sup.aggregate()
+        latencies.sort()
+        curve.append({
+            "frontends": count,
+            "requests": len(latencies),
+            "rps": round(len(latencies) / elapsed, 1),
+            "p50_ms": _percentile_ms(latencies, 0.50),
+            "p99_ms": _percentile_ms(latencies, 0.99),
+            "p999_ms": _percentile_ms(latencies, 0.999),
+            "reconnects": counters["reconnects"],
+            "shed_retries": counters["shed_retries"],
+            "restarts": aggregate["restarts"],
+        })
+    best = max(curve, key=lambda entry: entry["rps"])
+    return {
+        "clients": clients,
+        "requests": requests,
+        "distinct_requests": distinct,
+        "num_flows": num_flows,
+        "curve": curve,
+        "best_rps": best["rps"],
+        "best_frontends": best["frontends"],
+    }
+
+
+def test_cluster_load_gates():
+    """The cluster load numbers must measure a fully-answered run."""
+    metrics = cluster_load_metrics(
+        frontends=(1, 2), clients=4, requests=80, distinct=4
+    )
+    assert len(metrics["curve"]) == 2
+    for entry in metrics["curve"]:
+        # every request answered — availability is part of the metric
+        assert entry["requests"] == metrics["requests"]
+        assert entry["rps"] > 0
+        # percentiles are ordered (they come from one sorted sample)
+        assert entry["p50_ms"] <= entry["p99_ms"] <= entry["p999_ms"]
+        # an undisturbed run restarts nothing
+        assert entry["restarts"] == {"frontend": 0, "store": 0}
+    assert metrics["best_rps"] == max(
+        entry["rps"] for entry in metrics["curve"]
+    )
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Drive a supervised cluster with concurrent "
+                    "keep-alive clients; print the scaling curve."
+    )
+    parser.add_argument("--frontends", default="1,2",
+                        help="comma-separated front-end counts (curve)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent asyncio clients (10k+ works)")
+    parser.add_argument("--requests", type=int, default=400,
+                        help="total requests per curve point")
+    parser.add_argument("--distinct", type=int, default=8,
+                        help="distinct flow sets (distinct job hashes)")
+    parser.add_argument("--num-flows", type=int, default=12,
+                        help="flows per generated flow set")
+    args = parser.parse_args()
+    block = cluster_load_metrics(
+        frontends=tuple(
+            int(part) for part in args.frontends.split(",") if part
+        ),
+        clients=args.clients,
+        requests=args.requests,
+        distinct=args.distinct,
+        num_flows=args.num_flows,
+    )
+    print(json.dumps(block, indent=2))

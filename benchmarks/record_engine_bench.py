@@ -34,6 +34,10 @@ analysis kernel optimisation targets:
 * ``chaos``                — the fault-injection suite at smoke scale
   (``tools/chaos.py``): scenarios passed and the wall-clock overhead
   the recovery machinery adds to a worker-killed CLI campaign.
+* ``cluster``              — the sharded serving cluster: requests/s
+  and p50/p99/p999 latency from concurrent keep-alive asyncio clients
+  against real supervised front-ends plus a store daemon, as a short
+  scaling curve over front-end counts; see ``bench_serve.py``.
 
 The resulting trajectory lets future PRs compare against every past
 revision; ``make bench-smoke`` runs this plus the pytest-benchmark
@@ -151,7 +155,22 @@ def collect() -> dict:
     metrics["serve"] = _serve_metrics()
     metrics["batch"] = _batch_metrics(metrics["fig4_ci_s"])
     metrics["chaos"] = _chaos_metrics()
+    metrics["cluster"] = _cluster_metrics()
     return metrics
+
+
+def _cluster_metrics() -> dict:
+    """Sharded-cluster throughput at smoke scale (see ``bench_serve.py``).
+
+    Real forked front-ends and a real store daemon, but a small load —
+    the recorded numbers track the serving tier's trajectory, while
+    ``bench_serve.py``'s CLI exists for full-size (10k-client) runs.
+    """
+    from bench_serve import cluster_load_metrics
+
+    return cluster_load_metrics(
+        frontends=(1, 2), clients=8, requests=400, distinct=8
+    )
 
 
 def _chaos_metrics() -> dict:

@@ -9,6 +9,8 @@ Usage::
     python -m repro experiments validate --workers 4      # sim vs bounds
     python -m repro campaign spec.json --run-dir runs/x   # declarative run
     python -m repro serve --port 8177 --workers 4         # HTTP service
+    python -m repro cluster --frontends 4 --port 8177     # sharded cluster
+    python -m repro stored cluster-state/shard-00         # one store shard
 
 ``analyze`` reads the JSON format of :mod:`repro.io`; ``experiments``
 forwards to :mod:`repro.experiments.runner` (its ``validate`` campaign
@@ -161,11 +163,46 @@ def cmd_serve(args) -> int:
             request_timeout_s=args.request_timeout,
             rebuild_cooldown_s=args.rebuild_cooldown,
             drain_timeout_s=args.drain_timeout,
+            store_addrs=tuple(args.store),
+            max_inflight=args.max_inflight,
         )
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
     return run_server(config)
+
+
+def cmd_cluster(args) -> int:
+    """``cluster``: run the supervised multi-process serving cluster."""
+    from repro.serve.cluster import ClusterConfig, run_cluster
+
+    try:
+        config = ClusterConfig(
+            frontends=args.frontends,
+            host=args.host,
+            port=args.port,
+            store_dir=args.store_dir,
+            store_shards=args.store_shards,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            max_inflight=args.max_inflight,
+            request_timeout_s=args.request_timeout,
+            health_interval_s=args.health_interval,
+            backoff_cap_s=args.backoff_cap,
+            listener=args.listener,
+            drain_timeout_s=args.drain_timeout,
+        )
+    except ValueError as exc:
+        print(f"cluster: {exc}", file=sys.stderr)
+        return 2
+    return run_cluster(config)
+
+
+def cmd_stored(args) -> int:
+    """``stored``: run one standalone store-daemon shard."""
+    from repro.serve.stored import run_stored
+
+    return run_stored(args.directory, host=args.host, port=args.port)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -284,7 +321,97 @@ def main(argv: list[str] | None = None) -> int:
         help="on SIGTERM, how long to let in-flight requests finish "
              "before forcing connections closed",
     )
+    p_serve.add_argument(
+        "--store", action="append", default=[], metavar="HOST:PORT",
+        help="store-daemon shard address (repeatable); switches the "
+             "query tier to the shared cluster store",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=0,
+        help="admission bound on concurrent compute requests; beyond it "
+             "requests are shed with 429 + Retry-After (0 = unbounded)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="run the supervised multi-process serving cluster "
+             "(see repro.serve.cluster)",
+    )
+    p_cluster.add_argument(
+        "--frontends", type=int, default=2,
+        help="front-end server processes sharing the listener",
+    )
+    p_cluster.add_argument(
+        "--host", default="127.0.0.1", help="bind address",
+    )
+    p_cluster.add_argument(
+        "--port", type=int, default=8177,
+        help="shared TCP port (0 picks an ephemeral port)",
+    )
+    p_cluster.add_argument(
+        "--store-dir", default="cluster-state",
+        help="root directory of the shared result tier "
+             "(shard i persists under <dir>/shard-<i>)",
+    )
+    p_cluster.add_argument(
+        "--store-shards", type=int, default=1,
+        help="store-daemon processes the job hashes shard over",
+    )
+    p_cluster.add_argument(
+        "--workers", type=int, default=0,
+        help="job worker processes per front-end "
+             "(0 runs jobs in-process on threads)",
+    )
+    p_cluster.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU entries per front-end, in front of the shard store",
+    )
+    p_cluster.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="per-front-end admission bound; excess compute requests "
+             "are shed with 429 + Retry-After",
+    )
+    p_cluster.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request compute deadline (504 past it)",
+    )
+    p_cluster.add_argument(
+        "--health-interval", type=float, default=0.25, metavar="SECONDS",
+        help="seconds between supervisor health pings",
+    )
+    p_cluster.add_argument(
+        "--backoff-cap", type=float, default=5.0, metavar="SECONDS",
+        help="upper bound on the capped-exponential restart delay",
+    )
+    p_cluster.add_argument(
+        "--listener", choices=["auto", "reuseport", "shared"],
+        default="auto",
+        help="listener strategy: SO_REUSEPORT per front-end, one "
+             "inherited shared listener, or auto-detect",
+    )
+    p_cluster.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-drain budget per front-end on stop",
+    )
+    p_cluster.set_defaults(func=cmd_cluster)
+
+    p_stored = sub.add_parser(
+        "stored",
+        help="run one standalone store-daemon shard "
+             "(see repro.serve.stored)",
+    )
+    p_stored.add_argument(
+        "directory", help="JSONL result-store directory this shard owns",
+    )
+    p_stored.add_argument(
+        "--host", default="127.0.0.1", help="bind address",
+    )
+    p_stored.add_argument(
+        "--port", type=int, default=8178,
+        help="TCP port of the length-prefixed store protocol",
+    )
+    p_stored.set_defaults(func=cmd_stored)
 
     args = parser.parse_args(argv)
     if args.command == "experiments":

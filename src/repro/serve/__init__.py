@@ -19,10 +19,23 @@ while in flight and repeat answers come from a bounded LRU backed by
 the JSONL result store.  The stack is stdlib-only (``asyncio`` sockets,
 hand-rolled HTTP/1.1 framing in :mod:`repro.serve.http`); see
 ``docs/api.md`` and the "Serving architecture" section of DESIGN.md.
+
+``python -m repro cluster`` scales the same service out: a supervisor
+(:mod:`repro.serve.cluster`) spawns N front-end processes on one shared
+port, restarts dead or wedged ones with capped backoff, and wires them
+to store-daemon shards (:mod:`repro.serve.stored`) so each
+content-addressed result is computed once cluster-wide; overload sheds
+with 429 + ``Retry-After`` instead of collapsing — see the "Sharded
+serving" section of DESIGN.md.
 """
 
 from repro.serve.cache import ServeCache
 from repro.serve.client import ServeClient, ServeError
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterSupervisor,
+    run_cluster,
+)
 from repro.serve.http import HttpError, HttpRequest
 from repro.serve.pool import ResilientPool
 from repro.serve.server import ServerHandle, run_server, serve, start_in_thread
@@ -32,20 +45,37 @@ from repro.serve.service import (
     ServeConfig,
     campaign_id,
 )
+from repro.serve.stored import (
+    HashRing,
+    RemoteStore,
+    StoreClient,
+    StoreDaemon,
+    StoreUnavailable,
+    run_stored,
+)
 
 __all__ = [
     "AnalysisService",
     "CampaignStatus",
+    "ClusterConfig",
+    "ClusterSupervisor",
+    "HashRing",
     "HttpError",
     "HttpRequest",
+    "RemoteStore",
     "ResilientPool",
     "ServeCache",
     "ServeClient",
     "ServeConfig",
     "ServeError",
     "ServerHandle",
+    "StoreClient",
+    "StoreDaemon",
+    "StoreUnavailable",
     "campaign_id",
+    "run_cluster",
     "run_server",
+    "run_stored",
     "serve",
     "start_in_thread",
 ]

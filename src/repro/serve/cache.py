@@ -98,6 +98,33 @@ class JsonlQueryStore:
             self._index[job_id] = offset
         return normalised
 
+    def put_if_absent(self, job_id: str, result: Any) -> tuple[Any, bool]:
+        """Append only when the hash is new; ``(result, stored)``.
+
+        The dedupe the store daemon relies on: jobs are deterministic,
+        so a second ``put`` of the same content address can only be a
+        recomputation of the same bytes — skipping the append keeps the
+        store at exactly one line per distinct hash even when several
+        front-ends race on the same job.
+        """
+        with self._lock:
+            if job_id in self._index:
+                pass  # fall through to a read outside the lock
+            else:
+                normalised = jsonable(result)
+                line = result_line(job_id, normalised)
+                with self.path.open("a", encoding="utf-8") as handle:
+                    offset = handle.tell()
+                    if self._needs_newline:
+                        handle.write("\n")
+                        offset += 1
+                        self._needs_newline = False
+                    handle.write(line + "\n")
+                    handle.flush()
+                self._index[job_id] = offset
+                return normalised, True
+        return self.get(job_id), False
+
     def __contains__(self, job_id: str) -> bool:
         with self._lock:
             return job_id in self._index

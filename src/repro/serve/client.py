@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any, Mapping
 
@@ -60,21 +61,50 @@ def _flowset_payload(flowset: FlowSet | Mapping[str, Any]) -> dict:
 
 
 class ServeClient:
-    """One keep-alive connection to a running ``repro serve`` instance."""
+    """One keep-alive connection to a running ``repro serve`` instance.
+
+    Resilience, matched to the server's failure semantics:
+
+    * a dropped or refused connection is retried on a fresh socket with
+      short jittered backoff (``connect_retries`` attempts) — safe
+      because every endpoint is idempotent (content-addressed jobs,
+      coalescing campaign submits), and exactly what rides out a
+      cluster front-end being killed and restarted under load;
+    * **429 (load shed)** is retried up to ``shed_retries`` times,
+      honoring the server's ``Retry-After`` hint with jitter so a
+      thundering herd of shed clients does not re-arrive in lockstep;
+    * **503 (pool rebuilding)** stays an exception: the one caller with
+      in-window retry semantics (:meth:`wait_campaign`) handles it, and
+      tests assert the raw status;
+    * ``connect_timeout`` bounds only the TCP connect — a cluster port
+      with no listener fails fast while long computations keep the full
+      read ``timeout``.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8177, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8177,
+        timeout: float = 60.0,
+        *,
+        connect_timeout: float = 5.0,
+        connect_retries: int = 3,
+        shed_retries: int = 8,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.connect_retries = connect_retries
+        self.shed_retries = shed_retries
         self._conn: http.client.HTTPConnection | None = None
         #: Client-side resilience counters (mirrors of the behaviours
         #: the server reports in ``GET /stats``): transparent reconnect
-        #: retries, ``wait_campaign`` backoff sleeps, and honored
-        #: ``Retry-After`` waits.
+        #: retries, ``wait_campaign`` backoff sleeps, honored
+        #: ``Retry-After`` waits, and 429 shed-retry sleeps.
         self.counters = {
-            "reconnects": 0, "backoff_sleeps": 0, "retry_after_waits": 0
+            "reconnects": 0, "backoff_sleeps": 0, "retry_after_waits": 0,
+            "shed_retries": 0,
         }
 
     # ------------------------------------------------------------------
@@ -89,30 +119,64 @@ class ServeClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        try:
-            response = self._exchange(method, path, body, headers)
-        except (http.client.RemoteDisconnected, BrokenPipeError,
-                ConnectionResetError):
-            # Stale keep-alive connection (server restarted / timed out):
-            # one transparent retry on a fresh socket.
-            self.counters["reconnects"] += 1
-            self.close()
-            response = self._exchange(method, path, body, headers)
-        status = response.status
-        retry_after = _parse_retry_after(response.getheader("Retry-After"))
-        data = json.loads(response.read().decode("utf-8"))
-        if status >= 400:
-            raise ServeError(
-                status, data.get("error", "unknown error"),
-                retry_after=retry_after,
+        shed_attempts = 0
+        while True:
+            response = self._exchange_with_reconnect(
+                method, path, body, headers
             )
-        return data
+            status = response.status
+            retry_after = _parse_retry_after(
+                response.getheader("Retry-After")
+            )
+            data = json.loads(response.read().decode("utf-8"))
+            if status == 429 and shed_attempts < self.shed_retries:
+                # Load shed: wait what the server hinted, jittered to
+                # ±50% so shed clients spread out, then try again.
+                shed_attempts += 1
+                self.counters["shed_retries"] += 1
+                time.sleep((retry_after or 0.1) * (0.5 + random.random()))
+                continue
+            if status >= 400:
+                raise ServeError(
+                    status, data.get("error", "unknown error"),
+                    retry_after=retry_after,
+                )
+            return data
+
+    def _exchange_with_reconnect(self, method, path, body, headers):
+        """One exchange, reconnecting through dropped/refused sockets.
+
+        Attempt 1 reuses the keep-alive connection; each further
+        attempt opens a fresh socket after a short jittered backoff —
+        long enough (~1s total at the defaults) to span a supervised
+        front-end's restart window.
+        """
+        attempts = 1 + max(0, self.connect_retries)
+        for attempt in range(attempts):
+            try:
+                return self._exchange(method, path, body, headers)
+            except (http.client.RemoteDisconnected, BrokenPipeError,
+                    ConnectionResetError, ConnectionRefusedError,
+                    ConnectionAbortedError) as exc:
+                self.close()
+                if attempt == attempts - 1:
+                    raise
+                self.counters["reconnects"] += 1
+                if attempt:  # first reconnect is free; then back off
+                    time.sleep(
+                        0.05 * (2 ** (attempt - 1)) * (0.5 + random.random())
+                    )
 
     def _exchange(self, method, path, body, headers):
         if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
+            # Connect under the (short) connect timeout, then widen the
+            # socket to the full read timeout for the exchange itself.
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.connect_timeout
             )
+            conn.connect()
+            conn.sock.settimeout(self.timeout)
+            self._conn = conn
         self._conn.request(method, path, body=body, headers=headers)
         return self._conn.getresponse()
 

@@ -123,12 +123,18 @@ async def serve(
     service: AnalysisService | None = None,
     stop: asyncio.Event | None = None,
     on_started=None,
+    sock=None,
 ) -> None:
     """Bind and serve until ``stop`` is set (or forever / cancellation).
 
     ``on_started`` (if given) is called once with ``(host, port,
     service)`` after the socket is bound — the hook
     :func:`start_in_thread` and the CLI use to learn the ephemeral port.
+
+    ``sock`` serves on a pre-bound listening socket instead of binding
+    ``config.host:config.port`` — how cluster front-ends share one
+    listener (an inherited socket, or a per-process ``SO_REUSEPORT``
+    bind; see :mod:`repro.serve.cluster`).
     """
     config = config or ServeConfig()
     service = service or AnalysisService(config)
@@ -143,7 +149,10 @@ async def serve(
         finally:
             conn_tasks.discard(task)
 
-    server = await asyncio.start_server(handler, config.host, config.port)
+    if sock is not None:
+        server = await asyncio.start_server(handler, sock=sock)
+    else:
+        server = await asyncio.start_server(handler, config.host, config.port)
     host, port = server.sockets[0].getsockname()[:2]
     loop = asyncio.get_running_loop()
     # Graceful drain on SIGTERM (the container/orchestrator stop

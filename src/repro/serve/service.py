@@ -114,6 +114,21 @@ class ServeConfig:
     #: Seconds a graceful drain (SIGTERM / stop) waits for in-flight
     #: requests before cancelling their connections.
     drain_timeout_s: float = 5.0
+    #: Store-daemon shard addresses (``host:port``).  Non-empty switches
+    #: the query tier to the shared cluster store: results are
+    #: consistent-hashed over the shards (every front-end agrees on the
+    #: owner), read through the local LRU, and a shard outage degrades
+    #: to recomputation.  ``run_dir`` then only persists campaign
+    #: stores — query results live in the shard daemons' directories.
+    store_addrs: tuple[str, ...] = ()
+    #: Admission bound: compute requests (analyze / batch / sizing)
+    #: concurrently in this process.  ``0`` = unbounded (single-process
+    #: default); a cluster front-end sets it so overload **sheds** (429
+    #: + ``Retry-After``) instead of queueing without bound until every
+    #: request times out.
+    max_inflight: int = 0
+    #: ``Retry-After`` hint (seconds) on shed 429 responses.
+    shed_retry_after_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -157,6 +172,21 @@ class ServeConfig:
             )
         if not 0 <= self.port <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        for addr in self.store_addrs:
+            host, _, port_text = addr.rpartition(":")
+            if not host or not port_text.isdigit():
+                raise ValueError(
+                    f"store address must be 'host:port', got {addr!r}"
+                )
+        if self.max_inflight < 0:
+            raise ValueError(
+                f"max_inflight must be >= 0, got {self.max_inflight}"
+            )
+        if self.shed_retry_after_s <= 0:
+            raise ValueError(
+                "shed_retry_after_s must be > 0, got "
+                f"{self.shed_retry_after_s}"
+            )
 
 
 class CampaignStatus:
@@ -235,7 +265,14 @@ class AnalysisService:
     def __init__(self, config: ServeConfig | None = None) -> None:
         self.config = config or ServeConfig()
         store = None
-        if self.config.run_dir is not None:
+        if self.config.store_addrs:
+            # Cluster mode: the query tier is the shared store-daemon
+            # shards — every front-end reads/writes the same results,
+            # keyed by consistent hash of the content address.
+            from repro.serve.stored import RemoteStore
+
+            store = RemoteStore(self.config.store_addrs)
+        elif self.config.run_dir is not None:
             # Offset-indexed on disk: the LRU (not the store) bounds
             # what this process holds in memory.
             store = JsonlQueryStore(Path(self.config.run_dir) / "queries")
@@ -270,6 +307,15 @@ class AnalysisService:
         self.rejected_503 = 0
         self.deadline_timeouts = 0
         self.campaign_pool_restarts = 0
+        #: Overload protection: compute requests admitted right now,
+        #: and how many were shed with 429 (``GET /stats`` "overload").
+        self.admitted = 0
+        self.shed_429 = 0
+        #: Latest cluster-wide aggregate, pushed by the supervisor over
+        #: the control pipe (cluster front-ends only).  When set,
+        #: ``GET /stats`` grows a "cluster" block, so *any* front-end
+        #: answers for the whole cluster.
+        self.cluster: dict | None = None
         #: Set by the transport on graceful shutdown: finish in-flight
         #: exchanges, answer with ``Connection: close``, accept nothing
         #: new.
@@ -293,17 +339,20 @@ class AnalysisService:
             return 200, self._stats()
         if path == "/analyze":
             self._require(request, "POST")
-            return await self._job_endpoint(
-                request, "serve_analyze", jobs.analyze_params
-            )
+            with self._admission():
+                return await self._job_endpoint(
+                    request, "serve_analyze", jobs.analyze_params
+                )
         if path == "/analyze/batch":
             self._require(request, "POST")
-            return await self._analyze_batch_endpoint(request)
+            with self._admission():
+                return await self._analyze_batch_endpoint(request)
         if path == "/sizing":
             self._require(request, "POST")
-            return await self._job_endpoint(
-                request, "serve_sizing", jobs.sizing_params
-            )
+            with self._admission():
+                return await self._job_endpoint(
+                    request, "serve_sizing", jobs.sizing_params
+                )
         if path == "/campaign":
             if request.method == "GET":
                 return 200, self._campaign_list()
@@ -313,6 +362,33 @@ class AnalysisService:
             self._require(request, "GET")
             return 200, self._campaign_status(path.removeprefix("/campaign/"))
         raise HttpError(404, f"no such endpoint: {request.path}")
+
+    @contextlib.contextmanager
+    def _admission(self):
+        """Bound concurrent compute requests; shed the excess with 429.
+
+        The whole point of shedding: a saturated front-end answering a
+        cheap 429 + ``Retry-After`` immediately stays *responsive* (and
+        its admitted requests keep their latency), where unbounded
+        queueing under overload turns every request into a timeout.
+        ``max_inflight == 0`` disables the gate (single-process
+        default); counters run on the event loop, so no lock.
+        """
+        limit = self.config.max_inflight
+        if limit and self.admitted >= limit:
+            self.shed_429 += 1
+            raise HttpError(
+                429,
+                f"{self.admitted} compute requests already in flight "
+                f"(limit {limit}); shedding load — retry after the "
+                "hinted delay",
+                retry_after=self.config.shed_retry_after_s,
+            )
+        self.admitted += 1
+        try:
+            yield
+        finally:
+            self.admitted -= 1
 
     @staticmethod
     def _require(request: HttpRequest, method: str) -> None:
@@ -355,12 +431,17 @@ class AnalysisService:
         by_state: dict[str, int] = {}
         for status in self.campaigns.values():
             by_state[status.state] = by_state.get(status.state, 0) + 1
-        return {
+        cache_stats = self.cache.stats()
+        store_stats = getattr(self.cache.store, "stats", None)
+        if callable(store_stats):
+            # RemoteStore: shard count, outage and buffered-put counters.
+            cache_stats["remote"] = store_stats()
+        payload = {
             "requests": self.requests,
             "executed": self.executed,
             "coalesced": self.coalesced,
             "inflight": len(self.inflight),
-            "cache": self.cache.stats(),
+            "cache": cache_stats,
             "campaigns": by_state,
             "batching": {
                 "batches": self.batches,
@@ -380,7 +461,16 @@ class AnalysisService:
                 "campaign_pool_restarts": self.campaign_pool_restarts,
                 "draining": self.draining,
             },
+            "overload": {
+                "admitted": self.admitted,
+                "max_inflight": self.config.max_inflight,
+                "shed_429": self.shed_429,
+                "shed_retry_after_s": self.config.shed_retry_after_s,
+            },
         }
+        if self.cluster is not None:
+            payload["cluster"] = self.cluster
+        return payload
 
     # ------------------------------------------------------------------
     # single-request jobs (analyze / sizing)
@@ -844,3 +934,6 @@ class AnalysisService:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         if self.pool is not None:
             self.pool.shutdown(wait=False, cancel_futures=True)
+        closer = getattr(self.cache.store, "close", None)
+        if callable(closer):
+            closer()  # RemoteStore: drop the shard connections

@@ -1,0 +1,596 @@
+"""Shared result tier: the store daemon and its sharded remote client.
+
+One process per shard owns an offset-indexed
+:class:`~repro.serve.cache.JsonlQueryStore` and serves it over a tiny
+length-prefixed JSON protocol, so every front-end of a ``repro
+cluster`` reads and writes the *same* content-addressed results —
+a job computed by any front-end is a cache hit for all of them.
+
+* :class:`StoreDaemon` — the server: thread-per-connection over one
+  ``JsonlQueryStore``.  ``put`` is **deduplicating**: a job hash already
+  present is not appended again (results are deterministic, so the
+  second write can only be a byte-identical recomputation) — which is
+  what makes "each distinct hash computed once" checkable by grepping
+  the store file.  Restarts recover from torn final lines exactly like
+  the campaign store (the scan skips them; the torn job recomputes).
+* :class:`StoreClient` — one blocking connection to one daemon, with
+  transparent reconnect-once per request.
+* :class:`RemoteStore` — the object front-ends plug into
+  :class:`~repro.serve.cache.ServeCache`: consistent-hashes each job id
+  over the configured shard addresses (:class:`HashRing`), degrades a
+  dead shard to a cache miss (``get`` -> recompute) instead of an
+  error, and buffers failed ``put``\\ s to flush after the shard comes
+  back — a store-daemon bounce costs recomputation, never availability.
+* :class:`HashRing` — consistent hashing with virtual nodes: adding or
+  removing one shard remaps only ~1/n of the key space, so a resharded
+  cluster keeps most of its cache warm.
+
+The protocol is four request kinds, each one JSON document framed by a
+4-byte big-endian length::
+
+    {"op": "get",  "job": <hash>}              -> {"ok": true, "found": bool, "result": ...}
+    {"op": "put",  "job": <hash>, "result": .} -> {"ok": true, "stored": bool}
+    {"op": "stats"}                            -> {"ok": true, "entries": N, ...}
+    {"op": "ping"}                             -> {"ok": true}
+
+``python -m repro stored`` runs one daemon standalone;
+``python -m repro cluster`` spawns and supervises one per shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+import sys
+import threading
+from bisect import bisect_right
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.campaigns.spec import jsonable
+from repro.serve.cache import JsonlQueryStore
+
+#: Frame header: payload length as 4-byte big-endian unsigned int.
+_HEADER = struct.Struct(">I")
+#: Upper bound on one framed message (a result document is at most a
+#: few MB; anything larger is a protocol error, not a result).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_MISS = object()
+
+
+class StoreUnavailable(Exception):
+    """The daemon could not be reached (connect, send or recv failed)."""
+
+
+class StoreProtocolError(Exception):
+    """The peer spoke something that is not the framed-JSON protocol."""
+
+
+# ----------------------------------------------------------------------
+# framing (shared by daemon and client)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise ``ConnectionError`` on EOF."""
+    chunks = []
+    while count:
+        chunk = sock.recv(min(count, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> dict | None:
+    """One framed JSON document; ``None`` on a clean close between frames."""
+    try:
+        header = sock.recv(_HEADER.size)
+    except ConnectionError:
+        return None
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        header += _recv_exactly(sock, _HEADER.size - len(header))
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise StoreProtocolError(f"frame of {length} bytes exceeds the limit")
+    payload = _recv_exactly(sock, length)
+    try:
+        doc = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise StoreProtocolError(f"frame is not JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise StoreProtocolError("frame must be a JSON object")
+    return doc
+
+
+def write_frame(sock: socket.socket, doc: dict) -> None:
+    """Serialise and send one framed JSON document."""
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+# ----------------------------------------------------------------------
+# consistent hashing
+
+
+def _ring_hash(text: str) -> int:
+    """Stable 64-bit hash for ring points and keys (process-independent)."""
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each node contributes ``replicas`` points on a 64-bit ring; a key
+    maps to the first point clockwise from its own hash.  Removing one
+    node hands only its arcs to the survivors (~1/n of the key space),
+    so rescaling the store tier keeps most shard assignments — and the
+    results already stored under them — stable.
+    """
+
+    def __init__(self, nodes: Iterable[str], replicas: int = 64) -> None:
+        self.nodes = tuple(nodes)
+        if not self.nodes:
+            raise ValueError("HashRing needs at least one node")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        points = []
+        for node in self.nodes:
+            for index in range(replicas):
+                points.append((_ring_hash(f"{node}#{index}"), node))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [node for _, node in points]
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key`` (the job's content address)."""
+        index = bisect_right(self._hashes, _ring_hash(key))
+        if index == len(self._hashes):
+            index = 0  # wrap: first point clockwise from the top
+        return self._owners[index]
+
+
+# ----------------------------------------------------------------------
+# daemon
+
+
+class StoreDaemon:
+    """Thread-per-connection server over one :class:`JsonlQueryStore`.
+
+    Torn-write recovery is inherited from the store: a daemon killed
+    mid-append leaves a torn final line that the restart scan skips
+    (its job recomputes and is re-put), and the next append starts on
+    a fresh line.  ``put`` deduplicates by job hash, so recomputations
+    racing across front-ends leave exactly one line per hash.
+    """
+
+    def __init__(
+        self, directory: str | Path, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.store = JsonlQueryStore(directory)
+        self.host = host
+        self.port = port
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._conn_lock = threading.Lock()
+        self._conns: set[socket.socket] = set()
+        #: Counters served by the ``stats`` op (and aggregated into the
+        #: cluster's ``per_shard`` stats block).
+        self.gets = 0
+        self.hits = 0
+        self.puts = 0
+        self.dedups = 0
+        self.connections = 0
+        self.protocol_errors = 0
+        self._counter_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def bind(self) -> "StoreDaemon":
+        """Bind and listen; resolves an ephemeral ``port=0`` request."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        self.host, self.port = listener.getsockname()[:2]
+        self._listener = listener
+        return self
+
+    def start(self) -> "StoreDaemon":
+        """Bind (if needed) and serve on a background accept thread."""
+        if self._listener is None:
+            self.bind()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="stored-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and drop every open connection.
+
+        ``shutdown`` before ``close`` on every socket: a bare ``close``
+        does not wake a thread blocked in ``accept``/``recv`` on Linux
+        (the in-flight syscall keeps the kernel socket alive), which
+        would leave the daemon silently serving after "stopping".
+        """
+        self._stopping.set()
+        if self._listener is not None:
+            for call in (
+                lambda: self._listener.shutdown(socket.SHUT_RDWR),
+                self._listener.close,
+            ):
+                try:
+                    call()
+                except OSError:
+                    pass
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            for call in (
+                lambda c=conn: c.shutdown(socket.SHUT_RDWR),
+                conn.close,
+            ):
+                try:
+                    call()
+                except OSError:
+                    pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "StoreDaemon":
+        """Context-manager support: started daemon in, stopped out."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the daemon on context exit."""
+        self.stop()
+
+    # -- serving -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            with self._counter_lock:
+                self.connections += 1
+            with self._conn_lock:
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="stored-conn", daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    request = read_frame(conn)
+                except StoreProtocolError:
+                    with self._counter_lock:
+                        self.protocol_errors += 1
+                    return  # drop the connection; the daemon lives on
+                if request is None:
+                    return
+                write_frame(conn, self._dispatch(request))
+        except OSError:
+            pass  # peer vanished mid-exchange
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "get":
+            job_id = request.get("job")
+            if not isinstance(job_id, str):
+                return {"ok": False, "error": "get needs a 'job' string"}
+            value = self.store.get(job_id, _MISS)
+            with self._counter_lock:
+                self.gets += 1
+                if value is not _MISS:
+                    self.hits += 1
+            if value is _MISS:
+                return {"ok": True, "found": False}
+            return {"ok": True, "found": True, "result": value}
+        if op == "put":
+            job_id = request.get("job")
+            if not isinstance(job_id, str):
+                return {"ok": False, "error": "put needs a 'job' string"}
+            _value, stored = self.store.put_if_absent(
+                job_id, request.get("result")
+            )
+            with self._counter_lock:
+                self.puts += 1
+                if not stored:
+                    self.dedups += 1
+            return {"ok": True, "stored": stored}
+        if op == "stats":
+            with self._counter_lock:
+                return {
+                    "ok": True,
+                    "entries": len(self.store),
+                    "gets": self.gets,
+                    "hits": self.hits,
+                    "puts": self.puts,
+                    "dedups": self.dedups,
+                    "connections": self.connections,
+                    "protocol_errors": self.protocol_errors,
+                    "directory": str(self.store.directory),
+                }
+        if op == "ping":
+            return {"ok": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+# ----------------------------------------------------------------------
+# client
+
+
+class StoreClient:
+    """One blocking, thread-safe connection to one store daemon.
+
+    Every request reconnects once on a stale or dropped socket before
+    giving up with :class:`StoreUnavailable` — a daemon restart costs
+    callers one failed round trip at most.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        timeout: float = 10.0,
+        connect_timeout: float = 2.0,
+    ) -> None:
+        host, _, port_text = address.rpartition(":")
+        try:
+            self.host, self.port = host, int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"store address must be 'host:port', got {address!r}"
+            ) from None
+        if not self.host:
+            raise ValueError(
+                f"store address must be 'host:port', got {address!r}"
+            )
+        self.address = address
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.settimeout(self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def request(self, doc: dict) -> dict:
+        """One framed round trip (raises :class:`StoreUnavailable`)."""
+        with self._lock:
+            for attempt in (1, 2):
+                try:
+                    if self._sock is None:
+                        self._sock = self._connect()
+                    write_frame(self._sock, doc)
+                    reply = read_frame(self._sock)
+                    if reply is None:
+                        raise ConnectionError("daemon closed the connection")
+                    return reply
+                except (OSError, StoreProtocolError) as exc:
+                    self._close_locked()
+                    if attempt == 2:
+                        raise StoreUnavailable(
+                            f"store daemon {self.address}: "
+                            f"{type(exc).__name__}: {exc}"
+                        ) from None
+        raise AssertionError("unreachable")
+
+    def _close_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        """Drop the connection (reopened by the next request)."""
+        with self._lock:
+            self._close_locked()
+
+
+class RemoteStore:
+    """Sharded store client with the :class:`JsonlQueryStore` interface.
+
+    Plugs into :class:`~repro.serve.cache.ServeCache` as the backing
+    store of a cluster front-end:
+
+    * job ids are consistent-hashed over the shard addresses, so every
+      front-end agrees which shard owns which result;
+    * a shard outage **degrades**: ``get`` reports a miss (the service
+      recomputes — correct, just slower) and ``put`` buffers the result
+      (bounded) to flush once the shard answers again, so a bounced
+      daemon loses no results and clients see no errors;
+    * the daemon deduplicates on put, so outage-window recomputations
+      never duplicate store lines.
+    """
+
+    persistent = True
+
+    def __init__(
+        self,
+        addresses: Sequence[str],
+        *,
+        timeout: float = 10.0,
+        connect_timeout: float = 2.0,
+        max_buffered_puts: int = 256,
+    ) -> None:
+        if not addresses:
+            raise ValueError("RemoteStore needs at least one shard address")
+        self._clients = {
+            address: StoreClient(
+                address, timeout=timeout, connect_timeout=connect_timeout
+            )
+            for address in addresses
+        }
+        self._ring = HashRing(list(self._clients))
+        self._max_buffered = max_buffered_puts
+        self._buffer_lock = threading.Lock()
+        #: job id -> normalised result awaiting a live shard.
+        self._buffered: dict[str, Any] = {}
+        #: Counters merged into ``GET /stats`` via ``ServeCache.stats``.
+        self.remote_errors = 0
+        self.buffered_puts = 0
+        self.flushed_puts = 0
+        self.dropped_puts = 0
+
+    def shard_for(self, job_id: str) -> str:
+        """The shard address owning one job hash (ring lookup)."""
+        return self._ring.node_for(job_id)
+
+    @property
+    def addresses(self) -> tuple[str, ...]:
+        """The configured shard addresses."""
+        return tuple(self._clients)
+
+    def get(self, job_id: str, default: Any = None) -> Any:
+        """One shard lookup; an unreachable shard reports a miss."""
+        self._flush_buffered()
+        client = self._clients[self.shard_for(job_id)]
+        try:
+            reply = client.request({"op": "get", "job": job_id})
+        except StoreUnavailable:
+            self.remote_errors += 1
+            return default
+        if not reply.get("ok"):
+            self.remote_errors += 1
+            return default
+        return reply["result"] if reply.get("found") else default
+
+    def put(self, job_id: str, result: Any) -> Any:
+        """Write one result through; buffer it when the shard is down."""
+        normalised = jsonable(result)
+        self._flush_buffered()
+        if not self._send_put(job_id, normalised):
+            with self._buffer_lock:
+                if job_id not in self._buffered:
+                    if len(self._buffered) >= self._max_buffered:
+                        # Drop the oldest: recomputation rebuilds it.
+                        self._buffered.pop(next(iter(self._buffered)))
+                        self.dropped_puts += 1
+                    self._buffered[job_id] = normalised
+                    self.buffered_puts += 1
+        return normalised
+
+    def _send_put(self, job_id: str, normalised: Any) -> bool:
+        client = self._clients[self.shard_for(job_id)]
+        try:
+            reply = client.request(
+                {"op": "put", "job": job_id, "result": normalised}
+            )
+        except StoreUnavailable:
+            self.remote_errors += 1
+            return False
+        return bool(reply.get("ok"))
+
+    def _flush_buffered(self) -> None:
+        """Retry buffered puts (called before every get/put)."""
+        if not self._buffered:
+            return
+        with self._buffer_lock:
+            pending = list(self._buffered.items())
+        for job_id, normalised in pending:
+            if self._send_put(job_id, normalised):
+                with self._buffer_lock:
+                    if self._buffered.pop(job_id, _MISS) is not _MISS:
+                        self.flushed_puts += 1
+            else:
+                return  # shard still down; keep the rest buffered
+
+    def shard_stats(self) -> dict[str, dict]:
+        """Per-shard daemon counters (unreachable shards report so)."""
+        stats: dict[str, dict] = {}
+        for address, client in self._clients.items():
+            try:
+                reply = client.request({"op": "stats"})
+            except StoreUnavailable:
+                stats[address] = {"reachable": False}
+                continue
+            reply.pop("ok", None)
+            stats[address] = {"reachable": True, **reply}
+        return stats
+
+    def stats(self) -> dict:
+        """Client-side counters for ``GET /stats``."""
+        with self._buffer_lock:
+            buffered_now = len(self._buffered)
+        return {
+            "shards": len(self._clients),
+            "remote_errors": self.remote_errors,
+            "buffered_puts": self.buffered_puts,
+            "flushed_puts": self.flushed_puts,
+            "dropped_puts": self.dropped_puts,
+            "buffered_now": buffered_now,
+        }
+
+    def close(self) -> None:
+        """Drop every shard connection."""
+        for client in self._clients.values():
+            client.close()
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+
+
+def run_stored(
+    directory: str | Path, host: str = "127.0.0.1", port: int = 8178
+) -> int:
+    """Blocking entry point of ``python -m repro stored``."""
+    import signal
+
+    daemon = StoreDaemon(directory, host, port)
+    try:
+        daemon.bind()
+    except OSError as exc:
+        print(
+            f"stored: cannot listen on {host}:{port}: {exc}", file=sys.stderr
+        )
+        return 2
+    stopped = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: stopped.set())
+        except ValueError:
+            pass  # not the main thread (embedded use)
+    daemon.start()
+    print(
+        f"repro-stored serving {daemon.store.directory} on "
+        f"{daemon.host}:{daemon.port}",
+        file=sys.stderr,
+    )
+    try:
+        stopped.wait()
+    except KeyboardInterrupt:
+        pass
+    print("repro-stored: shutting down", file=sys.stderr)
+    daemon.stop()
+    return 0

@@ -1,0 +1,198 @@
+"""Overload protection: admission bounding, 429 shedding, client backoff.
+
+The shed policy under test: a front-end admits at most ``max_inflight``
+concurrent compute requests; the excess answers **429 +
+``Retry-After``** immediately instead of queueing until everything
+times out.  Cache hits, health checks and stats stay unthrottled — a
+saturated server remains observable.  The client side honors the hint
+with jittered backoff on every request path and surfaces its retry
+counts.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve import (
+    AnalysisService,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    start_in_thread,
+)
+from repro.serve.http import HttpError
+from repro.workloads.didactic import didactic_flowset
+
+
+@pytest.fixture
+def flowset():
+    return didactic_flowset(buf=2)
+
+
+def flowset_variants(flowset, count):
+    """Distinct flow sets -> distinct job hashes (no coalescing)."""
+    return [
+        flowset.on_platform(flowset.platform.with_buffers(2 + i))
+        for i in range(count)
+    ]
+
+
+class TestAdmissionGate:
+    def test_sheds_beyond_max_inflight(self, flowset):
+        config = ServeConfig(port=0, workers=0, max_inflight=1,
+                             shed_retry_after_s=0.4)
+        with start_in_thread(config) as handle:
+            # No automatic shed retries: observe the raw 429.
+            with ServeClient(handle.host, handle.port, timeout=30,
+                             shed_retries=0) as probe:
+                variants = flowset_variants(flowset, 6)
+                outcomes = []
+
+                def fire(doc):
+                    client = ServeClient(handle.host, handle.port,
+                                         timeout=30, shed_retries=0)
+                    try:
+                        with client:
+                            return ("ok", client.analyze(doc))
+                    except ServeError as exc:
+                        return ("err", exc)
+
+                with ThreadPoolExecutor(max_workers=6) as pool:
+                    outcomes = list(pool.map(fire, variants))
+                errors = [o for kind, o in outcomes if kind == "err"]
+                successes = [o for kind, o in outcomes if kind == "ok"]
+                assert successes, "everything was shed"
+                if errors:  # racy but overwhelmingly likely under load
+                    assert all(e.status == 429 for e in errors)
+                    assert all(e.retry_after is not None for e in errors)
+                stats = probe.stats()
+                assert stats["overload"]["max_inflight"] == 1
+                assert stats["overload"]["shed_429"] == len(errors)
+
+    def test_stats_and_health_bypass_the_gate(self, flowset):
+        service = AnalysisService(ServeConfig(max_inflight=1))
+        service.admitted = 5  # saturated
+        # Compute endpoints shed...
+        with pytest.raises(HttpError) as excinfo:
+            with service._admission():
+                pass
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after == \
+            service.config.shed_retry_after_s
+        # ...while the observability endpoints never touch the gate.
+        assert service._healthz()["status"] == "ok"
+        assert service._stats()["overload"]["shed_429"] == 1
+
+    def test_gate_disabled_by_default(self):
+        service = AnalysisService(ServeConfig())
+        service.admitted = 10_000
+        with service._admission():
+            pass  # max_inflight=0: unbounded, nothing sheds
+        assert service.shed_429 == 0
+
+    def test_admission_releases_on_exit(self):
+        service = AnalysisService(ServeConfig(max_inflight=2))
+        with service._admission():
+            assert service.admitted == 1
+            with service._admission():
+                assert service.admitted == 2
+        assert service.admitted == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_inflight=-1)
+        with pytest.raises(ValueError):
+            ServeConfig(shed_retry_after_s=0)
+        with pytest.raises(ValueError):
+            ServeConfig(store_addrs=("nonsense",))
+
+
+class TestClientShedRetry:
+    def test_client_retries_429_to_success(self, flowset):
+        config = ServeConfig(port=0, workers=0, max_inflight=1,
+                             shed_retry_after_s=0.05)
+        with start_in_thread(config) as handle:
+            variants = flowset_variants(flowset, 8)
+            clients = [
+                ServeClient(handle.host, handle.port, timeout=30,
+                            shed_retries=40)
+                for _ in variants
+            ]
+            try:
+                with ThreadPoolExecutor(max_workers=len(variants)) as pool:
+                    bodies = list(pool.map(
+                        lambda pair: pair[0].analyze(pair[1]),
+                        zip(clients, variants),
+                    ))
+                # Every request eventually lands despite the shedding.
+                assert len({body["job"] for body in bodies}) == len(variants)
+                total_retries = sum(
+                    client.counters["shed_retries"] for client in clients
+                )
+                probe = clients[0]
+                shed = probe.stats()["overload"]["shed_429"]
+                assert total_retries == shed
+            finally:
+                for client in clients:
+                    client.close()
+
+    def test_429_exhaustion_raises_with_hint(self):
+        # A service wedged at saturation: the client gives up after its
+        # shed_retries budget and surfaces the 429.
+        config = ServeConfig(port=0, workers=0, max_inflight=1,
+                             shed_retry_after_s=0.01)
+        with start_in_thread(config) as handle:
+            handle.service.admitted = 1  # pin saturation, nothing drains
+            with ServeClient(handle.host, handle.port, timeout=10,
+                             shed_retries=2) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.analyze(didactic_flowset(buf=2))
+                assert excinfo.value.status == 429
+                assert excinfo.value.retry_after is not None
+                assert client.counters["shed_retries"] == 2
+
+
+class TestClientConnectBehaviour:
+    def test_connect_timeout_is_separate(self):
+        client = ServeClient("127.0.0.1", 1, timeout=60,
+                             connect_timeout=0.2, connect_retries=0)
+        start = time.monotonic()
+        with pytest.raises(OSError):
+            client.healthz()
+        # Refused/timed out at connect speed, not the 60s read timeout.
+        assert time.monotonic() - start < 5
+
+    def test_refused_connection_retries_then_raises(self):
+        client = ServeClient("127.0.0.1", 1, timeout=5,
+                             connect_timeout=0.2, connect_retries=2)
+        with pytest.raises(ConnectionRefusedError):
+            client.healthz()
+        assert client.counters["reconnects"] == 2
+
+    def test_refused_connection_recovers_when_server_returns(self, flowset):
+        config = ServeConfig(port=0, workers=0)
+        with start_in_thread(config) as first:
+            host, port = first.host, first.port
+            client = ServeClient(host, port, timeout=30,
+                                 connect_timeout=1, connect_retries=5)
+            assert client.healthz()["status"] == "ok"
+        # Server gone: bring a new one up on the same port while the
+        # client is mid-retry — the backoff window must bridge it.
+        result = {}
+
+        def late_request():
+            try:
+                result["body"] = client.healthz()
+            except Exception as exc:  # surfaced by the assert below
+                result["error"] = exc
+
+        thread = threading.Thread(target=late_request)
+        thread.start()
+        time.sleep(0.15)
+        with start_in_thread(ServeConfig(host=host, port=port, workers=0)):
+            thread.join(timeout=15)
+        client.close()
+        assert "body" in result, f"request failed: {result.get('error')}"
+        assert result["body"]["status"] == "ok"

@@ -55,6 +55,7 @@ TRACKED = (
     ("batch.sweep.batched_scenarios_per_s", "higher"),
     ("batch.sweep.speedup", "higher"),
     ("chaos.scenarios_passed", "higher"),
+    ("cluster.best_rps", "higher"),
 )
 
 #: Wall-clock values smaller than these floors are all scheduler noise;

@@ -29,6 +29,19 @@ Scenarios (default: all, in this order):
 * ``serve_rebuild``        — a live ``repro serve`` instance has its
   worker pool killed between requests; every response matches the
   calm server's and the resilience counters show the rebuild.
+* ``frontend_kill``        — a 3-front-end cluster takes a 1000-request
+  keep-alive load while one front-end is SIGKILLed mid-flight: zero
+  failed requests (clients ride the retry path onto the survivors),
+  the supervisor restarts the victim, and the shard store holds each
+  distinct job hash exactly once.
+* ``store_bounce``         — the store daemon is SIGKILLed mid-load:
+  requests degrade to recomputation instead of erroring, buffered
+  writes flush into the restarted daemon, and the store stays free of
+  duplicate hashes.
+* ``overload_shed``        — sustained overload against a 1-slot
+  admission gate: shed requests all get **429 + Retry-After**,
+  admitted requests all complete, and retrying clients eventually land
+  every request.
 
 ``chaos_metrics()`` packages the scenario outcomes for
 ``benchmarks/record_engine_bench.py`` (the ``chaos`` block), so
@@ -42,7 +55,9 @@ import os
 import subprocess
 import sys
 import tempfile
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -51,8 +66,10 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.campaigns.engine import run_campaign  # noqa: E402
 from repro.campaigns.faults import faults_spec  # noqa: E402
 from repro.campaigns.scheduler import FaultPolicy  # noqa: E402
+from repro.io import flowset_to_dict  # noqa: E402
 from repro.serve import ServeClient, ServeConfig, ServeError  # noqa: E402
 from repro.serve import start_in_thread  # noqa: E402
+from repro.serve.cluster import ClusterConfig, ClusterSupervisor  # noqa: E402
 from repro.workloads.didactic import didactic_flowset  # noqa: E402
 
 #: Quick fault policy shared by the in-process scenarios: real backoff
@@ -216,6 +233,183 @@ def serve_rebuild() -> dict:
             "rejected_503": rejected}
 
 
+def _cluster_config(store_dir: str, **overrides) -> ClusterConfig:
+    """A chaos-scale cluster: tight health loop, fast restarts."""
+    settings = dict(
+        frontends=3,
+        store_shards=1,
+        store_dir=store_dir,
+        health_interval_s=0.1,
+        max_missed_pings=5,
+        backoff_base_s=0.05,
+        backoff_cap_s=0.5,
+    )
+    settings.update(overrides)
+    return ClusterConfig(**settings)
+
+
+def _store_hashes(store_dir) -> list[str]:
+    """Every stored job hash across every shard (torn tails skipped)."""
+    hashes = []
+    for path in sorted(Path(store_dir).glob("shard-*/results.jsonl")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                try:
+                    hashes.append(json.loads(line)["job"])
+                except json.JSONDecodeError:
+                    pass
+    return hashes
+
+
+def _flowset_docs(count: int) -> list[dict]:
+    """``count`` distinct flow-set documents -> distinct job hashes."""
+    base = didactic_flowset(buf=2)
+    return [
+        flowset_to_dict(base.on_platform(base.platform.with_buffers(1 + i)))
+        for i in range(count)
+    ]
+
+
+def frontend_kill() -> dict:
+    """SIGKILL a front-end under a 1000-request load; lose nothing."""
+    docs = _flowset_docs(8)
+    total = 1000
+    threads_n = 8
+    with tempfile.TemporaryDirectory() as store_dir:
+        config = _cluster_config(store_dir)
+        with ClusterSupervisor(config) as sup:
+            host, port = sup.address
+            done = threading.Semaphore(0)
+            progress = {"count": 0}
+            lock = threading.Lock()
+            failures: list[Exception] = []
+
+            def load(offset: int) -> None:
+                with ServeClient(host, port, timeout=30,
+                                 connect_retries=6) as client:
+                    for i in range(offset, total, threads_n):
+                        try:
+                            body = client.analyze(docs[i % len(docs)])
+                            assert "job" in body
+                        except Exception as exc:  # noqa: BLE001
+                            with lock:
+                                failures.append(exc)
+                        with lock:
+                            progress["count"] += 1
+                done.release()
+
+            workers = [threading.Thread(target=load, args=(k,))
+                       for k in range(threads_n)]
+            for worker in workers:
+                worker.start()
+            # Let the load ramp, then murder a front-end mid-flight.
+            while progress["count"] < total // 4:
+                time.sleep(0.005)
+            assert sup.kill_frontend(0), "kill_frontend found no process"
+            for _ in workers:
+                done.acquire()
+            for worker in workers:
+                worker.join()
+            assert not failures, (
+                f"{len(failures)} of {total} requests failed; first: "
+                f"{failures[0]!r}"
+            )
+            assert sup.wait_all_alive(timeout=15), \
+                "killed front-end was not restarted"
+            aggregate = sup.aggregate()
+        hashes = _store_hashes(store_dir)
+        assert sorted(hashes) == sorted(set(hashes)), \
+            "a job hash was computed and stored more than once"
+    return {"requests": total, "failures": 0,
+            "distinct_hashes": len(set(hashes)),
+            "frontend_restarts": aggregate["restarts"]["frontend"]}
+
+
+def store_bounce() -> dict:
+    """Bounce the store daemon mid-load; results resume, no duplicates."""
+    docs = _flowset_docs(24)
+    with tempfile.TemporaryDirectory() as store_dir:
+        config = _cluster_config(store_dir, frontends=2)
+        with ClusterSupervisor(config) as sup:
+            host, port = sup.address
+            with ServeClient(host, port, timeout=30,
+                             connect_retries=6) as client:
+                jobs = [client.analyze(doc)["job"] for doc in docs[:12]]
+                assert sup.kill_store(0), "kill_store found no process"
+                # Store down: the tier degrades to recomputation — every
+                # request still answers, none error.
+                jobs += [client.analyze(doc)["job"] for doc in docs[12:]]
+                assert sup.wait_all_alive(timeout=15), \
+                    "store daemon was not restarted"
+                time.sleep(0.3)
+                # Post-revival: same answers, buffered writes flushed.
+                again = [client.analyze(doc)["job"] for doc in docs]
+                assert again == jobs, "job ids changed across the bounce"
+            aggregate = sup.aggregate()
+        hashes = _store_hashes(store_dir)
+        assert sorted(hashes) == sorted(set(hashes)), \
+            "the bounced store holds duplicate hashes"
+    return {"requests": 3 * len(docs), "distinct_jobs": len(set(jobs)),
+            "stored_hashes": len(hashes),
+            "store_restarts": aggregate["restarts"]["store"]}
+
+
+def overload_shed() -> dict:
+    """Saturate a 1-slot gate: sheds are 429 + Retry-After, the rest land."""
+    base = didactic_flowset(buf=2)
+    config = ServeConfig(port=0, workers=0, max_inflight=1,
+                         shed_retry_after_s=0.05)
+    with start_in_thread(config) as handle:
+        def sizing_doc(buf: int) -> dict:
+            return flowset_to_dict(
+                base.on_platform(base.platform.with_buffers(buf))
+            )
+
+        # Phase 1 — naive clients (no shed retries): the overflow must
+        # surface as 429 with a Retry-After hint, never hang or 500.
+        def fire_raw(buf: int):
+            with ServeClient(handle.host, handle.port, timeout=30,
+                             shed_retries=0) as client:
+                try:
+                    return ("ok", client.sizing(sizing_doc(buf),
+                                                max_depth=64))
+                except ServeError as exc:
+                    return ("shed", exc)
+
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            outcomes = list(pool.map(fire_raw, range(1, 13)))
+        sheds = [o for kind, o in outcomes if kind == "shed"]
+        accepted = [o for kind, o in outcomes if kind == "ok"]
+        assert accepted, "the gate admitted nothing"
+        assert sheds, "12 concurrent requests against 1 slot never shed"
+        assert all(e.status == 429 for e in sheds), \
+            f"non-429 shed: {[e.status for e in sheds]}"
+        assert all(e.retry_after is not None for e in sheds), \
+            "a 429 arrived without a Retry-After hint"
+        assert all("job" in body for body in accepted), \
+            "an admitted request returned an incomplete body"
+
+        # Phase 2 — well-behaved clients retry through the shedding and
+        # every request eventually completes.
+        def fire_retry(buf: int) -> tuple[str, int]:
+            with ServeClient(handle.host, handle.port, timeout=30,
+                             shed_retries=100) as client:
+                body = client.sizing(sizing_doc(buf), max_depth=64)
+                return body["job"], client.counters["shed_retries"]
+
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            results = list(pool.map(fire_retry, range(20, 32)))
+        jobs = [job for job, _ in results]
+        assert len(set(jobs)) == len(results), "a retried request was lost"
+        stats = ServeClient(handle.host, handle.port).stats()
+        shed_429 = stats["overload"]["shed_429"]
+        assert shed_429 >= len(sheds)
+    return {"raw_sheds": len(sheds), "raw_accepted": len(accepted),
+            "retried_to_success": len(results),
+            "client_shed_retries": sum(n for _, n in results),
+            "server_shed_429": shed_429}
+
+
 #: scenario name -> callable (ordered: cheap and in-process first).
 SCENARIOS = {
     "poison_quarantine": poison_quarantine,
@@ -223,6 +417,9 @@ SCENARIOS = {
     "hang_timeout": hang_timeout,
     "worker_kill_campaign": worker_kill_campaign,
     "serve_rebuild": serve_rebuild,
+    "overload_shed": overload_shed,
+    "store_bounce": store_bounce,
+    "frontend_kill": frontend_kill,
 }
 
 

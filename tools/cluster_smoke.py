@@ -1,0 +1,139 @@
+"""Cluster smoke: supervised front-ends survive a kill, cache stays exact.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/cluster_smoke.py
+
+Stands up the real sharded serving cluster — three forked front-end
+processes behind one port, one store-daemon shard, the supervisor's
+health/restart loop — then drives a keep-alive load through it while
+SIGKILLing a front-end mid-flight.  Exit 0 requires all of:
+
+* **availability** — every request answers (clients ride the retry
+  path onto the surviving front-ends; the supervisor restarts the
+  victim and the aggregate generation advances);
+* **single computation per hash** — a grep of the shard store finds
+  exactly one line per distinct job hash, cluster-wide, kill included;
+* **observability** — ``GET /stats`` on any front-end reports the
+  cluster-wide aggregate (front-end count, restarts, per-shard health).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.io import flowset_to_dict  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+from repro.serve.cluster import ClusterConfig, ClusterSupervisor  # noqa: E402
+from repro.workloads.didactic import didactic_flowset  # noqa: E402
+
+REQUESTS = 300
+CLIENTS = 6
+DISTINCT = 8
+
+
+def store_hashes(store_dir: str) -> list[str]:
+    """Every stored job hash across every shard (torn tails skipped)."""
+    hashes = []
+    for path in sorted(Path(store_dir).glob("shard-*/results.jsonl")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                try:
+                    hashes.append(json.loads(line)["job"])
+                except json.JSONDecodeError:
+                    pass
+    return hashes
+
+
+def main() -> int:
+    base = didactic_flowset(buf=2)
+    docs = [
+        flowset_to_dict(base.on_platform(base.platform.with_buffers(1 + i)))
+        for i in range(DISTINCT)
+    ]
+    with tempfile.TemporaryDirectory() as store_dir:
+        config = ClusterConfig(
+            frontends=3,
+            store_shards=1,
+            store_dir=store_dir,
+            health_interval_s=0.1,
+            backoff_base_s=0.05,
+            backoff_cap_s=0.5,
+        )
+        with ClusterSupervisor(config) as sup:
+            host, port = sup.address
+            print(f"cluster-smoke: 3 front-ends on {host}:{port} "
+                  f"({sup.mode} listener), 1 store shard")
+            progress = {"count": 0}
+            lock = threading.Lock()
+            failures: list[Exception] = []
+
+            def load(offset: int) -> None:
+                with ServeClient(host, port, timeout=30,
+                                 connect_retries=6) as client:
+                    for i in range(offset, REQUESTS, CLIENTS):
+                        try:
+                            body = client.analyze(docs[i % DISTINCT])
+                            assert "job" in body
+                        except Exception as exc:  # noqa: BLE001
+                            with lock:
+                                failures.append(exc)
+                        with lock:
+                            progress["count"] += 1
+
+            workers = [threading.Thread(target=load, args=(k,))
+                       for k in range(CLIENTS)]
+            for worker in workers:
+                worker.start()
+            while progress["count"] < REQUESTS // 4:
+                time.sleep(0.005)
+            pid = sup.frontend_pids()[0]
+            sup.kill_frontend(0)
+            print(f"cluster-smoke: SIGKILLed front-end 0 (pid {pid}) "
+                  f"after {progress['count']} requests")
+            for worker in workers:
+                worker.join()
+            if failures:
+                print(f"cluster-smoke: FAIL — {len(failures)} of "
+                      f"{REQUESTS} requests failed; first: {failures[0]!r}")
+                return 1
+            if not sup.wait_all_alive(timeout=15):
+                print("cluster-smoke: FAIL — killed front-end "
+                      "was not restarted")
+                return 1
+            aggregate = sup.aggregate()
+            with ServeClient(host, port, timeout=30,
+                             connect_retries=6) as client:
+                deadline = time.monotonic() + 10
+                cluster = None
+                while time.monotonic() < deadline:
+                    cluster = client.stats().get("cluster")
+                    if cluster and cluster["restarts"]["frontend"] >= 1:
+                        break
+                    time.sleep(0.1)
+            if not cluster or cluster["restarts"]["frontend"] < 1:
+                print("cluster-smoke: FAIL — /stats never reported "
+                      "the restart in its cluster aggregate")
+                return 1
+        hashes = store_hashes(store_dir)
+        if sorted(hashes) != sorted(set(hashes)):
+            print("cluster-smoke: FAIL — a job hash was stored twice")
+            return 1
+        print(f"cluster-smoke: ok — {REQUESTS}/{REQUESTS} requests "
+              f"answered across the kill, {len(set(hashes))} distinct "
+              f"hashes each computed once, generation "
+              f"{aggregate['generation']}, "
+              f"{aggregate['restarts']['frontend']} front-end restart(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
