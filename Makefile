@@ -5,7 +5,7 @@ export PYTHONPATH := src
 export REPRO_SCALE ?= ci
 
 .PHONY: test test-slow bench-smoke bench-record bench-figures campaign-smoke \
-	docs-check bench-regress chaos-smoke cluster-smoke smoke
+	docs-check bench-regress chaos-smoke cluster-smoke backend-smoke smoke
 
 ## Tier-1 test suite (the gate every PR must keep green).  Tests marked
 ## `slow` (paper-scale simulation sweeps) are deselected here.
@@ -56,10 +56,19 @@ chaos-smoke:
 cluster-smoke:
 	$(PYTHON) tools/cluster_smoke.py
 
+## Backend seam smoke: the `repro backend` diagnostic (with its timed
+## micro-probe) plus the two ≥3x speedup gates — which skip themselves,
+## and leave the target green, on hosts where the C extension cannot
+## build (numpy is always available).
+backend-smoke:
+	$(PYTHON) -m repro backend --probe
+	$(PYTHON) -m pytest benchmarks/bench_backend.py -q
+
 ## The full smoke path: tier-1 tests, executable documentation, the
 ## fault-injection scenarios (cluster kills included), the cluster
-## smoke, and the perf-trajectory regression gate.
-smoke: test docs-check chaos-smoke cluster-smoke bench-regress
+## smoke, the backend seam smoke, and the perf-trajectory regression
+## gate.
+smoke: test docs-check chaos-smoke cluster-smoke backend-smoke bench-regress
 
 ## Fast perf gate: ci-scale hot-path microbenchmarks (analysis kernel +
 ## simulator + serve throughput) plus the campaign-engine smoke and the

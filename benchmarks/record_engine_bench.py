@@ -31,6 +31,12 @@ analysis kernel optimisation targets:
   scalar scenarios/s at B ∈ {1, 32, 256} plus the end-to-end sweep
   comparison and the ci-scale Figure 4(a) wall clock; see
   ``bench_batch.py``.
+* ``backend``              — the backend seam: the B = 256 batch
+  recurrence and the 8×8 simulator run timed under every available
+  backend (numpy always; cext when the C extension builds), with
+  CPU-time speedups; see ``bench_backend.py``.  On numpy-only hosts
+  the block records the numpy times and omits the speedups — the
+  regression gate skips absent metrics.
 * ``chaos``                — the fault-injection suite at smoke scale
   (``tools/chaos.py``): scenarios passed and the wall-clock overhead
   the recovery machinery adds to a worker-killed CLI campaign.
@@ -154,6 +160,7 @@ def collect() -> dict:
     metrics["campaign"] = _campaign_metrics()
     metrics["serve"] = _serve_metrics()
     metrics["batch"] = _batch_metrics(metrics["fig4_ci_s"])
+    metrics["backend"] = _backend_metrics()
     metrics["chaos"] = _chaos_metrics()
     metrics["cluster"] = _cluster_metrics()
     return metrics
@@ -205,6 +212,17 @@ def _batch_metrics(fig4_ci_s: float) -> dict:
     block = batch_metrics()
     block["sweep"]["fig4_ci_s"] = fig4_ci_s
     return block
+
+
+def _backend_metrics() -> dict:
+    """Backend seam speedups (see ``bench_backend.py``).
+
+    Shares the measurement code with the benchmark so the recorded
+    numbers measure exactly what its ≥3x gates enforce.
+    """
+    from bench_backend import backend_metrics
+
+    return backend_metrics()
 
 
 def _serve_metrics() -> dict:
@@ -303,10 +321,13 @@ def git_revision() -> str:
 
 
 def main(argv: list[str]) -> int:
+    from repro.core.backend import get_backend
+
     label = argv[1] if len(argv) > 1 else "run"
     entry = {
         "label": label,
         "revision": git_revision(),
+        "backend": get_backend().name,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": sys.version.split()[0],
         "metrics": collect(),
@@ -323,15 +344,17 @@ def main(argv: list[str]) -> int:
 
 
 def dedupe(history: list) -> list:
-    """Keep only the newest entry per (label, revision) pair.
+    """Keep only the newest entry per (label, revision, backend).
 
     Repeated ``make bench-smoke`` runs on one revision used to pile up
     identical-looking ``smoke`` entries; the trajectory only needs the
     freshest numbers per revision, while entries from other revisions
-    (the actual milestones) are never touched.
+    (the actual milestones) are never touched.  Runs recorded under
+    different active backends (``repro --backend ...`` sessions) are
+    distinct measurements and all survive.
     """
     def key(entry: dict):
-        return entry.get("label"), entry.get("revision")
+        return entry.get("label"), entry.get("revision"), entry.get("backend")
 
     keep_from = {key(entry): index for index, entry in enumerate(history)}
     return [

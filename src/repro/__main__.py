@@ -11,6 +11,8 @@ Usage::
     python -m repro serve --port 8177 --workers 4         # HTTP service
     python -m repro cluster --frontends 4 --port 8177     # sharded cluster
     python -m repro stored cluster-state/shard-00         # one store shard
+    python -m repro backend --probe                       # backend status
+    python -m repro --backend cext analyze traffic.json   # compiled kernels
 
 ``analyze`` reads the JSON format of :mod:`repro.io`; ``experiments``
 forwards to :mod:`repro.experiments.runner` (its ``validate`` campaign
@@ -147,6 +149,67 @@ def cmd_campaign(args) -> int:
     return 1 if run.partial else 0
 
 
+def cmd_backend(args) -> int:
+    """``backend``: compiled-backend availability, build status, probes."""
+    from repro.core import backend as backend_mod
+
+    rows = backend_mod.backend_infos()
+    for info in rows:
+        marker = "*" if info["active"] else " "
+        kernels = ", ".join(info["kernels"]) or "none (built-in paths)"
+        state = "available" if info["available"] else "unavailable"
+        print(f"{marker} {info['name']:<8} {state:<12} kernels: {kernels}")
+        print(f"           {info['detail']}")
+    if args.probe:
+        print()
+        for line in _backend_probe(backend_mod):
+            print(line)
+    return 0
+
+
+def _backend_probe(backend_mod) -> list[str]:
+    """One-shot micro-probe: a tiny batch and a tiny simulation per
+    available backend, CPU-timed (relative numbers only — the workloads
+    are sized to finish fast, not to saturate the kernels)."""
+    import time
+
+    from repro.core.analyses.ibn import IBNAnalysis
+    from repro.core.batch import Scenario, analyze_batch
+    from repro.noc.platform import NoCPlatform
+    from repro.noc.topology import Mesh2D
+    from repro.flows.flowset import FlowSet
+    from repro.sim.simulator import WormholeSimulator
+    from repro.sim.traffic import PeriodicReleases
+    from repro.util.rng import spawn_rng
+    from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
+
+    platform = NoCPlatform(Mesh2D(4, 4), buf=2)
+    flowsets = []
+    for index in range(8):
+        rng = spawn_rng(20180319, "backend-probe", index)
+        flows = synthetic_flows(
+            SyntheticConfig(num_flows=48),
+            platform.topology.num_nodes,
+            rng,
+        )
+        flowsets.append(FlowSet(platform, flows))
+    sim_flowset = flowsets[0]
+    horizon = max(f.period for f in sim_flowset.flows) // 8
+    lines = [f"{'backend':<8} {'batch(8x48)':>12} {'sim(4x4)':>12}"]
+    for name in backend_mod.available_backend_names():
+        with backend_mod.use_backend(name):
+            analyze_batch([Scenario(f, IBNAnalysis()) for f in flowsets])
+            t0 = time.process_time()
+            analyze_batch([Scenario(f, IBNAnalysis()) for f in flowsets])
+            batch_s = time.process_time() - t0
+            WormholeSimulator(sim_flowset, PeriodicReleases()).run(horizon)
+            t0 = time.process_time()
+            WormholeSimulator(sim_flowset, PeriodicReleases()).run(horizon)
+            sim_s = time.process_time() - t0
+        lines.append(f"{name:<8} {batch_s * 1e3:>10.1f}ms {sim_s * 1e3:>10.1f}ms")
+    return lines
+
+
 def cmd_serve(args) -> int:
     """``serve``: run the HTTP analysis service until interrupted."""
     from repro.serve.server import run_server
@@ -165,6 +228,7 @@ def cmd_serve(args) -> int:
             drain_timeout_s=args.drain_timeout,
             store_addrs=tuple(args.store),
             max_inflight=args.max_inflight,
+            backend=args.backend,
         )
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
@@ -210,6 +274,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Worst-case NoC latency analysis (DATE'18 IBN reproduction)",
+    )
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="compute backend for every command (numpy or cext); "
+             "overrides REPRO_BACKEND, falls back to numpy when the "
+             "compiled extension is unavailable",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -331,7 +401,23 @@ def main(argv: list[str] | None = None) -> int:
         help="admission bound on concurrent compute requests; beyond it "
              "requests are shed with 429 + Retry-After (0 = unbounded)",
     )
+    p_serve.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="compute backend for the service and its workers "
+             "(numpy or cext; default: REPRO_BACKEND or numpy)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_backend = sub.add_parser(
+        "backend",
+        help="list compute backends, availability and build status",
+    )
+    p_backend.add_argument(
+        "--probe", action="store_true",
+        help="also time a tiny batch analysis and simulation per "
+             "available backend",
+    )
+    p_backend.set_defaults(func=cmd_backend)
 
     p_cluster = sub.add_parser(
         "cluster",
@@ -414,6 +500,14 @@ def main(argv: list[str] | None = None) -> int:
     p_stored.set_defaults(func=cmd_stored)
 
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        from repro.core import backend as backend_mod
+
+        try:
+            backend_mod.set_backend(args.backend)
+        except ValueError as exc:
+            print(f"--backend: {exc}", file=sys.stderr)
+            return 2
     if args.command == "experiments":
         from repro.experiments.runner import main as runner_main
 

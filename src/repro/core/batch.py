@@ -44,9 +44,13 @@ Scalar fallback: a scenario is handed back to :func:`analyze` when
 
 from __future__ import annotations
 
+import os
+import warnings
+import weakref
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core import backend as _backend
 from repro.core.analyses.base import Analysis
 from repro.core.analyses.ibn import IBNAnalysis
 from repro.core.analyses.sb import SBAnalysis
@@ -55,6 +59,7 @@ from repro.core.engine import (
     RESPONSE_CAP,
     AnalysisResult,
     FlowResult,
+    _flow_result_fast,
     _timing_equal,
     analyze,
 )
@@ -105,6 +110,42 @@ def batchable(analysis: Analysis) -> bool:
     return _np is not None and type(analysis) in _MODES
 
 
+#: Default stacked-flow count beneath which batch consumers prefer the
+#: scalar engine (array-program setup overhead dominates tiny rounds).
+_DEFAULT_MIN_BATCH_FLOWS = 1024
+_warned_min_flows = False
+
+
+def min_batch_flows(override: int | None = None) -> int:
+    """The tiny-round threshold: rounds stacking fewer flows than this
+    should take the scalar path.
+
+    Callers pass sweep-level keyword overrides through ``override``;
+    otherwise the ``REPRO_BATCH_MIN_FLOWS`` environment variable tunes
+    the default (``1024``).  Both paths are byte-identical (the
+    equivalence contract), so the threshold only moves the crossover
+    point, never the results; an unparsable variable warns once and
+    keeps the default rather than failing a sweep.
+    """
+    if override is not None:
+        return int(override)
+    raw = os.environ.get("REPRO_BATCH_MIN_FLOWS")
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            global _warned_min_flows
+            if not _warned_min_flows:
+                _warned_min_flows = True
+                warnings.warn(
+                    f"REPRO_BATCH_MIN_FLOWS={raw!r} is not an integer; "
+                    f"using {_DEFAULT_MIN_BATCH_FLOWS}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    return _DEFAULT_MIN_BATCH_FLOWS
+
+
 # ---------------------------------------------------------------------------
 # Per-graph structure: flat pair / downstream index tables.
 # ---------------------------------------------------------------------------
@@ -124,7 +165,7 @@ class _GraphStruct:
     __slots__ = (
         "n", "pair_i", "pair_j", "pair_offsets", "down_pair", "down_k",
         "down_offsets", "up_nonempty", "any_direct_up", "cd_size_pair",
-        "lower_counts",
+        "lower_counts", "mat_fields",
     )
 
 
@@ -199,6 +240,8 @@ def _build_struct(graph: InterferenceGraph) -> _GraphStruct:
     # The "any_upstream" ablation widening is computed on first use
     # (see _ensure_any_direct_up); the default rule never reads it.
     struct.any_direct_up = None
+    # (names, priorities) for materialisation, filled on first use.
+    struct.mat_fields = None
     return struct
 
 
@@ -238,9 +281,17 @@ class _Plan:
     )
 
 
-def _numeric_arrays(flowset: FlowSet, cache: dict):
+#: Per-flow-set numeric arrays, keyed by instance identity like the
+#: simulator's table cache: entries die with their flow set and never
+#: ride along in pickles (workers rebuild them once).
+_NUMERIC_CACHE: "weakref.WeakKeyDictionary[FlowSet, tuple]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _numeric_arrays(flowset: FlowSet):
     """(c, period, jitter, deadline) int64 arrays, shared per FlowSet."""
-    found = cache.get(id(flowset))
+    found = _NUMERIC_CACHE.get(flowset)
     if found is None:
         flows = flowset.flows
         found = (
@@ -249,11 +300,11 @@ def _numeric_arrays(flowset: FlowSet, cache: dict):
             _np.asarray([f.jitter for f in flows], dtype=_np.int64),
             _np.asarray([f.deadline for f in flows], dtype=_np.int64),
         )
-        cache[id(flowset)] = found
+        _NUMERIC_CACHE[flowset] = found
     return found
 
 
-def _build_plan(scenario: Scenario, numeric_cache: dict) -> _Plan:
+def _build_plan(scenario: Scenario) -> _Plan:
     flowset = scenario.flowset
     graph = scenario.graph
     plan = _Plan()
@@ -264,7 +315,7 @@ def _build_plan(scenario: Scenario, numeric_cache: dict) -> _Plan:
     plan.mode = _MODES[type(scenario.analysis)]
     plan.n = struct.n
     plan.c, plan.period, plan.jitter, plan.deadline = _numeric_arrays(
-        flowset, numeric_cache
+        flowset
     )
     platform = flowset.platform
     if platform.linkl > 1:
@@ -513,8 +564,7 @@ def analyze_batch(
 
 def _run_batch(scenarios, *, stop_at_deadline, early_exit):
     """The array program proper; ``None`` entries mean "divert"."""
-    numeric_cache: dict = {}
-    plans = [_build_plan(s, numeric_cache) for s in scenarios]
+    plans = [_build_plan(s) for s in scenarios]
     B = len(plans)
     sizes = _np.asarray([p.n for p in plans], dtype=_np.int64)
     slot_base = _np.zeros(B + 1, dtype=_np.int64)
@@ -659,8 +709,32 @@ def _run_batch(scenarios, *, stop_at_deadline, early_exit):
     has_blocking = bool(BLK.any())
     any_warm = bool(WARM.any())
     any_retired = False
+    # The backend seam: a compiled backend may take the whole level
+    # loop (run_levels) or just the fixed-point inner loop (solve_rows);
+    # either way the contract is byte-identical dynamic state.  numpy
+    # keeps the in-module implementations.
+    kernel = _backend.get_backend()
+    solve = kernel.solve_rows or _solve_rows
+    if kernel.run_levels is not None:
+        kernel.run_levels(
+            max_f=max_f, early_exit=early_exit,
+            level_slot_bounds=level_slot_bounds, slot_perm=slot_perm,
+            slot_scn=slot_scn, slot_counts=slot_counts,
+            level_pair_bounds=level_pair_bounds, pair_j_slot=pair_j_slot,
+            pair_mode=pair_mode, pair_fallback=pair_fallback,
+            pair_bi=pair_bi, pair_use_bound=pair_use_bound,
+            down_offsets=down_offsets, down_pair=down_pair,
+            down_k_slot=down_k_slot,
+            C=C, T=T, J=J, D=D, BLK=BLK, WARM=WARM, GIVE=GIVE,
+            R=R, CONV=CONV, TAINT=TAINT, BAD=BAD, totals=totals,
+            hitcost=hitcost, stopped=stopped, diverted=diverted,
+            last_level=last_level, iterations=iterations,
+        )
+        levels = range(0)
+    else:
+        levels = range(max_f)
 
-    for level in range(max_f):
+    for level in levels:
         s0, s1 = int(level_slot_bounds[level]), int(level_slot_bounds[level + 1])
         slots_all = slot_perm[s0:s1]
         scns_all = slot_scn[slots_all]
@@ -752,7 +826,7 @@ def _run_batch(scenarios, *, stop_at_deadline, early_exit):
         else:
             warm_ok = _np.zeros(len(slots), dtype=bool)
             start = cold
-        r_fin, conv_fin, iters, unsafe = _solve_rows(
+        r_fin, conv_fin, iters, unsafe = solve(
             start, warm_ok, base, give, cold, wj, T[pj], iter_cost, counts
         )
         iterations[scns] += iters
@@ -789,6 +863,11 @@ def _run_batch(scenarios, *, stop_at_deadline, early_exit):
                 last_level[scns[failed]] = level
 
     # ---- materialise --------------------------------------------------
+    # Plain-list views once, then the __init__-free constructor: frozen
+    # dataclass construction and numpy scalar boxing dominate this loop
+    # otherwise (one result per slot, all backends share this path).
+    C_l, R_l, D_l = C.tolist(), R.tolist(), D.tolist()
+    CONV_l, TAINT_l = CONV.tolist(), TAINT.tolist()
     outcomes: list = []
     for b, plan in enumerate(plans):
         if diverted[b]:
@@ -799,16 +878,24 @@ def _run_batch(scenarios, *, stop_at_deadline, early_exit):
         base_slot = int(slot_base[b])
         flows: dict[str, FlowResult] = {}
         upto = int(last_level[b])
-        for index, flow in enumerate(flowset.flows[: upto + 1]):
+        fields = plan.struct.mat_fields
+        if fields is None:
+            fields = plan.struct.mat_fields = (
+                [f.name for f in flowset.flows],
+                [f.priority for f in flowset.flows],
+            )
+        names, priorities = fields
+        for index in range(upto + 1):
             slot = base_slot + index
-            flows[flow.name] = FlowResult(
-                name=flow.name,
-                priority=flow.priority,
-                c=int(C[slot]),
-                deadline=flow.deadline,
-                response_time=int(R[slot]),
-                converged=bool(CONV[slot]),
-                tainted=bool(TAINT[slot]),
+            name = names[index]
+            flows[name] = _flow_result_fast(
+                name,
+                priorities[index],
+                C_l[slot],
+                D_l[slot],
+                R_l[slot],
+                CONV_l[slot],
+                TAINT_l[slot],
             )
         outcomes.append(
             (

@@ -98,6 +98,24 @@ class FlowResult:
         return self.deadline - self.response_time
 
 
+def _flow_result_fast(
+    name: str, priority: int, c: int, deadline: int,
+    response_time: int, converged: bool, tainted: bool,
+) -> FlowResult:
+    """Breakdown-free :class:`FlowResult` without the frozen-dataclass
+    ``__init__`` overhead (``object.__setattr__`` per field); the batch
+    engine materialises tens of thousands of these per call.  Must stay
+    in sync with the dataclass fields.
+    """
+    result = object.__new__(FlowResult)
+    result.__dict__.update(
+        name=name, priority=priority, c=c, deadline=deadline,
+        response_time=response_time, converged=converged, tainted=tainted,
+        breakdown=(),
+    )
+    return result
+
+
 @dataclass(frozen=True)
 class AnalysisResult:
     """Outcome of one analysis over a whole flow set."""

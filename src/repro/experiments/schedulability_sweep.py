@@ -265,18 +265,11 @@ def spec_verdicts(
     return state.labelled()
 
 
-#: Rounds with fewer total flows than this run on the scalar engine —
-#: the array assembly only pays for itself once a round carries real
-#: volume (many sets, large sets, or both).  Calibrated against
-#: ``benchmarks/bench_batch.py``: the crossover sits near a thousand
-#: stacked flows on current hardware.
-_MIN_BATCH_FLOWS = 1024
-
-
 def spec_verdicts_batch(
     entries: Sequence[tuple[FlowSet, Sequence[AnalysisSpec]]],
     *,
     graphs: Sequence[InterferenceGraph | None] | None = None,
+    min_batch_flows: int | None = None,
 ) -> list[dict[str, bool]]:
     """Verdicts for many flow sets, batched through the columnar kernel.
 
@@ -287,8 +280,15 @@ def spec_verdicts_batch(
     round's pending analyses across all sets form one mixed-analysis
     :func:`~repro.core.batch.analyze_batch` call (scalar for tiny
     rounds, where array assembly would cost more than it saves).
+    ``min_batch_flows`` overrides that crossover threshold; it defaults
+    to :func:`repro.core.batch.min_batch_flows` (tunable through
+    ``REPRO_BATCH_MIN_FLOWS``), and both paths are byte-identical, so
+    moving it only shifts where the scalar engine takes over.
     """
     from repro.core.batch import Scenario, analyze_batch
+    from repro.core.batch import min_batch_flows as _threshold
+
+    tiny_cutoff = _threshold(min_batch_flows)
 
     states: list[_VerdictState] = []
     for position, (base_flowset, specs) in enumerate(entries):
@@ -303,7 +303,7 @@ def spec_verdicts_batch(
             Scenario(flowset, analysis, graph=state.graph, warm_from=warm)
             for state, (_, flowset, analysis, warm) in picked
         ]
-        if sum(len(s.flowset) for s in scenarios) >= _MIN_BATCH_FLOWS:
+        if sum(len(s.flowset) for s in scenarios) >= tiny_cutoff:
             results = analyze_batch(scenarios, early_exit=True)
         else:
             results = [

@@ -53,7 +53,7 @@ class SimTables:
     __slots__ = (
         "num_flows", "num_links", "priority_of", "is_local", "flow_names",
         "first_link", "next_of", "route_slots", "capacity", "buffered",
-        "ejection", "credit_template", "routes",
+        "ejection", "credit_template", "routes", "cext",
     )
 
     def __init__(self, flowset: FlowSet):
@@ -97,6 +97,9 @@ class SimTables:
             for flow in range(nf):
                 template[base + flow] = depth
         self.credit_template = template
+        #: lazily built flat-array mirror for the compiled backend
+        #: (:meth:`repro.core.backend.CextBackend._sim_static`).
+        self.cext = None
 
 
 #: Per-flow-set table cache, keyed by instance identity so entries die

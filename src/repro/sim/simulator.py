@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 from collections import deque
 
+from repro.core import backend as _backend
 from repro.flows.flowset import FlowSet
 from repro.sim.network import NetworkState
 from repro.sim.observer import LatencyObserver
@@ -193,6 +194,60 @@ class WormholeSimulator:
         pending.sort(key=lambda p: (p.release_time, p.flow_index, p.seq))
         release_ptr = 0
         num_releases = len(pending)
+
+        # Backend seam: a compiled backend can drain the whole event
+        # loop in one call (byte-identical contract, enforced by the
+        # equivalence suite).  Observation hooks the kernel cannot call
+        # (tracers, per-packet records, observer subclasses) and debug
+        # invariants keep the Python loop below.
+        backend = _backend.get_backend()
+        if (
+            backend.sim_run is not None
+            and tracer is None
+            and not debug
+            and type(observer) is LatencyObserver
+            and not observer.keep_records
+        ):
+            done = backend.sim_run(
+                tables,
+                pending,
+                linkl=linkl,
+                routl=routl,
+                credit_delay=credit_delay,
+                drain_limit=drain_limit,
+            )
+            if done is not None:
+                state.flits_in_network = done["flits_in_network"]
+                result.end_time = done["end_time"]
+                result.drained = done["drained"]
+                worst = done["worst"]
+                obs_worst = observer.worst
+                for index, count in enumerate(done["delivered_pkts"]):
+                    if count:
+                        name = names[index]
+                        observer.delivered[name] += int(count)
+                        latency = int(worst[index])
+                        if latency > obs_worst.get(name, 0):
+                            obs_worst[name] = latency
+                result.released_packets = {
+                    names[i]: count
+                    for i, count in enumerate(released_packets) if count
+                }
+                result.released_flits = {
+                    names[i]: count
+                    for i, count in enumerate(released_flits) if count
+                }
+                result.delivered_flits = {
+                    names[i]: int(count)
+                    for i, count in enumerate(done["delivered_flits"])
+                    if count
+                }
+                result.flits_per_link = {
+                    link: int(count)
+                    for link, count in enumerate(done["flits_per_link"])
+                    if count
+                }
+                return result
 
         # Three monotone event streams instead of one heap: each kind is
         # scheduled a *fixed* distance ahead of the non-decreasing clock,

@@ -13,6 +13,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import backend as backend_mod
 from repro.core.analyses.ibn import IBNAnalysis
 from repro.core.analyses.sb import SBAnalysis
 from repro.core.analyses.xlw16 import XLW16Analysis
@@ -41,6 +42,22 @@ ANALYSES = [
     IBNAnalysis(upstream_rule="any_upstream"),
     IBNAnalysis(use_buffer_bound=False),
 ]
+
+
+@pytest.fixture(
+    autouse=True,
+    params=backend_mod.available_backend_names(),
+    ids=lambda name: f"backend-{name}",
+)
+def _every_backend(request):
+    """Run the whole equivalence suite once per available backend.
+
+    The scalar oracle (:func:`analyze`) never touches backend kernels,
+    so each parametrization pits one backend's batch path against the
+    same pure-Python reference.
+    """
+    with backend_mod.use_backend(request.param):
+        yield request.param
 
 
 def _random_flowset(n, seed, *, mesh=(4, 4), buf=2, linkl=1, routl=0,
@@ -239,6 +256,24 @@ class TestVerdictConsumers:
         batched = spec_verdicts_batch(entries)
         for (flowset, _), verdicts in zip(entries, batched):
             assert verdicts == spec_verdicts(flowset, specs)
+
+    def test_min_batch_flows_boundary_is_byte_identical(self, monkeypatch):
+        """Shifting the scalar/batch crossover — keyword argument or
+        ``REPRO_BATCH_MIN_FLOWS`` — never changes a verdict, only which
+        engine produced it."""
+        specs = fig4_specs()
+        entries = [
+            (_random_flowset(24 + 11 * i, 900 + i, tag="threshold"), specs)
+            for i in range(4)
+        ]
+        total = sum(len(flowset) for flowset, _ in entries)
+        all_batch = spec_verdicts_batch(entries, min_batch_flows=1)
+        all_scalar = spec_verdicts_batch(
+            entries, min_batch_flows=10 * total
+        )
+        assert all_batch == all_scalar
+        monkeypatch.setenv("REPRO_BATCH_MIN_FLOWS", "1")
+        assert spec_verdicts_batch(entries) == all_scalar
 
     def test_sched_chunk_block_equals_per_job(self):
         params = {

@@ -68,6 +68,11 @@ class TestBasicEndpoints:
         client.healthz()
         assert client.stats()["requests"] >= 1
 
+    def test_stats_reports_active_backend(self, client):
+        from repro.core.backend import registered_backend_names
+
+        assert client.stats()["backend"] in registered_backend_names()
+
     def test_keep_alive_reuses_connection(self, client):
         # Both requests travel over the client's single keep-alive
         # connection; the server must answer each independently.

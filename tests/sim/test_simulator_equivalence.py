@@ -10,6 +10,7 @@ phasings, credit delays and platform latencies.
 
 import pytest
 
+from repro.core import backend as backend_mod
 from repro.flows.flow import Flow
 from repro.flows.flowset import FlowSet
 from repro.flows.priority import rate_monotonic
@@ -21,6 +22,19 @@ from repro.sim.traffic import PeriodicReleases, single_shot
 from repro.sim.worstcase import offset_search, simulate_offsets
 from repro.util.rng import spawn_rng
 from repro.workloads.didactic import didactic_flowset
+
+
+@pytest.fixture(
+    autouse=True,
+    params=backend_mod.available_backend_names(),
+    ids=lambda name: f"backend-{name}",
+)
+def _every_backend(request):
+    """Run the whole suite once per available backend — the frozen
+    oracle never uses backend kernels, so each parametrization checks
+    one backend's event drain against the same reference."""
+    with backend_mod.use_backend(request.param):
+        yield request.param
 
 
 def assert_equivalent(flowset, plan, horizon, *, credit_delay=1,

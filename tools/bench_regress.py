@@ -54,6 +54,11 @@ TRACKED = (
     ("serve.warm_rps", "higher"),
     ("batch.sweep.batched_scenarios_per_s", "higher"),
     ("batch.sweep.speedup", "higher"),
+    # Optional-backend metrics: absent on numpy-only hosts (the C
+    # extension never built), and lookup() skips absent paths.
+    ("backend.kernel_b256.cpu_speedup", "higher"),
+    ("backend.sim_8x8.cpu_speedup", "higher"),
+    ("backend.sim_8x8.cext_cycles_per_s", "higher"),
     ("chaos.scenarios_passed", "higher"),
     ("cluster.best_rps", "higher"),
 )
