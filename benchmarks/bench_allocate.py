@@ -1,0 +1,128 @@
+"""Allocation optimizer: frontier throughput and time-to-optimum.
+
+Measurements (shared with ``record_engine_bench.py``, which stores
+them as the ``allocate`` block of BENCH_engine.json):
+
+* **evals_per_s** — schedulability evaluations the search sustains per
+  second over a ladder of didactic deadline variants whose feasibility
+  boundary crosses the whole 1..4 depth box.  Evaluations flow through
+  the frontier batching path (``analyze_batch`` over candidate depth
+  maps sharing one interference graph), so this is the number the
+  batching exists to move.
+* **time_to_optimum_s** — wall clock to a *certified* optimum for the
+  whole ladder (best-of-N process-CPU, like the other kernel probes).
+* **evaluations_per_case / pruning_factor** — how much of the 4^4
+  relevant-router box the monotonicity pruning lets the search skip.
+  Speed-independent, so the regression gate sees algorithmic
+  regressions (lost pruning) even through machine drift.
+
+The pytest gates enforce the search-quality floor: every ladder case
+certified, matching the brute-force oracle, at a pruning factor the
+dominance rules comfortably clear today.
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_allocate.py -q
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.core.allocate import (
+    CostModel,
+    exhaustive_allocation,
+    optimize_allocation,
+)
+from repro.flows.flowset import FlowSet
+from repro.workloads.didactic import didactic_flowset
+
+#: t3-deadline ladder: infeasible -> one corner -> knapsack -> roomy.
+#: 336 + 2·(d2+d3+d4) is t3's IBN bound, so each step moves the
+#: feasibility boundary one layer through the depth box.
+DEADLINES = tuple(range(336, 404, 4))
+
+#: Objectives exercised per deadline: the kind default, a weighted
+#: silicon-area model, and a weighted throughput-sacrifice model.
+MODELS = (
+    None,
+    CostModel(kind="depth", weights={2: 3, 4: 2}),
+    CostModel(kind="shallowness", target=4, weights={2: 3, 4: 2}),
+)
+
+HI = 4
+#: The didactic chain has 4 contended routers: the exhaustive
+#: relevant-router box the pruning is measured against.
+BOX = HI ** 4
+
+
+def _ladder() -> list[FlowSet]:
+    base = didactic_flowset()
+    out = []
+    for deadline in DEADLINES:
+        flows = list(base.flows)
+        flows[2] = dataclasses.replace(flows[2], deadline=deadline)
+        out.append(FlowSet(base.platform, flows))
+    return out
+
+
+def _run_ladder(flowsets) -> list:
+    return [
+        optimize_allocation(flowset, lo=1, hi=HI, cost_model=model)
+        for flowset in flowsets
+        for model in MODELS
+    ]
+
+
+def allocate_metrics(repeats: int = 3) -> dict:
+    """The ``allocate`` block recorded into BENCH_engine.json."""
+    flowsets = _ladder()
+    _run_ladder(flowsets)  # warm routes and memos outside the timing
+    best_s = float("inf")
+    results = []
+    for _ in range(repeats):
+        start = time.process_time()
+        results = _run_ladder(flowsets)
+        best_s = min(best_s, time.process_time() - start)
+    evaluations = sum(r.evaluations for r in results)
+    frontiers = sum(r.frontiers for r in results)
+    per_case = evaluations / len(results)
+    return {
+        "cases": len(results),
+        "time_to_optimum_s": round(best_s, 3),
+        "evals_per_s": round(evaluations / best_s, 1),
+        "frontiers_per_s": round(frontiers / best_s, 1),
+        "evaluations_per_case": round(per_case, 1),
+        "pruning_factor": round(BOX / per_case, 1),
+    }
+
+
+def test_ladder_certified_and_matches_oracle(benchmark):
+    """Every ladder case reaches a certified optimum, and a sampled
+    third of them is cross-checked against the exhaustive oracle."""
+    flowsets = _ladder()
+    results = benchmark.pedantic(
+        lambda: _run_ladder(flowsets), rounds=1, iterations=1
+    )
+    assert all(r.certified for r in results)
+    cases = [
+        (flowset, model) for flowset in flowsets for model in MODELS
+    ]
+    for index in range(0, len(cases), 3):
+        flowset, model = cases[index]
+        oracle = exhaustive_allocation(
+            flowset, lo=1, hi=HI, cost_model=model
+        )
+        fast = results[index]
+        assert fast.feasible == oracle.feasible
+        assert fast.cost == oracle.cost
+
+
+def test_pruning_beats_exhaustive_box():
+    """The monotonicity pruning must keep mean evaluations well under
+    the exhaustive relevant-router box (4x is a comfortable floor; the
+    search sits far above it today)."""
+    metrics = allocate_metrics(repeats=1)
+    assert metrics["pruning_factor"] >= 4.0
+    assert metrics["evals_per_s"] > 0

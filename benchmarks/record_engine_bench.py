@@ -37,6 +37,10 @@ analysis kernel optimisation targets:
   CPU-time speedups; see ``bench_backend.py``.  On numpy-only hosts
   the block records the numpy times and omits the speedups — the
   regression gate skips absent metrics.
+* ``allocate``             — the buffer-allocation optimizer: frontier
+  evaluations/s and time-to-certified-optimum over the didactic
+  deadline ladder, plus the monotonicity-pruning factor versus the
+  exhaustive depth box; see ``bench_allocate.py``.
 * ``chaos``                — the fault-injection suite at smoke scale
   (``tools/chaos.py``): scenarios passed and the wall-clock overhead
   the recovery machinery adds to a worker-killed CLI campaign.
@@ -160,6 +164,7 @@ def collect() -> dict:
     metrics["campaign"] = _campaign_metrics()
     metrics["serve"] = _serve_metrics()
     metrics["batch"] = _batch_metrics(metrics["fig4_ci_s"])
+    metrics["allocate"] = _allocate_metrics()
     metrics["backend"] = _backend_metrics()
     metrics["chaos"] = _chaos_metrics()
     metrics["cluster"] = _cluster_metrics()
@@ -212,6 +217,17 @@ def _batch_metrics(fig4_ci_s: float) -> dict:
     block = batch_metrics()
     block["sweep"]["fig4_ci_s"] = fig4_ci_s
     return block
+
+
+def _allocate_metrics() -> dict:
+    """Allocation-optimizer search throughput (see ``bench_allocate.py``).
+
+    Shares the measurement code with the benchmark so the recorded
+    numbers measure exactly what its pruning gates enforce.
+    """
+    from bench_allocate import allocate_metrics
+
+    return allocate_metrics()
 
 
 def _backend_metrics() -> dict:

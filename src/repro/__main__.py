@@ -5,6 +5,7 @@ Usage::
     python -m repro analyze traffic.json                  # IBN by default
     python -m repro analyze traffic.json --analysis all --buf 16
     python -m repro sizing traffic.json                   # buffer headroom
+    python -m repro allocate traffic.json --hi 8          # buffer allocation
     python -m repro experiments fig4a --scale default     # campaign runner
     python -m repro experiments validate --workers 4      # sim vs bounds
     python -m repro campaign spec.json --run-dir runs/x   # declarative run
@@ -101,6 +102,55 @@ def cmd_sizing(args) -> int:
     margin = length_scaling_margin(flowset)
     print(f"payload margin: packets can scale by x{margin:.2f} before the "
           "IBN verdict flips")
+    return 0
+
+
+def cmd_allocate(args) -> int:
+    """``allocate``: minimum-cost schedulable buffer allocation of a file.
+
+    Exit code 1 when no allocation in the depth range (and budget) keeps
+    the set schedulable.  ``--json`` prints the same document ``POST
+    /allocate`` and the ``allocation`` campaign kind produce.
+    """
+    from repro.core.allocate import allocation_summary
+
+    flowset = _load(args.flowset, None)
+    cost_model = json.loads(args.cost_model) if args.cost_model else None
+    try:
+        summary = allocation_summary(
+            flowset,
+            analysis_name=args.analysis,
+            lo=args.lo,
+            hi=args.hi,
+            cost_model=cost_model,
+            budget=args.budget,
+            max_evaluations=args.max_evaluations,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if summary["allocation"]["feasible"] else 1
+    allocation = summary["allocation"]
+    search = summary["search"]
+    model = summary["spec"]["cost_model"]
+    print(
+        f"allocation under {args.analysis} "
+        f"(depths {args.lo}..{args.hi}, cost model {model['kind']}):"
+    )
+    if not allocation["feasible"]:
+        print("  infeasible: no depth assignment keeps the set schedulable")
+        return 1
+    for router, depth in allocation["buf_map"].items():
+        marker = "*" if int(router) in search["relevant_routers"] else " "
+        print(f"  router {router:>3} {marker} depth {depth}")
+    print(
+        f"cost {allocation['cost']}  total depth {allocation['total_depth']}"
+        f"  ({'certified optimum' if allocation['certified'] else 'best found'}"
+        f", {search['evaluations']} evaluations in "
+        f"{search['frontiers']} batched frontiers; * = contended router)"
+    )
     return 0
 
 
@@ -308,6 +358,41 @@ def main(argv: list[str] | None = None) -> int:
         help="print the machine-readable sizing summary instead of tables",
     )
     p_sizing.set_defaults(func=cmd_sizing)
+
+    p_allocate = sub.add_parser(
+        "allocate",
+        help="minimum-cost schedulable buffer allocation of a flow-set file",
+    )
+    p_allocate.add_argument("flowset")
+    p_allocate.add_argument(
+        "--analysis", choices=sorted(_ANALYSES), default="ibn"
+    )
+    p_allocate.add_argument(
+        "--lo", type=int, default=1, help="shallowest depth considered"
+    )
+    p_allocate.add_argument(
+        "--hi", type=int, default=8, help="deepest depth considered"
+    )
+    p_allocate.add_argument(
+        "--budget", type=int, default=None,
+        help="cap on the total buffer depth across all routers",
+    )
+    p_allocate.add_argument(
+        "--cost-model", default=None, metavar="JSON",
+        help='cost model document, e.g. \'{"kind": "shallowness", '
+             '"target": 8}\' (default) or \'{"kind": "depth"}\'',
+    )
+    p_allocate.add_argument(
+        "--max-evaluations", type=int, default=None,
+        help="evaluation cap; a capped run returns its best incumbent "
+             "uncertified",
+    )
+    p_allocate.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable allocation document (identical "
+             "to POST /allocate)",
+    )
+    p_allocate.set_defaults(func=cmd_allocate)
 
     p_exp = sub.add_parser("experiments", help="paper campaign runner")
     p_exp.add_argument("rest", nargs=argparse.REMAINDER)

@@ -32,7 +32,7 @@ _KINDS: dict[str, "CampaignKind"] = {}
 _BUILTINS_LOADED = False
 
 #: Modules that register builtin campaign kinds / job executors on
-#: import: the six experiment families plus the serving layer's
+#: import: the seven experiment families plus the serving layer's
 #: single-request jobs (so any worker process can run a served query).
 _BUILTIN_MODULES = (
     "repro.experiments.schedulability_sweep",
@@ -41,6 +41,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.routing_study",
     "repro.experiments.didactic_table",
     "repro.experiments.validation_sweep",
+    "repro.experiments.allocation_sweep",
     "repro.serve.jobs",
     "repro.campaigns.faults",
 )

@@ -156,18 +156,20 @@ def sizing_summary(
     }
 
 
-def contention_pressure(flowset: FlowSet) -> dict[int, int]:
+def contention_pressure(flowset: FlowSet, *, graph=None) -> dict[int, int]:
     """How many contention domains each router's buffers participate in.
 
     For every direct-interference pair (τi, τj), every link of their
     contention domain contributes one count to the router whose buffer
     backs that link.  High-pressure routers are where deep buffers inflate
     Equation 6 — and therefore where the paper's insight says to keep
-    buffers shallow.
+    buffers shallow.  Pass ``graph`` to reuse a pre-built interference
+    graph (the geometry is buffer-independent).
     """
     from repro.core.interference import InterferenceGraph
 
-    graph = InterferenceGraph(flowset)
+    if graph is None:
+        graph = InterferenceGraph(flowset)
     platform = flowset.platform
     topology = platform.topology
     pressure = {router: 0 for router in range(topology.num_routers)}

@@ -1,0 +1,376 @@
+"""The ``allocation`` campaign kind: buffer dimensioning as a sweep.
+
+Runs the PR's allocation optimizer (:mod:`repro.core.allocate`) over a
+grid of topology × utilization × cost model: for every mesh size, flow
+count and cost model in the spec, a batch of seeded synthetic flow sets
+is optimized and the per-point outcome — feasibility rate, mean
+certified cost, mean total buffering — aggregated into one table.  The
+design question it answers is the paper's closing turn: not "is this
+flow set schedulable on this platform?" but "how should this platform's
+buffers be provisioned so the traffic stays schedulable at the least
+cost?".
+
+Campaign-engine conventions (see DESIGN.md "Campaign architecture"):
+one content-addressed ``allocate_chunk`` job per (point, set-chunk);
+traffic derives from the campaign seed and set index only, so every
+cost model sees byte-identical flow sets and a resumed run replays the
+identical jobs from the store.  Cost models are validated **on the
+worker** (the optimizer rejects malformed documents with
+``ValueError``), so a poison cost model quarantines its own jobs while
+the rest of the campaign completes — the aggregate then reports the
+points it has, degrading to a PARTIAL render instead of failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.campaigns import registry as _registry
+from repro.campaigns.registry import CampaignKind, Plan, register_kind
+from repro.campaigns.scheduler import worker_platform
+from repro.campaigns.spec import (
+    CampaignSpec,
+    Job,
+    chunk_size_param,
+    spec_param,
+)
+from repro.experiments.schedulability_sweep import default_chunk_size
+from repro.flows.flowset import FlowSet
+from repro.util.rng import spawn_rng
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
+
+
+@dataclass
+class AllocationPoint:
+    """Aggregated outcome of one (mesh, flow count, cost model) point."""
+
+    mesh: tuple[int, int]
+    num_flows: int
+    cost_kind: str
+    sets: int = 0
+    feasible: int = 0
+    certified: int = 0
+    cost_sum: float = 0.0
+    depth_sum: int = 0
+    evaluation_sum: int = 0
+
+    @property
+    def feasible_pct(self) -> float:
+        """Share of flow sets any allocation could save, in percent."""
+        return 100.0 * self.feasible / self.sets if self.sets else 0.0
+
+    @property
+    def mean_cost(self) -> float | None:
+        """Mean optimal cost across the feasible sets (None when none)."""
+        return self.cost_sum / self.feasible if self.feasible else None
+
+    @property
+    def mean_depth(self) -> float | None:
+        """Mean total buffer depth across the feasible sets."""
+        return self.depth_sum / self.feasible if self.feasible else None
+
+    @property
+    def mean_evaluations(self) -> float:
+        """Mean schedulability evaluations the search needed per set."""
+        return self.evaluation_sum / self.sets if self.sets else 0.0
+
+
+@dataclass
+class AllocationSweepResult:
+    """All points of one ``allocation`` campaign, spec order."""
+
+    points: list[AllocationPoint] = field(default_factory=list)
+    sets_per_point: int = 0
+
+
+def _chunk_flowsets(platform, params: Mapping) -> list[FlowSet]:
+    """Regenerate one chunk's seeded flow sets on the worker.
+
+    The RNG derivation matches :mod:`repro.experiments.buffer_sweep`'s
+    convention — campaign seed, flow count and set index only — so
+    every cost model of one campaign optimizes byte-identical traffic.
+    """
+    config = SyntheticConfig(num_flows=params["num_flows"], **params["config"])
+    flowsets = []
+    set_start = params["set_start"]
+    for set_index in range(set_start, set_start + params["set_count"]):
+        rng = spawn_rng(
+            params["seed"], "synthetic", params["num_flows"], set_index
+        )
+        flows = synthetic_flows(config, platform.topology.num_nodes, rng)
+        flowsets.append(FlowSet(platform, flows))
+    return flowsets
+
+
+@_registry.job_executor("allocate_chunk")
+def run_allocate_chunk(params: Mapping) -> list[dict]:
+    """Worker: optimize one chunk of flow sets under one cost model.
+
+    Returns one condensed record per set (feasible / certified / cost /
+    total depth / evaluations).  Cost-model validation happens here, on
+    the worker — a malformed model raises and quarantines exactly this
+    chunk, never the campaign.
+    """
+    from repro.core.allocate import allocation_summary
+
+    cols, rows = params["mesh"]
+    platform = worker_platform(cols, rows, 2)
+    records = []
+    for flowset in _chunk_flowsets(platform, params):
+        doc = allocation_summary(
+            flowset,
+            analysis_name=params["analysis"],
+            lo=params["lo"],
+            hi=params["hi"],
+            cost_model=params["cost_model"],
+            budget=params["budget"],
+            max_evaluations=params["max_evaluations"],
+        )
+        allocation = doc["allocation"]
+        records.append({
+            "feasible": allocation["feasible"],
+            "certified": allocation["certified"],
+            "cost": allocation["cost"],
+            "total_depth": allocation["total_depth"],
+            "evaluations": doc["search"]["evaluations"],
+        })
+    return records
+
+
+@_registry.block_executor("allocate_chunk")
+def run_allocate_chunk_block(
+    params_list: Sequence[Mapping],
+) -> list[list[dict]]:
+    """Worker: a block of allocation chunks, one after the other.
+
+    Each chunk's optimizer already batches its own candidate frontiers
+    through ``analyze_batch``, so the block hook only saves pickling —
+    results are exactly :func:`run_allocate_chunk`'s, job by job.
+    """
+    return [run_allocate_chunk(params) for params in params_list]
+
+
+def allocation_spec(
+    meshes: Sequence[tuple[int, int]],
+    flow_counts: Sequence[int],
+    sets: int,
+    *,
+    seed: int,
+    cost_models: Sequence[Mapping] | None = None,
+    lo: int = 1,
+    hi: int = 4,
+    budget: int | None = None,
+    analysis: str = "ibn",
+    name: str = "allocation",
+    config_kwargs: dict | None = None,
+    chunk_size: int | None = None,
+    max_evaluations: int | None = None,
+    title: str | None = None,
+) -> CampaignSpec:
+    """Declare a topology × utilization × cost-model allocation sweep."""
+    return CampaignSpec(
+        kind="allocation",
+        name=name,
+        params={
+            "meshes": [list(mesh) for mesh in meshes],
+            "flow_counts": list(flow_counts),
+            "sets": sets,
+            "seed": seed,
+            "cost_models": [dict(model) for model in cost_models]
+            if cost_models is not None
+            else [{"kind": "shallowness", "target": hi}],
+            "lo": lo,
+            "hi": hi,
+            "budget": budget,
+            "analysis": analysis,
+            "config": dict(config_kwargs or {}),
+            "chunk_size": chunk_size,
+            "max_evaluations": max_evaluations,
+            "title": title,
+        },
+    )
+
+
+def _allocation_params(spec: CampaignSpec) -> dict:
+    """Validated spec parameters with kind defaults (JSON specs too)."""
+    hi = spec_param(spec, "hi", 4)
+    return {
+        "meshes": spec_param(spec, "meshes"),
+        "flow_counts": spec_param(spec, "flow_counts"),
+        "sets": spec_param(spec, "sets"),
+        "seed": spec_param(spec, "seed"),
+        "cost_models": spec_param(
+            spec, "cost_models", [{"kind": "shallowness", "target": hi}]
+        ),
+        "lo": spec_param(spec, "lo", 1),
+        "hi": hi,
+        "budget": spec_param(spec, "budget", None),
+        "analysis": spec_param(spec, "analysis", "ibn"),
+        "config": spec_param(spec, "config", {}),
+        "chunk_size": chunk_size_param(spec),
+        "max_evaluations": spec_param(spec, "max_evaluations", None),
+    }
+
+
+def _allocation_plan(spec: CampaignSpec) -> Plan:
+    p = _allocation_params(spec)
+    chunk_size = p["chunk_size"] or default_chunk_size(p["sets"])
+    point_jobs: list[tuple[tuple, list[Job]]] = []
+    for mesh in p["meshes"]:
+        for num_flows in p["flow_counts"]:
+            for cost_model in p["cost_models"]:
+                chunks = []
+                for set_start in range(0, p["sets"], chunk_size):
+                    set_count = min(chunk_size, p["sets"] - set_start)
+                    chunks.append(
+                        Job(
+                            kind="allocate_chunk",
+                            params={
+                                "mesh": list(mesh),
+                                "num_flows": num_flows,
+                                "set_start": set_start,
+                                "set_count": set_count,
+                                "seed": p["seed"],
+                                "config": p["config"],
+                                "lo": p["lo"],
+                                "hi": p["hi"],
+                                "budget": p["budget"],
+                                "analysis": p["analysis"],
+                                "cost_model": cost_model,
+                                "max_evaluations": p["max_evaluations"],
+                            },
+                            label=(
+                                f"{spec.name} {mesh[0]}x{mesh[1]} "
+                                f"n={num_flows} cost={cost_model.get('kind')} "
+                                f"sets {set_start}+{set_count}"
+                            ),
+                        )
+                    )
+                point = (tuple(mesh), num_flows, cost_model.get("kind"))
+                point_jobs.append((point, chunks))
+    return Plan(
+        jobs=[job for _point, chunks in point_jobs for job in chunks],
+        context=point_jobs,
+    )
+
+
+def _allocation_aggregate(
+    spec: CampaignSpec, plan: Plan, results: Mapping[str, list]
+) -> AllocationSweepResult:
+    """Fold chunk records into per-point statistics.
+
+    Quarantined chunks are simply absent from ``results``; their sets
+    are left out of the point's statistics (the render marks the
+    campaign PARTIAL), so one poison job degrades the report instead of
+    killing it.
+    """
+    p = _allocation_params(spec)
+    sweep = AllocationSweepResult(sets_per_point=p["sets"])
+    for (mesh, num_flows, cost_kind), chunks in plan.context:
+        point = AllocationPoint(
+            mesh=tuple(mesh), num_flows=num_flows, cost_kind=cost_kind
+        )
+        for job in chunks:
+            records = results.get(job.job_id)
+            if records is None:
+                continue
+            for record in records:
+                point.sets += 1
+                point.evaluation_sum += record["evaluations"]
+                if record["feasible"]:
+                    point.feasible += 1
+                    point.cost_sum += record["cost"]
+                    point.depth_sum += record["total_depth"]
+                if record["certified"]:
+                    point.certified += 1
+        sweep.points.append(point)
+    if not sweep.points or all(point.sets == 0 for point in sweep.points):
+        raise ValueError("no allocation point has any surviving results")
+    return sweep
+
+
+def _fmt(value: float | None, width: int = 8) -> str:
+    """Fixed-width, deterministic cell formatting (``-`` for absent)."""
+    if value is None:
+        return "-".rjust(width)
+    return f"{value:.2f}".rjust(width)
+
+
+def _allocation_render(
+    spec: CampaignSpec, result: AllocationSweepResult
+) -> str:
+    title = spec.params.get("title") or (
+        f"Buffer-allocation sweep ({spec.name}, "
+        f"{result.sets_per_point} sets/point)"
+    )
+    lines = [title, ""]
+    header = (
+        f"{'mesh':>6} {'flows':>6} {'cost model':>12} {'feas%':>7} "
+        f"{'mean cost':>9} {'mean depth':>10} {'mean evals':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for point in result.points:
+        mesh = f"{point.mesh[0]}x{point.mesh[1]}"
+        lines.append(
+            f"{mesh:>6} {point.num_flows:>6} {point.cost_kind:>12} "
+            f"{point.feasible_pct:>7.1f} {_fmt(point.mean_cost, 9)} "
+            f"{_fmt(point.mean_depth, 10)} "
+            f"{point.mean_evaluations:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _allocation_csv(spec: CampaignSpec, result: AllocationSweepResult) -> str:
+    rows = [
+        "mesh,flows,cost_model,sets,feasible,certified,"
+        "feasible_pct,mean_cost,mean_depth,mean_evaluations"
+    ]
+    for point in result.points:
+        mean_cost = "" if point.mean_cost is None else f"{point.mean_cost:.4f}"
+        mean_depth = (
+            "" if point.mean_depth is None else f"{point.mean_depth:.4f}"
+        )
+        rows.append(
+            f"{point.mesh[0]}x{point.mesh[1]},{point.num_flows},"
+            f"{point.cost_kind},{point.sets},{point.feasible},"
+            f"{point.certified},{point.feasible_pct:.2f},{mean_cost},"
+            f"{mean_depth},{point.mean_evaluations:.2f}"
+        )
+    return "\n".join(rows) + "\n"
+
+
+def _allocation_jsonable(
+    spec: CampaignSpec, result: AllocationSweepResult
+) -> dict:
+    return {
+        "sets_per_point": result.sets_per_point,
+        "points": [
+            {
+                "mesh": list(point.mesh),
+                "num_flows": point.num_flows,
+                "cost_model": point.cost_kind,
+                "sets": point.sets,
+                "feasible": point.feasible,
+                "certified": point.certified,
+                "feasible_pct": point.feasible_pct,
+                "mean_cost": point.mean_cost,
+                "mean_depth": point.mean_depth,
+                "mean_evaluations": point.mean_evaluations,
+            }
+            for point in result.points
+        ],
+    }
+
+
+ALLOCATION_KIND = register_kind(
+    CampaignKind(
+        name="allocation",
+        plan=_allocation_plan,
+        aggregate=_allocation_aggregate,
+        render=_allocation_render,
+        to_csv=_allocation_csv,
+        to_jsonable=_allocation_jsonable,
+    )
+)

@@ -261,6 +261,28 @@ class ServeClient:
             "max_depth": max_depth,
         })
 
+    def allocate(
+        self,
+        flowset: FlowSet | Mapping[str, Any],
+        *,
+        analysis: str = "ibn",
+        lo: int = 1,
+        hi: int = 8,
+        budget: int | None = None,
+        cost_model: Mapping[str, Any] | None = None,
+        max_evaluations: int | None = None,
+    ) -> dict:
+        """``POST /allocate``: minimum-cost schedulable buffer allocation."""
+        return self.request("POST", "/allocate", {
+            "flowset": _flowset_payload(flowset),
+            "analysis": analysis,
+            "lo": lo,
+            "hi": hi,
+            "budget": budget,
+            "cost_model": cost_model,
+            "max_evaluations": max_evaluations,
+        })
+
     def submit_campaign(
         self, spec: CampaignSpec | Mapping[str, Any]
     ) -> dict:

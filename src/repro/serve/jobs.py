@@ -9,8 +9,8 @@ content-addressed job (the exact machinery campaigns run on —
   how their JSON was spelled (key order, tuples vs lists), which is
   what lets the service coalesce in-flight duplicates and answer
   repeats from the LRU/result-store cache;
-* the executors registered here (``serve_analyze``, ``serve_sizing``)
-  are ordinary registry job kinds, runnable by any scheduler worker
+* the executors registered here (``serve_analyze``, ``serve_sizing``,
+  ``serve_allocate``) are ordinary registry job kinds, runnable by any scheduler worker
   process — the server's process pool resolves them by name exactly
   like campaign jobs.
 
@@ -149,6 +149,45 @@ def analyze_params(data: Mapping[str, Any]) -> dict:
     }
 
 
+def allocate_params(data: Mapping[str, Any]) -> dict:
+    """Normalise one ``POST /allocate`` body into ``serve_allocate`` params.
+
+    Accepted fields: ``flowset`` (required), ``analysis`` (any selector
+    name, default ``"ibn"``), ``lo``/``hi`` (depth range, defaults 1/8),
+    ``budget`` (total-depth cap), ``cost_model`` (``{"kind": "depth" |
+    "shallowness", "target": ..., "weights": {...}}``) and
+    ``max_evaluations``.  The cost model is stored in canonical form so
+    two spellings of one spec hash — and therefore cache, coalesce and
+    shard — identically.
+    """
+    from repro.core.allocate import cost_model_from_dict
+
+    doc = _flowset_doc(data)
+    analysis = data.get("analysis", "ibn")
+    if analysis not in ANALYSES_BY_NAME:
+        raise ValueError(
+            f"unknown analysis {analysis!r}; "
+            f"choose from {', '.join(sorted(ANALYSES_BY_NAME))}"
+        )
+    lo = _positive_int(data, "lo") or 1
+    hi = _positive_int(data, "hi") or 8
+    if lo > hi:
+        raise ValueError(f"need lo <= hi, got depth range [{lo}, {hi}]")
+    num_routers = _cached_platform(doc["platform"]).topology.num_routers
+    model = cost_model_from_dict(
+        data.get("cost_model"), hi=hi, num_routers=num_routers
+    )
+    return {
+        "flowset": doc,
+        "analysis": analysis,
+        "lo": lo,
+        "hi": hi,
+        "budget": _positive_int(data, "budget"),
+        "cost_model": model.to_dict(),
+        "max_evaluations": _positive_int(data, "max_evaluations"),
+    }
+
+
 def sizing_params(data: Mapping[str, Any]) -> dict:
     """Normalise one ``POST /sizing`` body into ``serve_sizing`` params.
 
@@ -237,3 +276,25 @@ def run_sizing(params: Mapping[str, Any]) -> dict:
     """Execute one sizing job: buffer-depth and payload headroom."""
     flowset = _materialise(params)
     return sizing_summary(flowset, max_depth=params["max_depth"])
+
+
+@job_executor("serve_allocate")
+def run_allocate(params: Mapping[str, Any]) -> dict:
+    """Execute one allocation job: the minimum-cost schedulable buf_map.
+
+    Delegates to :func:`repro.core.allocate.allocation_summary`, the
+    same document the CLI's ``--json`` mode and the ``allocation``
+    campaign kind emit — one spec, one answer, on every surface.
+    """
+    from repro.core.allocate import allocation_summary
+
+    flowset = _materialise(params)
+    return allocation_summary(
+        flowset,
+        analysis_name=params["analysis"],
+        lo=params["lo"],
+        hi=params["hi"],
+        cost_model=params["cost_model"],
+        budget=params["budget"],
+        max_evaluations=params["max_evaluations"],
+    )

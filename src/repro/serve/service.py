@@ -121,7 +121,7 @@ class ServeConfig:
     #: to recomputation.  ``run_dir`` then only persists campaign
     #: stores — query results live in the shard daemons' directories.
     store_addrs: tuple[str, ...] = ()
-    #: Admission bound: compute requests (analyze / batch / sizing)
+    #: Admission bound: compute requests (analyze / batch / sizing / allocate)
     #: concurrently in this process.  ``0`` = unbounded (single-process
     #: default); a cluster front-end sets it so overload **sheds** (429
     #: + ``Retry-After``) instead of queueing without bound until every
@@ -371,6 +371,12 @@ class AnalysisService:
                 return await self._job_endpoint(
                     request, "serve_sizing", jobs.sizing_params
                 )
+        if path == "/allocate":
+            self._require(request, "POST")
+            with self._admission():
+                return await self._job_endpoint(
+                    request, "serve_allocate", jobs.allocate_params
+                )
         if path == "/campaign":
             if request.method == "GET":
                 return 200, self._campaign_list()
@@ -429,6 +435,7 @@ class AnalysisService:
                 "POST /analyze": "flowset + analysis -> bounds and verdict",
                 "POST /analyze/batch": "many analyze requests, one batched kernel call",
                 "POST /sizing": "flowset -> buffer-depth and payload headroom",
+                "POST /allocate": "flowset + cost model -> min-cost schedulable buffer allocation",
                 "POST /campaign": "submit a campaign spec (async)",
                 "GET /campaign": "list submitted campaigns",
                 "GET /campaign/<id>": "poll one campaign's progress/result",
@@ -494,7 +501,7 @@ class AnalysisService:
         return payload
 
     # ------------------------------------------------------------------
-    # single-request jobs (analyze / sizing)
+    # single-request jobs (analyze / sizing / allocate)
 
     async def _job_endpoint(
         self,

@@ -1,0 +1,165 @@
+"""The allocation optimizer pinned by a brute-force oracle.
+
+:func:`repro.core.allocate.exhaustive_allocation` enumerates *every*
+buffer-depth map in the search box (no pruning beyond pure cost argmin),
+so its answer is the ground-truth optimum by construction.  These tests
+sweep the optimizer against that oracle over small platforms — the
+didactic chain whose IBN arithmetic is known in closed form, with
+deadlines retuned to put the feasibility boundary everywhere from
+"nothing fits" to "everything fits" — across depth ranges 1..4, both
+cost kinds, weighted and unweighted, budgeted and free, under SB, IBN
+and XLWX, on every available kernel backend.
+
+The contract checked on every case:
+
+* feasibility verdicts agree exactly;
+* the optimizer's cost equals the true optimal cost (allocations may
+  differ — optima need not be unique — but never their cost);
+* the returned allocation really is schedulable and within budget, by
+  direct re-analysis (never trusting the search's own bookkeeping);
+* the search is ``certified`` (no evaluation cap was hit).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.allocate import (
+    CostModel,
+    exhaustive_allocation,
+    optimize_allocation,
+)
+from repro.core.analyses import analysis_by_name
+from repro.core.backend import available_backend_names, use_backend
+from repro.core.engine import is_schedulable
+from repro.flows.flowset import FlowSet
+from repro.workloads.didactic import didactic_flowset
+
+#: Deadline for the didactic chain's t3, whose IBN bound is
+#: 336 + 2·(d2+d3+d4) over the contended routers: each value moves the
+#: feasibility boundary somewhere interesting in the 1..4 box.
+T3_DEADLINES = (
+    330,  # infeasible even all-shallow
+    342,  # exactly one feasible corner (d2=d3=d4=1)
+    348,  # the seed's published bound: small feasible region
+    352,  # knapsack: sum of contended depths <= 8
+    360,  # roomy interior
+    400,  # unconstrained inside the box
+)
+
+COST_MODELS = (
+    None,  # kind default: shallowness at target=hi
+    CostModel(kind="depth"),
+    CostModel(kind="depth", weights={2: 3, 4: 2}),
+    CostModel(kind="shallowness", target=4, weights={2: 3, 4: 2}),
+)
+
+BUDGETS = (None, 14, 10)
+
+
+def _variant(deadline: int) -> FlowSet:
+    """The didactic flow set with t3's deadline replaced."""
+    base = didactic_flowset()
+    flows = list(base.flows)
+    flows[2] = dataclasses.replace(flows[2], deadline=deadline)
+    return FlowSet(base.platform, flows)
+
+
+def _assert_matches_oracle(flowset, analysis_name, cost_model, budget):
+    analysis = analysis_by_name(analysis_name)
+    fast = optimize_allocation(
+        flowset, analysis=analysis, lo=1, hi=4,
+        cost_model=cost_model, budget=budget,
+    )
+    oracle = exhaustive_allocation(
+        flowset, analysis=analysis, lo=1, hi=4,
+        cost_model=cost_model, budget=budget,
+    )
+    assert fast.certified, "uncapped search must certify its optimum"
+    assert fast.feasible == oracle.feasible
+    if not oracle.feasible:
+        assert fast.buf_map is None and fast.cost is None
+        return
+    assert fast.cost == oracle.cost
+    # Do not trust the search: re-analyze the returned allocation.
+    platform = flowset.platform.with_buffers(
+        flowset.platform.buf, buf_map=fast.buf_map
+    )
+    assert is_schedulable(flowset.on_platform(platform), analysis)
+    if budget is not None:
+        assert fast.total_depth <= budget
+    model = cost_model or CostModel(kind="shallowness", target=4)
+    assert fast.cost == model.allocation_cost(fast.buf_map)
+
+
+class TestOracleDidactic:
+    """Optimizer == oracle over the didactic chain's deadline ladder."""
+
+    @pytest.mark.parametrize("deadline", T3_DEADLINES)
+    @pytest.mark.parametrize("budget", BUDGETS)
+    def test_ibn_all_cost_models(self, deadline, budget):
+        flowset = _variant(deadline)
+        for cost_model in COST_MODELS:
+            _assert_matches_oracle(flowset, "ibn", cost_model, budget)
+
+    @pytest.mark.parametrize("analysis_name", ["sb", "xlwx"])
+    @pytest.mark.parametrize("deadline", T3_DEADLINES[::2])
+    def test_buffer_blind_analyses(self, analysis_name, deadline):
+        """SB/XLWX ignore depth: optimum is the pure cost argmin (or
+        infeasibility), and the optimizer must still agree with the
+        oracle rather than special-casing them."""
+        flowset = _variant(deadline)
+        for cost_model in COST_MODELS[:2]:
+            _assert_matches_oracle(flowset, analysis_name, cost_model, None)
+
+    @pytest.mark.parametrize("backend", available_backend_names())
+    def test_backends_agree(self, backend):
+        """The frontier batching path gives identical optima per backend."""
+        flowset = _variant(352)
+        with use_backend(backend):
+            for cost_model in (COST_MODELS[0], COST_MODELS[3]):
+                _assert_matches_oracle(flowset, "ibn", cost_model, 12)
+
+
+class TestOracleEdgeCases:
+    def test_budget_below_floor_infeasible(self):
+        flowset = didactic_flowset()
+        result = optimize_allocation(flowset, lo=2, hi=4, budget=7)
+        assert not result.feasible and result.buf_map is None
+
+    def test_degenerate_range_single_point(self):
+        """lo == hi leaves exactly one candidate; verdict decides all."""
+        flowset = _variant(400)
+        fast = optimize_allocation(flowset, lo=2, hi=2)
+        oracle = exhaustive_allocation(flowset, lo=2, hi=2)
+        assert fast.feasible == oracle.feasible is True
+        assert fast.cost == oracle.cost
+        assert set(fast.buf_map.values()) == {2}
+
+    def test_heterogeneous_optimum(self):
+        """A case where the true optimum is a *mixed* depth map: weights
+        make routers 2 and 4 expensive to leave shallow while the
+        deadline forbids deepening all three contended routers."""
+        flowset = _variant(352)
+        model = CostModel(kind="shallowness", target=4, weights={2: 3, 4: 2})
+        fast = optimize_allocation(flowset, lo=1, hi=4, cost_model=model)
+        oracle = exhaustive_allocation(flowset, lo=1, hi=4, cost_model=model)
+        assert fast.cost == oracle.cost
+        assert len(set(fast.buf_map.values())) > 1
+
+    def test_capped_search_degrades_not_lies(self):
+        """An evaluation cap may cost optimality, never soundness: the
+        result is marked uncertified and any returned allocation is
+        still genuinely schedulable."""
+        flowset = _variant(352)
+        result = optimize_allocation(
+            flowset, lo=1, hi=4, max_evaluations=2
+        )
+        assert not result.certified
+        if result.feasible:
+            platform = flowset.platform.with_buffers(
+                flowset.platform.buf, buf_map=result.buf_map
+            )
+            assert is_schedulable(
+                flowset.on_platform(platform), analysis_by_name("ibn")
+            )

@@ -1,0 +1,163 @@
+"""Property tests for the buffer-allocation optimizer (hypothesis).
+
+Three families, each a law the optimizer's pruning leans on — so a
+violation here means the search can silently return wrong optima, not
+just that a test is unhappy:
+
+* **verdict monotonicity**: under IBN, raising any single router's
+  depth in an arbitrary heterogeneous ``buf_map`` never turns an
+  unschedulable set schedulable (deeper buffers admit more progressive
+  blocking, Eq. 6) — exactly the dominance rule the optimizer uses to
+  skip evaluations;
+* **relaxation**: widening the depth range or loosening the budget can
+  only preserve feasibility and never increase the optimal cost (the
+  candidate space only grows), with the cost model's target pinned
+  explicitly so the objective itself stays fixed across the comparison;
+* **fixed point**: re-running the optimizer on a platform already
+  carrying its own answer reproduces that answer — optimization is
+  idempotent.
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocate import CostModel, optimize_allocation
+from repro.core.backend import available_backend_names, use_backend
+from repro.core.engine import is_schedulable
+from repro.core.analyses.ibn import IBNAnalysis
+from repro.flows.flowset import FlowSet
+from repro.noc.platform import NoCPlatform
+from repro.noc.topology import Mesh2D
+from repro.util.rng import spawn_rng
+from repro.workloads.didactic import didactic_flowset
+from repro.workloads.synthetic import SyntheticConfig, synthetic_flows
+
+
+def random_flowset(n, seed, mesh=(3, 3)):
+    platform = NoCPlatform(Mesh2D(*mesh), buf=2)
+    rng = spawn_rng(seed, "allocate-prop", n)
+    config = SyntheticConfig(num_flows=n, clock_hz=10e6)
+    flows = synthetic_flows(config, platform.topology.num_nodes, rng)
+    return FlowSet(platform, flows)
+
+
+def didactic_variant(deadline):
+    """The didactic chain with t3's deadline moved onto the boundary."""
+    base = didactic_flowset()
+    flows = list(base.flows)
+    flows[2] = dataclasses.replace(flows[2], deadline=deadline)
+    return FlowSet(base.platform, flows)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(5, 20),
+    st.integers(0, 10**6),
+    st.integers(0, 10**6),
+)
+def test_verdict_monotone_in_single_router_depth(n, seed, map_seed):
+    """Deepening one router of a heterogeneous buf_map never rescues an
+    unschedulable set (and shallowing never breaks a schedulable one)."""
+    flowset = random_flowset(n, seed)
+    num_routers = flowset.platform.topology.num_routers
+    depths = random.Random(map_seed)
+    buf_map = {r: depths.randint(1, 8) for r in range(num_routers)}
+    router = depths.randrange(num_routers)
+    analysis = IBNAnalysis()
+    verdicts = []
+    for depth in (1, 2, 4, 8, 32):
+        buf_map[router] = depth
+        platform = flowset.platform.with_buffers(
+            flowset.platform.buf, buf_map=dict(buf_map)
+        )
+        verdicts.append(is_schedulable(flowset.on_platform(platform), analysis))
+    # Monotone non-increasing: True prefix, False suffix.
+    assert verdicts == sorted(verdicts, reverse=True), verdicts
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(335, 400),
+    st.integers(8, 16),
+    st.sampled_from(["depth", "shallowness"]),
+)
+def test_relaxation_never_worsens(deadline, budget, kind):
+    """Budget up or depth range out => feasibility kept, cost <=.
+
+    The target is pinned at the *outer* hi so both searches minimize
+    the same objective — with the default (target = own hi) the costs
+    would not be comparable.
+    """
+    flowset = didactic_variant(deadline)
+    model = CostModel(kind=kind, target=6 if kind == "shallowness" else None)
+    strict = optimize_allocation(
+        flowset, lo=1, hi=4, cost_model=model, budget=budget
+    )
+    for relaxed in (
+        optimize_allocation(
+            flowset, lo=1, hi=4, cost_model=model, budget=budget + 4
+        ),
+        optimize_allocation(
+            flowset, lo=1, hi=6, cost_model=model, budget=budget
+        ),
+        optimize_allocation(flowset, lo=1, hi=6, cost_model=model),
+    ):
+        if strict.feasible:
+            assert relaxed.feasible
+            assert relaxed.cost <= strict.cost
+        assert relaxed.certified and strict.certified
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(340, 400), st.integers(0, 3))
+def test_optimizer_is_a_fixed_point(deadline, model_index):
+    """Running the optimizer on a platform that already carries its own
+    allocation returns the identical allocation at the identical cost."""
+    models = (
+        None,
+        CostModel(kind="depth"),
+        CostModel(kind="depth", weights={2: 3}),
+        CostModel(kind="shallowness", target=4, weights={4: 2}),
+    )
+    model = models[model_index]
+    flowset = didactic_variant(deadline)
+    first = optimize_allocation(flowset, lo=1, hi=4, cost_model=model)
+    if not first.feasible:
+        return
+    allocated = flowset.on_platform(
+        flowset.platform.with_buffers(
+            flowset.platform.buf, buf_map=first.buf_map
+        )
+    )
+    second = optimize_allocation(allocated, lo=1, hi=4, cost_model=model)
+    assert second.feasible
+    assert second.cost == first.cost
+    assert second.buf_map == first.buf_map
+
+
+@pytest.mark.parametrize("backend", available_backend_names())
+def test_properties_hold_per_backend(backend):
+    """One boundary case of each family, re-checked per kernel backend
+    (the batched frontier path is the code under test here)."""
+    with use_backend(backend):
+        flowset = didactic_variant(352)
+        model = CostModel(kind="shallowness", target=4)
+        strict = optimize_allocation(
+            flowset, lo=1, hi=3, cost_model=model, budget=10
+        )
+        relaxed = optimize_allocation(flowset, lo=1, hi=4, cost_model=model)
+        assert strict.feasible and relaxed.feasible
+        assert relaxed.cost <= strict.cost
+        again = optimize_allocation(
+            flowset.on_platform(
+                flowset.platform.with_buffers(
+                    flowset.platform.buf, buf_map=relaxed.buf_map
+                )
+            ),
+            lo=1, hi=4, cost_model=model,
+        )
+        assert again.buf_map == relaxed.buf_map

@@ -1,0 +1,152 @@
+"""The ``allocation`` campaign kind: goldens, resume, degradation.
+
+The golden files under ``tests/experiments/golden/`` pin the campaign's
+three exports (render text, CSV, JSON) byte-for-byte for one fixed
+spec.  Because expansion, per-set seeding and aggregation are pure
+functions of the spec, those bytes must survive any chunking, worker
+count or resume — which is exactly what the resume test asserts by
+re-running the campaign over a warm store and diffing against the same
+goldens.  Regenerate deliberately with ``REPRO_UPDATE_GOLDENS=1``.
+
+The quarantine test injects a poison *cost model* (weights naming a
+router the mesh does not have): planning accepts it — cost models are
+worker-validated on purpose — so its jobs quarantine while every other
+point completes, and the campaign degrades to an honest PARTIAL report
+instead of failing.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns.engine import run_campaign
+from repro.campaigns.registry import get_kind
+from repro.campaigns.scheduler import FaultPolicy
+from repro.experiments.allocation_sweep import allocation_spec
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Real backoff shape, test-scale delays (poison jobs retry then park).
+FAST = dict(backoff_s=0.01, backoff_max_s=0.05)
+
+
+def golden_spec():
+    """The pinned spec: mixed feasibility (some sets unsavable even
+    all-shallow) and both cost kinds, small enough for tier 1."""
+    return allocation_spec(
+        [(2, 2)], [8, 12], 3, seed=11,
+        cost_models=[
+            {"kind": "depth"},
+            {"kind": "shallowness", "target": 4},
+        ],
+        hi=4,
+        name="allocation_golden",
+        config_kwargs={"period_min_s": 0.0005, "period_max_s": 0.005},
+    )
+
+
+def exports(run):
+    """(render, csv, json) bytes for one finished campaign run."""
+    kind = get_kind("allocation")
+    spec = run.spec
+    return (
+        run.render(),
+        kind.to_csv(spec, run.result),
+        json.dumps(kind.to_jsonable(spec, run.result), indent=2,
+                   sort_keys=True) + "\n",
+    )
+
+
+def check_golden(name, text):
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        path.parent.mkdir(exist_ok=True)
+        path.write_text(text)
+    assert path.exists(), (
+        f"golden {name} missing — run with REPRO_UPDATE_GOLDENS=1"
+    )
+    assert text == path.read_text(), f"golden {name} drifted"
+
+
+class TestAllocationGolden:
+    @pytest.fixture(scope="class")
+    def cold_run(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("alloc_golden")
+        return run_campaign(golden_spec(), store=run_dir), run_dir
+
+    def test_exports_match_goldens(self, cold_run):
+        run, _ = cold_run
+        assert not run.partial
+        render, csv_text, json_text = exports(run)
+        check_golden("allocation_render.txt", render)
+        check_golden("allocation_export.csv", csv_text)
+        check_golden("allocation_export.json", json_text)
+
+    def test_resume_is_byte_identical(self, cold_run):
+        """A second run over the warm store re-executes nothing and
+        reproduces the goldens exactly."""
+        cold, run_dir = cold_run
+        warm = run_campaign(golden_spec(), store=run_dir)
+        assert warm.stats.jobs_run == 0
+        assert warm.stats.jobs_skipped == cold.stats.jobs_total
+        assert exports(warm) == exports(cold)
+
+    def test_expansion_is_deterministic(self):
+        """Two expansions of one spec agree job-for-job (content
+        addresses included) — the property resume stands on."""
+        kind = get_kind("allocation")
+        first = kind.plan(golden_spec()).jobs
+        second = kind.plan(golden_spec()).jobs
+        assert [j.job_id for j in first] == [j.job_id for j in second]
+        assert len(first) == len({j.job_id for j in first})
+
+    def test_chunking_does_not_change_results(self):
+        """chunk_size is a scheduling knob, never a semantic one."""
+        wide = run_campaign(golden_spec())
+        spec = golden_spec()
+        spec.params["chunk_size"] = 1
+        narrow = run_campaign(spec)
+        kind = get_kind("allocation")
+        assert kind.to_csv(spec, narrow.result) == kind.to_csv(
+            wide.spec, wide.result
+        )
+
+
+class TestAllocationQuarantine:
+    def test_poison_cost_model_degrades_to_partial(self):
+        """A cost model naming router 99 on a 2x2 mesh: its jobs are
+        quarantined (worker-side ValueError), the healthy cost model's
+        points complete, and the report is PARTIAL — not a failure."""
+        spec = allocation_spec(
+            [(2, 2)], [6], 2, seed=3,
+            cost_models=[
+                {"kind": "depth"},
+                {"kind": "depth", "weights": {"99": 2}},
+            ],
+            hi=3,
+            name="allocation_poison",
+        )
+        run = run_campaign(spec, faults=FaultPolicy(retries=1, **FAST))
+        assert run.partial
+        assert run.stats.jobs_quarantined >= 1
+        assert run.result is not None  # aggregate coped with the holes
+        healthy, poisoned = run.result.points
+        assert healthy.sets == 2
+        assert poisoned.sets == 0
+        rendered = run.render()
+        assert "PARTIAL" in rendered or "partial" in rendered
+        assert "ValueError" in rendered
+
+    def test_all_points_poisoned_raises(self):
+        from repro.campaigns.engine import CampaignError
+
+        spec = allocation_spec(
+            [(2, 2)], [6], 2, seed=3,
+            cost_models=[{"kind": "depth", "weights": {"99": 2}}],
+            hi=3,
+            name="allocation_all_poison",
+        )
+        with pytest.raises(CampaignError):
+            run_campaign(spec, faults=FaultPolicy(retries=1, **FAST))

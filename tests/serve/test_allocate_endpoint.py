@@ -1,0 +1,211 @@
+"""End-to-end tests of ``POST /allocate`` over a real socket.
+
+Same shape as ``test_server.py``: an actual asyncio server on an
+ephemeral port, talked to with the blocking client.  Covered: the
+allocation request cycle (content-address cache, coalescing of
+identical concurrent requests), agreement with the in-process
+optimizer (the "one spec, one answer on every surface" acceptance),
+the 400 paths for malformed cost models and depth ranges, and the warm
+restart of an ``allocation`` campaign from a persistent run directory.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.allocate import allocation_summary
+from repro.experiments.allocation_sweep import allocation_spec
+from repro.serve import ServeClient, ServeConfig, ServeError, start_in_thread
+from repro.workloads.didactic import didactic_flowset
+
+
+@pytest.fixture
+def server():
+    handle = start_in_thread(ServeConfig(port=0, workers=0))
+    yield handle
+    handle.close()
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient(server.host, server.port) as c:
+        yield c
+
+
+@pytest.fixture
+def flowset():
+    return didactic_flowset(buf=2)
+
+
+def tiny_allocation_spec(name="serve_alloc"):
+    """An allocation campaign small enough to finish within a test."""
+    return allocation_spec(
+        [(2, 2)], [4, 8], 2, seed=5, hi=3, name=name, chunk_size=1
+    )
+
+
+class TestAllocate:
+    def test_didactic_allocation(self, client, flowset):
+        body = client.allocate(flowset, hi=4)
+        allocation = body["allocation"]
+        assert allocation["feasible"] is True
+        assert allocation["certified"] is True
+        # every router appears, depths inside the requested box
+        assert sorted(allocation["buf_map"]) == [
+            str(r) for r in sorted(range(6), key=str)
+        ]
+        assert all(1 <= d <= 4 for d in allocation["buf_map"].values())
+        assert body["spec"]["cost_model"]["kind"] == "shallowness"
+        assert body["cached"] is False
+
+    def test_matches_inprocess_optimizer(self, client, flowset):
+        """The served answer is byte-equal to calling the library —
+        the same spec gives the same allocation on every surface."""
+        body = client.allocate(
+            flowset, hi=4, budget=14, cost_model={"kind": "depth"}
+        )
+        direct = allocation_summary(
+            flowset, lo=1, hi=4, budget=14, cost_model={"kind": "depth"}
+        )
+        for key in ("allocation", "search", "spec"):
+            assert body[key] == direct[key]
+
+    def test_repeat_is_served_from_cache(self, client, flowset):
+        first = client.allocate(flowset, hi=4)
+        second = client.allocate(flowset, hi=4)
+        assert second["job"] == first["job"]
+        assert second["cached"] is True and second["source"] == "cache"
+        stats = client.stats()
+        assert stats["executed"] == 1
+        assert stats["cache"]["hits"] == 1
+
+    def test_cost_model_spelling_does_not_split_cache(self, client, flowset):
+        """Default, null and explicit spellings of one cost model hash
+        to one job (the canonical form is what gets addressed)."""
+        first = client.allocate(flowset, hi=4)
+        explicit = client.allocate(
+            flowset, hi=4,
+            cost_model={"kind": "shallowness", "target": 4, "weights": {}},
+        )
+        assert explicit["job"] == first["job"]
+        assert explicit["cached"] is True
+
+    def test_concurrent_identical_requests_compute_once(
+        self, server, flowset
+    ):
+        def one_request(_):
+            with ServeClient(server.host, server.port) as c:
+                return c.allocate(flowset, hi=4)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            bodies = list(pool.map(one_request, range(4)))
+        assert len({body["job"] for body in bodies}) == 1
+        assert len({str(body["allocation"]) for body in bodies}) == 1
+        stats = ServeClient(server.host, server.port).stats()
+        assert stats["executed"] == 1
+        assert stats["coalesced"] + stats["cache"]["hits"] == 3
+
+    def test_infeasible_budget_is_a_result_not_an_error(
+        self, client, flowset
+    ):
+        """An unsatisfiable spec is a well-formed answer (feasible:
+        false), not an HTTP error — clients must be able to cache it."""
+        body = client.allocate(flowset, lo=2, hi=4, budget=7)
+        assert body["allocation"]["feasible"] is False
+        assert body["allocation"]["buf_map"] is None
+
+
+class TestAllocateErrorPaths:
+    def test_bad_depth_range_is_400(self, client, flowset):
+        with pytest.raises(ServeError) as err:
+            client.allocate(flowset, lo=6, hi=2)
+        assert err.value.status == 400
+        assert "lo <= hi" in err.value.message
+
+    def test_nonpositive_depth_is_400(self, client, flowset):
+        with pytest.raises(ServeError) as err:
+            client.request("POST", "/allocate", {
+                "flowset": _doc(flowset), "lo": 0, "hi": 4,
+            })
+        assert err.value.status == 400
+
+    def test_unknown_cost_kind_is_400(self, client, flowset):
+        with pytest.raises(ServeError) as err:
+            client.allocate(flowset, cost_model={"kind": "gold-plated"})
+        assert err.value.status == 400
+        assert "gold-plated" in err.value.message
+
+    def test_out_of_range_weight_router_is_400(self, client, flowset):
+        """Weights are validated against the platform's router count."""
+        with pytest.raises(ServeError) as err:
+            client.allocate(
+                flowset,
+                cost_model={"kind": "depth", "weights": {"99": 2}},
+            )
+        assert err.value.status == 400
+        assert "99" in err.value.message
+
+    def test_unknown_cost_model_field_is_400(self, client, flowset):
+        with pytest.raises(ServeError) as err:
+            client.allocate(
+                flowset, cost_model={"kind": "depth", "flavour": "blue"}
+            )
+        assert err.value.status == 400
+
+    def test_unknown_analysis_is_400(self, client, flowset):
+        with pytest.raises(ServeError) as err:
+            client.allocate(flowset, analysis="magic")
+        assert err.value.status == 400
+        assert "magic" in err.value.message
+
+    def test_all_selector_is_rejected(self, client, flowset):
+        """``analysis: all`` is an /analyze concept; allocation needs
+        one verdict function, so the selector is a client error."""
+        with pytest.raises(ServeError) as err:
+            client.allocate(flowset, analysis="all")
+        assert err.value.status == 400
+
+    def test_missing_flowset_is_400(self, client):
+        with pytest.raises(ServeError) as err:
+            client.request("POST", "/allocate", {"hi": 4})
+        assert err.value.status == 400
+        assert "flowset" in err.value.message
+
+
+class TestAllocationCampaignOverServe:
+    def test_submit_poll_result(self, client):
+        spec = tiny_allocation_spec()
+        done = client.wait_campaign(
+            client.submit_campaign(spec)["id"], timeout=60
+        )
+        assert done["state"] == "done"
+        assert "Buffer-allocation sweep" in done["result"]["render"]
+        assert done["result"]["data"]["sets_per_point"] == 2
+
+    def test_warm_restart_resumes_from_store(self, tmp_path):
+        """Restarting the server over the same run directory replays
+        the campaign entirely from stored results — byte-identical
+        report, zero jobs re-run."""
+        spec = tiny_allocation_spec("serve_alloc_warm")
+        config = dict(port=0, workers=0, run_dir=str(tmp_path))
+        with start_in_thread(ServeConfig(**config)) as first:
+            with ServeClient(first.host, first.port) as c:
+                cold = c.wait_campaign(
+                    c.submit_campaign(spec)["id"], timeout=60
+                )
+        with start_in_thread(ServeConfig(**config)) as second:
+            with ServeClient(second.host, second.port) as c:
+                warm = c.wait_campaign(
+                    c.submit_campaign(spec)["id"], timeout=60
+                )
+        assert cold["state"] == warm["state"] == "done"
+        assert warm["stats"]["jobs_run"] == 0
+        assert warm["stats"]["jobs_skipped"] == cold["stats"]["jobs_total"]
+        assert warm["result"]["render"] == cold["result"]["render"]
+        assert warm["result"]["data"] == cold["result"]["data"]
+
+
+def _doc(flowset):
+    from repro.io import flowset_to_dict
+
+    return flowset_to_dict(flowset)

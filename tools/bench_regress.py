@@ -54,6 +54,10 @@ TRACKED = (
     ("serve.warm_rps", "higher"),
     ("batch.sweep.batched_scenarios_per_s", "higher"),
     ("batch.sweep.speedup", "higher"),
+    ("allocate.evals_per_s", "higher"),
+    ("allocate.time_to_optimum_s", "lower"),
+    # Speed-independent: evaluations the monotonicity pruning avoids.
+    ("allocate.pruning_factor", "higher"),
     # Optional-backend metrics: absent on numpy-only hosts (the C
     # extension never built), and lookup() skips absent paths.
     ("backend.kernel_b256.cpu_speedup", "higher"),
