@@ -80,6 +80,7 @@ bench-smoke: campaign-smoke docs-check
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_serve.py -q
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_batch.py -q
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_allocate.py -q
+	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/bench_durability.py -q
 	REPRO_SCALE=ci $(PYTHON) benchmarks/record_engine_bench.py smoke
 
 ## Append a BENCH_engine.json entry only (LABEL=<name> to tag it).

@@ -51,9 +51,12 @@ KERNEL_NUM_FLOWS = 96
 KERNEL_CANDIDATES = 320
 
 
-def _best_cpu(fn, reps: int = 3) -> float:
+def _best_cpu(fn, reps: int = 7) -> float:
     """Best-of-N process-CPU seconds (the gates' currency: on a busy
-    shared host wall clock measures the neighbours, CPU time the code)."""
+    shared host wall clock measures the neighbours, CPU time the code).
+    Seven reps, not three: the C-kernel runs are ~25 ms windows whose
+    best-of-3 still jitters ±15% on a single-core recording host, and
+    the regression gate compares them at 20%."""
     best = float("inf")
     for _ in range(reps):
         c0 = time.process_time()

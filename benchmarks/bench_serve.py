@@ -72,20 +72,11 @@ def _request_docs(distinct: int, num_flows: int) -> list[dict]:
     ]
 
 
-def serve_load_metrics(
-    distinct: int = 16,
-    warm_rounds: int = 4,
-    num_flows: int = 24,
-    workers: int = 0,
-) -> dict:
-    """Measure one server's cold and warm request throughput.
-
-    Returns the ``serve`` block recorded in BENCH_engine.json, plus the
-    raw server counters so callers can assert the cache really carried
-    the warm phase.
-    """
-    docs = _request_docs(distinct, num_flows)
-    config = ServeConfig(port=0, workers=workers, cache_size=4 * distinct)
+def _one_load_cycle(
+    docs: list[dict], warm_rounds: int, workers: int
+) -> tuple[float, float, dict]:
+    """One fresh server driven cold then warm; ``(cold_s, warm_s, stats)``."""
+    config = ServeConfig(port=0, workers=workers, cache_size=4 * len(docs))
     with start_in_thread(config) as handle:
         with ServeClient(handle.host, handle.port) as client:
             client.healthz()  # connection warm-up
@@ -116,6 +107,34 @@ def serve_load_metrics(
             again_s, _ = timed(fire_warm)
             warm_s = min(warm_s, again_s)
             stats = client.stats()
+    return cold_s, warm_s, stats
+
+
+def serve_load_metrics(
+    distinct: int = 16,
+    warm_rounds: int = 4,
+    num_flows: int = 24,
+    workers: int = 0,
+    repeats: int = 3,
+) -> dict:
+    """Measure one server's cold and warm request throughput.
+
+    Returns the ``serve`` block recorded in BENCH_engine.json, plus the
+    raw server counters so callers can assert the cache really carried
+    the warm phase.  The cold phase is one ~40 ms window that cannot
+    repeat within a server (the cache keeps its results), so the whole
+    cycle runs against ``repeats`` fresh servers and the best cold and
+    warm times win — like every other recorded timing, one scheduler
+    hiccup must not read as a 20% throughput regression.
+    """
+    docs = _request_docs(distinct, num_flows)
+    cold_s = warm_s = float("inf")
+    for _ in range(repeats):
+        cycle_cold, cycle_warm, stats = _one_load_cycle(
+            docs, warm_rounds, workers
+        )
+        cold_s = min(cold_s, cycle_cold)
+        warm_s = min(warm_s, cycle_warm)
     warm_requests = distinct * warm_rounds
     return {
         "workers": workers,

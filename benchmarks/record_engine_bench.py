@@ -41,6 +41,10 @@ analysis kernel optimisation targets:
   evaluations/s and time-to-certified-optimum over the didactic
   deadline ladder, plus the monotonicity-pruning factor versus the
   exhaustive depth box; see ``bench_allocate.py``.
+* ``durability``           — the durable result tier: puts/s per fsync
+  policy, primary→backup replication lag and replicated-ack commit
+  rate, and the wall clock of a kill-the-primary failover with zero
+  acked puts lost; see ``bench_durability.py``.
 * ``chaos``                — the fault-injection suite at smoke scale
   (``tools/chaos.py``): scenarios passed and the wall-clock overhead
   the recovery machinery adds to a worker-killed CLI campaign.
@@ -166,9 +170,21 @@ def collect() -> dict:
     metrics["batch"] = _batch_metrics(metrics["fig4_ci_s"])
     metrics["allocate"] = _allocate_metrics()
     metrics["backend"] = _backend_metrics()
+    metrics["durability"] = _durability_metrics()
     metrics["chaos"] = _chaos_metrics()
     metrics["cluster"] = _cluster_metrics()
     return metrics
+
+
+def _durability_metrics() -> dict:
+    """Durable-tier costs (see ``bench_durability.py``).
+
+    Shares the measurement code with the benchmark so the recorded
+    numbers measure exactly what its zero-loss gates enforce.
+    """
+    from bench_durability import durability_metrics
+
+    return durability_metrics()
 
 
 def _cluster_metrics() -> dict:
@@ -264,11 +280,11 @@ def _campaign_metrics() -> dict:
         / "examples" / "specs" / "campaign_smoke.json"
     )
     spec = load_spec(spec_path)
-    # Best of three: the smoke spec finishes in tens of milliseconds,
+    # Best of seven: the smoke spec finishes in tens of milliseconds,
     # where a single scheduler hiccup would swamp the jobs/s metric the
     # regression gate watches.
     cold_s, cold = timed(lambda: run_campaign(spec))
-    for _ in range(2):
+    for _ in range(6):
         again_s, cold = timed(lambda: run_campaign(spec))
         cold_s = min(cold_s, again_s)
     with tempfile.TemporaryDirectory() as run_dir:
@@ -290,9 +306,17 @@ def _sim_metrics() -> dict:
     ``benchmarks/_common.py`` so the recorded speedups measure exactly
     what the benchmark gates enforce.
     """
+    # Best-of-N wall clocks: both sides of each speedup are sub-second
+    # to a-few-second runs on this (often single-core) recording host,
+    # where one host-steal burst inside a single timed window would
+    # read as a 30%+ "regression" of the ratio.
+    def best_of(fn, repeats=3):
+        results = [timed(fn) for _ in range(repeats)]
+        return min(seconds for seconds, _ in results), results[0][1]
+
     sim: dict[str, float] = {}
     didactic = didactic_flowset(buf=2)
-    fast_s, _ = timed(
+    fast_s, _ = best_of(
         lambda: offset_search(
             didactic,
             {"t1": DIDACTIC_GRID},
@@ -300,7 +324,7 @@ def _sim_metrics() -> dict:
         )
     )
     sim["didactic_search_s"] = round(fast_s, 3)
-    ref_s, _ = timed(lambda: reference_didactic_search(didactic))
+    ref_s, _ = best_of(lambda: reference_didactic_search(didactic))
     sim["didactic_search_reference_s"] = round(ref_s, 3)
     sim["didactic_search_speedup"] = round(
         sim["didactic_search_reference_s"] / sim["didactic_search_s"], 2
@@ -308,13 +332,14 @@ def _sim_metrics() -> dict:
 
     mesh_fs, horizon = mesh8x8_scenario()
     fast = WormholeSimulator(mesh_fs, PeriodicReleases())
-    fast_s, fast_result = timed(lambda: fast.run(horizon))
+    fast_s, fast_result = best_of(lambda: fast.run(horizon))
     sim["mesh8x8_run_s"] = round(fast_s, 3)
     sim["mesh8x8_cycles_per_s"] = round(
         fast_result.end_time / sim["mesh8x8_run_s"]
     )
-    ref_s, _ = timed(
-        lambda: ReferenceSimulator(mesh_fs, PeriodicReleases()).run(horizon)
+    ref_s, _ = best_of(
+        lambda: ReferenceSimulator(mesh_fs, PeriodicReleases()).run(horizon),
+        repeats=2,  # the slowest probe: two runs bound the cost
     )
     sim["mesh8x8_reference_s"] = round(ref_s, 3)
     sim["mesh8x8_speedup"] = round(

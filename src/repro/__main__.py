@@ -297,6 +297,9 @@ def cmd_cluster(args) -> int:
             port=args.port,
             store_dir=args.store_dir,
             store_shards=args.store_shards,
+            store_group=args.store_group,
+            store_ack_mode=args.store_ack_mode,
+            store_fsync=args.store_fsync,
             workers=args.workers,
             cache_size=args.cache_size,
             max_inflight=args.max_inflight,
@@ -316,7 +319,16 @@ def cmd_stored(args) -> int:
     """``stored``: run one standalone store-daemon shard."""
     from repro.serve.stored import run_stored
 
-    return run_stored(args.directory, host=args.host, port=args.port)
+    return run_stored(
+        args.directory,
+        host=args.host,
+        port=args.port,
+        replica_of=args.replica_of,
+        ack_mode=args.ack_mode,
+        fsync=args.fsync,
+        max_connections=args.max_connections,
+        idle_timeout_s=args.idle_timeout if args.idle_timeout > 0 else None,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -530,6 +542,22 @@ def main(argv: list[str] | None = None) -> int:
         help="store-daemon processes the job hashes shard over",
     )
     p_cluster.add_argument(
+        "--store-group", action="store_true",
+        help="run each shard as a replicated primary+backup group with "
+             "supervisor-driven failover",
+    )
+    p_cluster.add_argument(
+        "--store-ack-mode", choices=["local", "replicated"],
+        default="replicated",
+        help="with --store-group: ack puts after the backup confirmed "
+             "(replicated) or after the local append (local)",
+    )
+    p_cluster.add_argument(
+        "--store-fsync", choices=["none", "batch", "always"],
+        default="none",
+        help="fsync policy of the shard stores",
+    )
+    p_cluster.add_argument(
         "--workers", type=int, default=0,
         help="job worker processes per front-end "
              "(0 runs jobs in-process on threads)",
@@ -581,6 +609,28 @@ def main(argv: list[str] | None = None) -> int:
     p_stored.add_argument(
         "--port", type=int, default=8178,
         help="TCP port of the length-prefixed store protocol",
+    )
+    p_stored.add_argument(
+        "--replica-of", default=None, metavar="HOST:PORT",
+        help="run as a backup tailing this primary's log (reads only "
+             "until promoted)",
+    )
+    p_stored.add_argument(
+        "--ack-mode", choices=["local", "replicated"], default="local",
+        help="when a replica is attached, delay put acks until it "
+             "confirmed the record (replicated) or ack locally (local)",
+    )
+    p_stored.add_argument(
+        "--fsync", choices=["none", "batch", "always"], default="none",
+        help="fsync policy on the store file",
+    )
+    p_stored.add_argument(
+        "--max-connections", type=int, default=256,
+        help="connection cap; excess clients get a polite error frame",
+    )
+    p_stored.add_argument(
+        "--idle-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="drop connections idle this long (0 disables)",
     )
     p_stored.set_defaults(func=cmd_stored)
 

@@ -17,9 +17,14 @@ directory is given (one-shot campaigns, tests).
 
 from __future__ import annotations
 
+import base64
 import json
+import os
+import time
+import warnings
+import zlib
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.campaigns.spec import jsonable
 
@@ -28,6 +33,69 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 
 RESULTS_NAME = "results.jsonl"
 SPEC_NAME = "spec.json"
+#: Sidecar next to a store file collecting its quarantined records.
+CORRUPT_SUFFIX = ".corrupt"
+
+#: Valid fsync policies for the JSONL stores (see :class:`FsyncPolicy`).
+FSYNC_MODES = ("none", "batch", "always")
+
+
+class StoreWriteWarning(UserWarning):
+    """A store append failed (``ENOSPC``/IO error); writer degraded."""
+
+
+class StoreCorruptionWarning(UserWarning):
+    """A store file held corrupt records; they were quarantined."""
+
+
+class FsyncPolicy:
+    """When appended store lines are forced to stable storage.
+
+    * ``none``   — rely on the OS page cache (a *machine* crash may lose
+      the last writes; a killed process loses nothing).  The historical
+      behaviour, and the fastest.
+    * ``batch``  — ``fsync`` at most once per ``interval_s`` of writes:
+      a machine crash loses at most the last interval's appends.  The
+      deployment default for the replicated tier, where the replica
+      already covers single-node loss.
+    * ``always`` — ``fsync`` after every append: a ``put`` acknowledged
+      is a ``put`` on the platter, at the cost of one disk flush per
+      record.
+    """
+
+    def __init__(self, mode: str = "none", interval_s: float = 0.05) -> None:
+        if mode not in FSYNC_MODES:
+            raise ValueError(
+                f"fsync mode must be one of {', '.join(FSYNC_MODES)}, "
+                f"got {mode!r}"
+            )
+        if interval_s < 0:
+            raise ValueError(f"fsync interval must be >= 0, got {interval_s}")
+        self.mode = mode
+        self.interval_s = interval_s
+        self._last_sync = 0.0
+
+    def sync(self, fileno: int) -> None:
+        """Apply the policy to one freshly-flushed file descriptor."""
+        if self.mode == "none":
+            return
+        if self.mode == "batch":
+            now = time.monotonic()
+            if now - self._last_sync < self.interval_s:
+                return
+            self._last_sync = now
+        os.fsync(fileno)
+
+    @classmethod
+    def coerce(
+        cls, policy: "FsyncPolicy | str | None", interval_s: float = 0.05
+    ) -> "FsyncPolicy":
+        """``None`` / mode strings / instances -> an instance."""
+        if policy is None:
+            return cls("none", interval_s)
+        if isinstance(policy, FsyncPolicy):
+            return policy
+        return cls(policy, interval_s)
 
 #: Format tag for quarantined-job records.  A job that keeps failing is
 #: recorded in the store as a *structured error document* instead of a
@@ -60,24 +128,59 @@ def is_error_result(result: Any) -> bool:
     return isinstance(result, dict) and result.get("format") == ERROR_FORMAT
 
 
+def record_crc(job_id: str, normalised: Any) -> int:
+    """CRC32 over the canonical ``{"job", "result"}`` payload bytes.
+
+    Computed on the record *without* its ``crc`` field, so the checksum
+    covers exactly the bytes that matter and verification is
+    re-serialise-and-compare, independent of field ordering on disk.
+    """
+    payload = json.dumps(
+        {"job": job_id, "result": normalised},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return zlib.crc32(payload.encode("utf-8"))
+
+
 def result_line(job_id: str, normalised: Any) -> str:
-    """One store line: the canonical ``{"job", "result"}`` record.
+    """One store line: the canonical ``{"crc", "job", "result"}`` record.
 
     Shared by :class:`ResultStore` and the serving layer's
     offset-indexed query store so their files stay interchangeable.
+    The ``crc`` field lets readers detect bit-rot inside a record, not
+    just a torn tail; legacy lines without it are accepted unverified.
     """
     return json.dumps(
-        {"job": job_id, "result": normalised},
+        {
+            "crc": record_crc(job_id, normalised),
+            "job": job_id,
+            "result": normalised,
+        },
         sort_keys=True,
         separators=(",", ":"),
     )
 
 
-def iter_result_records(path: Path) -> Iterator[tuple[int, dict]]:
+def verify_record(record: dict) -> bool:
+    """True when a parsed record's checksum matches (or it has none)."""
+    stored = record.get("crc")
+    if stored is None:
+        return True  # pre-checksum line: accept unverified
+    return stored == record_crc(record.get("job"), record.get("result"))
+
+
+def iter_result_records(
+    path: Path,
+    on_corrupt: Callable[[int, bytes, str], None] | None = None,
+) -> Iterator[tuple[int, dict]]:
     """Yield ``(byte_offset, record)`` per intact line of a store file.
 
     Tolerates a torn final line (killed run/server): everything before
-    it is intact, the torn job simply reruns.
+    it is intact, the torn job simply reruns.  A *complete* line that
+    fails to parse, lacks a ``job`` field, or fails its CRC check is
+    corruption rather than a torn write; it is skipped and reported via
+    ``on_corrupt(offset, raw_line, reason)`` when given.
     """
     if not path.exists():
         return
@@ -86,13 +189,63 @@ def iter_result_records(path: Path) -> Iterator[tuple[int, dict]]:
         for raw in handle:
             line = raw.strip()
             if line:
+                complete = raw.endswith(b"\n")
+                reason = None
+                record = None
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    record = None  # torn line
-                if isinstance(record, dict) and "job" in record:
+                    reason = "unparseable"
+                else:
+                    if not isinstance(record, dict) or "job" not in record:
+                        reason = "not-a-record"
+                    elif not verify_record(record):
+                        reason = "crc-mismatch"
+                if reason is None:
                     yield offset, record
+                elif complete and on_corrupt is not None:
+                    # A torn tail (no trailing newline) stays silent:
+                    # it is the normal signature of a killed writer.
+                    on_corrupt(offset, raw, reason)
             offset += len(raw)
+
+
+def quarantine_record(path: Path, offset: int, raw: bytes, reason: str) -> bool:
+    """Append one corrupt record to ``path``'s ``.corrupt`` sidecar.
+
+    The main store file is never rewritten — the damaged record simply
+    drops out of the index (its hash recomputes and re-appends).  The
+    sidecar keeps the raw bytes (base64) plus offset and reason for
+    forensics.  Deduped by offset so rescans do not re-quarantine;
+    returns True when a new entry was written.
+    """
+    sidecar = path.with_name(path.name + CORRUPT_SUFFIX)
+    if sidecar.exists():
+        for line in sidecar.read_text(encoding="utf-8").splitlines():
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and entry.get("offset") == offset:
+                return False
+    entry = {
+        "offset": offset,
+        "reason": reason,
+        "raw": base64.b64encode(raw).decode("ascii"),
+    }
+    with sidecar.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return True
+
+
+def quarantined_count(path: Path) -> int:
+    """Number of records in ``path``'s ``.corrupt`` sidecar."""
+    sidecar = path.with_name(path.name + CORRUPT_SUFFIX)
+    if not sidecar.exists():
+        return 0
+    return sum(
+        1 for line in sidecar.read_text(encoding="utf-8").splitlines() if line
+    )
 
 
 def tail_needs_newline(path: Path) -> bool:
@@ -154,16 +307,34 @@ class ResultStore(MemoryStore):
 
     persistent = True
 
-    def __init__(self, run_dir: str | Path) -> None:
+    def __init__(
+        self,
+        run_dir: str | Path,
+        fsync: FsyncPolicy | str | None = None,
+    ) -> None:
         super().__init__()
         self.run_dir = Path(run_dir)
         self.path = self.run_dir / RESULTS_NAME
         self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = FsyncPolicy.coerce(fsync)
+        self.read_only = False
+        self.write_errors = 0
+        self.corrupt_records = 0
         self._results = {
             record["job"]: record.get("result")
-            for _, record in iter_result_records(self.path)
+            for _, record in iter_result_records(self.path, self._quarantine)
         }
         self._needs_newline = tail_needs_newline(self.path)
+
+    def _quarantine(self, offset: int, raw: bytes, reason: str) -> None:
+        self.corrupt_records += 1
+        if quarantine_record(self.path, offset, raw, reason):
+            warnings.warn(
+                f"{self.path}: corrupt record at offset {offset} ({reason}); "
+                f"quarantined to {self.path.name}{CORRUPT_SUFFIX}",
+                StoreCorruptionWarning,
+                stacklevel=2,
+            )
 
     def prepare(self, spec: "CampaignSpec") -> None:
         """Pin the run directory to one campaign.
@@ -185,15 +356,33 @@ class ResultStore(MemoryStore):
         spec_path.write_text(canonical + "\n", encoding="utf-8")
 
     def put(self, job_id: str, result: Any) -> Any:
-        """Append one result line and mirror it in memory."""
+        """Append one result line and mirror it in memory.
+
+        A failed append (``ENOSPC``, permission loss, dying disk) does
+        not crash the campaign mid-run: the store degrades to read-only
+        — results keep flowing through the in-memory mirror so the run
+        finishes, they just will not survive for resume.
+        """
         normalised = jsonable(result)
-        line = result_line(job_id, normalised)
-        with self.path.open("a", encoding="utf-8") as handle:
-            if self._needs_newline:
-                handle.write("\n")
-                self._needs_newline = False
-            handle.write(line + "\n")
-            handle.flush()
+        if not self.read_only:
+            line = result_line(job_id, normalised)
+            try:
+                with self.path.open("a", encoding="utf-8") as handle:
+                    if self._needs_newline:
+                        handle.write("\n")
+                        self._needs_newline = False
+                    handle.write(line + "\n")
+                    handle.flush()
+                    self.fsync.sync(handle.fileno())
+            except OSError as exc:
+                self.read_only = True
+                self.write_errors += 1
+                warnings.warn(
+                    f"{self.path}: append failed ({exc}); store degraded to "
+                    "read-only — results from here on are in-memory only",
+                    StoreWriteWarning,
+                    stacklevel=2,
+                )
         self._results[job_id] = normalised
         return normalised
 

@@ -25,14 +25,20 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
 from repro.campaigns.spec import jsonable
 from repro.campaigns.store import (
+    CORRUPT_SUFFIX,
+    FsyncPolicy,
     MemoryStore,
+    StoreCorruptionWarning,
+    StoreWriteWarning,
     iter_result_records,
+    quarantine_record,
     result_line,
     tail_needs_newline,
 )
@@ -46,18 +52,33 @@ class JsonlQueryStore:
     Implements the subset of the :class:`MemoryStore` interface the
     serving cache needs (``get`` / ``put`` / ``in`` / ``len``).  A torn
     final line (killed server) is skipped on reload, exactly like the
-    campaign store; its job simply recomputes.
+    campaign store; its job simply recomputes.  A *corrupt* record
+    (CRC mismatch, unparseable complete line) is quarantined into a
+    ``.corrupt`` sidecar and dropped from the index, so only the
+    damaged hashes recompute.
     """
 
     persistent = True
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        fsync: FsyncPolicy | str | None = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.path = self.directory / "results.jsonl"
+        self.fsync = FsyncPolicy.coerce(fsync)
+        self.read_only = False
+        self.write_errors = 0
+        self.corrupt_records = 0
         self._lock = threading.Lock()
         #: job hash -> byte offset of its line in ``path``.
         self._index: dict[str, int] = {}
+        #: job hash -> result, for entries accepted while read-only
+        #: (disk append failed) — keeps the server answering even when
+        #: the disk under it is full.
+        self._overlay: dict[str, Any] = {}
         #: True when the file ends in a torn line (killed mid-write):
         #: the next append must start on a fresh line or it would merge
         #: with the torn bytes and be lost on the following reload.
@@ -66,15 +87,67 @@ class JsonlQueryStore:
 
     def _scan(self) -> None:
         """Build the offset index from the existing file, if any."""
-        for offset, record in iter_result_records(self.path):
+        for offset, record in iter_result_records(self.path, self._quarantine):
             self._index[record["job"]] = offset
         self._needs_newline = tail_needs_newline(self.path)
+
+    def _quarantine(self, offset: int, raw: bytes, reason: str) -> None:
+        self.corrupt_records += 1
+        if quarantine_record(self.path, offset, raw, reason):
+            warnings.warn(
+                f"{self.path}: corrupt record at offset {offset} ({reason}); "
+                f"quarantined to {self.path.name}{CORRUPT_SUFFIX}",
+                StoreCorruptionWarning,
+                stacklevel=2,
+            )
+
+    @property
+    def end_offset(self) -> int:
+        """Current byte length of the store file (the replication log
+        position: a replica caught up to ``end_offset`` has every
+        committed record)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def _append_locked(self, job_id: str, line: str) -> None:
+        """Append one pre-rendered line while holding ``_lock``.
+
+        On ``OSError`` (``ENOSPC``, revoked permissions, dying disk)
+        the store degrades to read-only instead of crashing the server:
+        later results land in an in-memory overlay and the structured
+        warning + ``/stats`` counters make the degradation observable.
+        """
+        try:
+            with self.path.open("a", encoding="utf-8") as handle:
+                offset = handle.tell()
+                if self._needs_newline:
+                    handle.write("\n")
+                    offset += 1
+                    self._needs_newline = False
+                handle.write(line + "\n")
+                handle.flush()
+                self.fsync.sync(handle.fileno())
+        except OSError as exc:
+            self.read_only = True
+            self.write_errors += 1
+            warnings.warn(
+                f"{self.path}: append failed ({exc}); store degraded to "
+                "read-only — new results held in memory only",
+                StoreWriteWarning,
+                stacklevel=3,
+            )
+        else:
+            self._index[job_id] = offset
 
     def get(self, job_id: str, default: Any = None) -> Any:
         """One stored result, read back from disk by offset."""
         with self._lock:
             offset = self._index.get(job_id)
             if offset is None:
+                if job_id in self._overlay:
+                    return self._overlay[job_id]
                 return default
             with self.path.open("rb") as handle:
                 handle.seek(offset)
@@ -87,15 +160,12 @@ class JsonlQueryStore:
         normalised = jsonable(result)
         line = result_line(job_id, normalised)
         with self._lock:
-            with self.path.open("a", encoding="utf-8") as handle:
-                offset = handle.tell()
-                if self._needs_newline:
-                    handle.write("\n")
-                    offset += 1
-                    self._needs_newline = False
-                handle.write(line + "\n")
-                handle.flush()
-            self._index[job_id] = offset
+            if self.read_only:
+                self._overlay[job_id] = normalised
+            else:
+                self._append_locked(job_id, line)
+                if self.read_only:  # the append just failed
+                    self._overlay[job_id] = normalised
         return normalised
 
     def put_if_absent(self, job_id: str, result: Any) -> tuple[Any, bool]:
@@ -108,30 +178,36 @@ class JsonlQueryStore:
         front-ends race on the same job.
         """
         with self._lock:
-            if job_id in self._index:
-                pass  # fall through to a read outside the lock
-            else:
+            if job_id not in self._index and job_id not in self._overlay:
                 normalised = jsonable(result)
+                if self.read_only:
+                    self._overlay[job_id] = normalised
+                    return normalised, True
                 line = result_line(job_id, normalised)
-                with self.path.open("a", encoding="utf-8") as handle:
-                    offset = handle.tell()
-                    if self._needs_newline:
-                        handle.write("\n")
-                        offset += 1
-                        self._needs_newline = False
-                    handle.write(line + "\n")
-                    handle.flush()
-                self._index[job_id] = offset
+                self._append_locked(job_id, line)
+                if self.read_only:  # the append just failed
+                    self._overlay[job_id] = normalised
                 return normalised, True
         return self.get(job_id), False
 
+    def durability_stats(self) -> dict:
+        """Store-level durability counters for ``GET /stats``."""
+        with self._lock:
+            return {
+                "fsync": self.fsync.mode,
+                "read_only": self.read_only,
+                "write_errors": self.write_errors,
+                "corrupt_records": self.corrupt_records,
+                "end_offset": self.end_offset,
+            }
+
     def __contains__(self, job_id: str) -> bool:
         with self._lock:
-            return job_id in self._index
+            return job_id in self._index or job_id in self._overlay
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._index)
+            return len(self._index) + len(self._overlay)
 
 
 class ServeCache:

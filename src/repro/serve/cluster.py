@@ -51,9 +51,10 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
 
+from repro.campaigns.store import FSYNC_MODES
 from repro.serve.server import serve
 from repro.serve.service import AnalysisService, ServeConfig
-from repro.serve.stored import StoreDaemon
+from repro.serve.stored import StoreClient, StoreDaemon, StoreUnavailable
 
 _CTX = multiprocessing.get_context("fork")
 
@@ -74,6 +75,18 @@ class ClusterConfig:
     store_dir: str = "cluster-state"
     #: Store-daemon processes the job hashes shard over.
     store_shards: int = 1
+    #: Run each shard as a replicated *group*: a primary plus a backup
+    #: (``shard-<i>-replica``) tailing its log.  A dead primary is
+    #: promoted around (see ``_promote_sibling``) instead of waited
+    #: for, so committed results survive a SIGKILL.
+    store_group: bool = False
+    #: Primary ack discipline: ``"replicated"`` delays each put ack
+    #: until the backup confirmed the record (durability), ``"local"``
+    #: acks after the local append (throughput).  Only meaningful with
+    #: ``store_group``.
+    store_ack_mode: str = "replicated"
+    #: Fsync policy of the shard stores (``none``/``batch``/``always``).
+    store_fsync: str = "none"
     #: Worker processes per front-end (``0`` = in-process threads).
     workers: int = 0
     #: LRU entries per front-end (the read-through tier in front of the
@@ -125,6 +138,16 @@ class ClusterConfig:
             raise ValueError(
                 "need 0 < backoff_base_s <= backoff_cap_s, got "
                 f"{self.backoff_base_s} / {self.backoff_cap_s}"
+            )
+        if self.store_ack_mode not in ("local", "replicated"):
+            raise ValueError(
+                "store_ack_mode must be 'local' or 'replicated', "
+                f"got {self.store_ack_mode!r}"
+            )
+        if self.store_fsync not in FSYNC_MODES:
+            raise ValueError(
+                f"store_fsync must be one of {', '.join(FSYNC_MODES)}, "
+                f"got {self.store_fsync!r}"
             )
         if self.listener not in ("auto", "reuseport", "shared"):
             raise ValueError(
@@ -269,18 +292,34 @@ def _frontend_main(index: int, config: ServeConfig, sock, conn) -> None:
 
 
 def _store_main(
-    index: int, directory: str, host: str, port: int, conn
+    index: int,
+    directory: str,
+    host: str,
+    port: int,
+    conn,
+    replica_of: str | None = None,
+    ack_mode: str = "local",
+    fsync: str = "none",
 ) -> None:
     """One store-shard child: bind, report the port, serve until stopped.
 
     The first spawn binds ``port=0`` and reports the resolved port;
     restarts are told the learned port so every front-end's configured
-    shard address stays valid across daemon bounces.
+    shard address stays valid across daemon bounces.  With
+    ``replica_of`` the child starts as a backup tailing that primary;
+    the supervisor promotes it over TCP when the primary dies.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     stopping = threading.Event()
     signal.signal(signal.SIGTERM, lambda *_: stopping.set())
-    daemon = StoreDaemon(directory, host, port)
+    daemon = StoreDaemon(
+        directory,
+        host,
+        port,
+        replica_of=replica_of,
+        ack_mode=ack_mode,
+        fsync=fsync,
+    )
     try:
         daemon.bind()
     except OSError as exc:
@@ -321,6 +360,13 @@ def _store_main(
                         "puts": daemon.puts,
                         "dedups": daemon.dedups,
                         "connections": daemon.connections,
+                        "role": daemon.role,
+                        "failover_generation": daemon.failover_generation,
+                        "corrupt_records": daemon.store.corrupt_records,
+                        "fsync": daemon.store.fsync.mode,
+                        "ack_downgrades": daemon.ack_downgrades,
+                        "replica_offset": daemon.replica_offset,
+                        "end_offset": daemon.store.end_offset,
                     },
                 })
             except (BrokenPipeError, OSError):
@@ -340,7 +386,7 @@ class _Slot:
     __slots__ = (
         "kind", "index", "process", "conn", "child_conn", "last_pong",
         "failures", "started_at", "restarts", "restart_at", "stats",
-        "address",
+        "address", "shard", "member", "role",
     )
 
     def __init__(self, kind: str, index: int) -> None:
@@ -356,6 +402,9 @@ class _Slot:
         self.restart_at: float | None = None  # pending-restart deadline
         self.stats: dict = {}
         self.address: str | None = None  # store slots: learned host:port
+        self.shard = index  # store slots: which shard this member serves
+        self.member = 0  # store slots: position within the shard group
+        self.role: str = "primary"  # store slots: current role
 
     @property
     def alive(self) -> bool:
@@ -386,9 +435,19 @@ class ClusterSupervisor:
         self._frontends = [
             _Slot("frontend", i) for i in range(self.config.frontends)
         ]
-        self._stores = [
-            _Slot("store", i) for i in range(self.config.store_shards)
-        ]
+        self._stores: list[_Slot] = []
+        members = (
+            ((0, "primary"), (1, "backup"))
+            if self.config.store_group
+            else ((0, "primary"),)
+        )
+        for shard in range(self.config.store_shards):
+            for member, role in members:
+                slot = _Slot("store", len(self._stores))
+                slot.shard, slot.member, slot.role = shard, member, role
+                self._stores.append(slot)
+        self.store_failovers = 0
+        self.failover_generation = 0
         self._store_addrs: tuple[str, ...] = ()
         self._frontend_config: ServeConfig | None = None
         self._lock = threading.Lock()
@@ -403,9 +462,26 @@ class ClusterSupervisor:
         """Bind the port, spawn shards then front-ends, start pinging."""
         deadline = time.monotonic() + timeout
         self._bind()
-        for slot in self._stores:
+        # Primaries first: a backup needs its primary's address to tail.
+        primaries = [s for s in self._stores if s.role == "primary"]
+        backups = [s for s in self._stores if s.role == "backup"]
+        for slot in primaries:
             self._spawn_store(slot)
-        self._await_store_addrs(deadline)
+        self._await_store_addrs(deadline, primaries)
+        for slot in backups:
+            self._spawn_store(slot)
+        if backups:
+            self._await_store_addrs(deadline, backups)
+        self._store_addrs = tuple(
+            ",".join(
+                slot.address
+                for slot in sorted(
+                    (s for s in self._stores if s.shard == shard),
+                    key=lambda s: s.member,
+                )
+            )
+            for shard in range(self.config.store_shards)
+        )
         self._frontend_config = self.config.frontend_config(self._store_addrs)
         for slot in self._frontends:
             self._spawn_frontend(slot)
@@ -506,20 +582,41 @@ class ClusterSupervisor:
         slot.last_pong = slot.started_at  # grace: pings start later
         slot.restart_at = None
 
+    def _sibling(self, slot: _Slot) -> _Slot | None:
+        """The other member of a store slot's shard group, if any."""
+        for other in self._stores:
+            if other is not slot and other.shard == slot.shard:
+                return other
+        return None
+
     def _spawn_store(self, slot: _Slot) -> None:
         self._close_slot_pipes(slot)
         parent_conn, child_conn = _CTX.Pipe()
         slot.conn, slot.child_conn = parent_conn, child_conn
-        directory = str(Path(self.config.store_dir) / f"shard-{slot.index:02d}")
+        suffix = "" if slot.member == 0 else "-replica"
+        directory = str(
+            Path(self.config.store_dir) / f"shard-{slot.shard:02d}{suffix}"
+        )
         # First spawn: ephemeral port.  Restarts: the learned port, so
         # the address baked into every front-end stays valid.
         port = 0
         if slot.address is not None:
             port = int(slot.address.rsplit(":", 1)[1])
+        replica_of = None
+        if slot.role == "backup":
+            sibling = self._sibling(slot)
+            replica_of = sibling.address if sibling is not None else None
         process = _CTX.Process(
             target=_store_main,
-            args=(slot.index, directory, "127.0.0.1", port, child_conn),
-            name=f"repro-stored-{slot.index}",
+            args=(
+                slot.index, directory, "127.0.0.1", port, child_conn,
+                replica_of,
+                self.config.store_ack_mode
+                if self.config.store_group
+                else "local",
+                self.config.store_fsync,
+            ),
+            name=f"repro-stored-{slot.shard}{suffix}",
             daemon=False,
         )
         process.start()
@@ -537,8 +634,10 @@ class ClusterSupervisor:
                     pass
         slot.conn = slot.child_conn = None
 
-    def _await_store_addrs(self, deadline: float) -> None:
-        for slot in self._stores:
+    def _await_store_addrs(
+        self, deadline: float, slots: list[_Slot] | None = None
+    ) -> None:
+        for slot in slots if slots is not None else self._stores:
             while slot.address is None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or not slot.alive:
@@ -556,9 +655,6 @@ class ClusterSupervisor:
                             f"store shard {slot.index} bind failed: "
                             f"{message.get('error')}"
                         )
-        self._store_addrs = tuple(
-            slot.address for slot in self._stores
-        )
 
     def _await_frontends(self, deadline: float) -> None:
         pending = set(range(len(self._frontends)))
@@ -637,6 +733,12 @@ class ClusterSupervisor:
                     self._spawn_store(slot)
             return
         if not slot.alive:
+            if (
+                slot.kind == "store"
+                and self.config.store_group
+                and slot.role == "primary"
+            ):
+                self._promote_sibling(slot)
             self._enter_backoff(slot, now, reason="died")
             return
         silent_for = now - slot.last_pong
@@ -654,6 +756,43 @@ class ClusterSupervisor:
         if slot.failures and now - slot.started_at > \
                 self.config.stable_reset_s:
             slot.failures = 0  # earned its stability back
+
+    def _promote_sibling(self, dead: _Slot) -> None:
+        """Failover: flip the dead primary's backup into the primary.
+
+        The promotion is a TCP ``promote`` to the live backup; on
+        success the roles swap, so the dead slot respawns (after its
+        backoff) as a *backup* tailing the new primary.  If the backup
+        is also down, roles stay put and the dead slot respawns as a
+        primary — a full-group outage degrades to recomputation, never
+        to a stuck cluster.
+        """
+        sibling = self._sibling(dead)
+        if sibling is None or not sibling.alive or sibling.address is None:
+            return
+        generation = self.failover_generation + 1
+        try:
+            client = StoreClient(
+                sibling.address, timeout=2.0, connect_timeout=1.0
+            )
+            try:
+                reply = client.request(
+                    {"op": "promote", "generation": generation}
+                )
+            finally:
+                client.close()
+        except StoreUnavailable:
+            return
+        if not reply.get("ok"):
+            return
+        dead.role, sibling.role = "backup", "primary"
+        self.failover_generation = generation
+        self.store_failovers += 1
+        print(
+            f"cluster: store shard {dead.shard} primary died; promoted "
+            f"{sibling.address} (generation {generation})",
+            file=sys.stderr,
+        )
 
     def _enter_backoff(self, slot: _Slot, now: float, *, reason: str) -> None:
         delay = min(
@@ -690,6 +829,8 @@ class ClusterSupervisor:
             stats = dict(slot.stats) if slot.stats else {}
             stats["alive"] = slot.alive
             stats["restarts"] = slot.restarts
+            stats["role"] = slot.role
+            stats["shard"] = slot.shard
             if "gets" in stats:
                 stats["shard_misses"] = stats["gets"] - stats.get("hits", 0)
             per_shard[slot.address] = stats
@@ -704,6 +845,29 @@ class ClusterSupervisor:
             "totals": totals,
             "per_frontend": per_frontend,
             "per_shard": per_shard,
+            "durability": {
+                "store_group": self.config.store_group,
+                "ack_mode": (
+                    self.config.store_ack_mode
+                    if self.config.store_group
+                    else "local"
+                ),
+                "fsync": self.config.store_fsync,
+                "store_failovers": self.store_failovers,
+                "failover_generation": self.failover_generation,
+                "corrupt_records": sum(
+                    s.stats.get("corrupt_records", 0) for s in self._stores
+                ),
+                "replication_lag_bytes": sum(
+                    max(
+                        0,
+                        (self._sibling(s) or s).stats.get("end_offset", 0)
+                        - s.stats.get("replica_offset", 0),
+                    )
+                    for s in self._stores
+                    if s.role == "backup" and s.stats
+                ),
+            },
         }
 
     def aggregate(self) -> dict:
@@ -731,15 +895,43 @@ class ClusterSupervisor:
             slot.process.kill()
         return pid
 
-    def kill_store(self, index: int = 0) -> int:
-        """SIGKILL one store shard (chaos); returns the killed PID."""
+    def kill_store(self, index: int = 0, *, role: str = "primary") -> int:
+        """SIGKILL one store member (chaos); returns the killed PID.
+
+        Without ``store_group``, ``index`` is the shard slot.  With it,
+        ``index`` is the *shard* and ``role`` picks the member holding
+        that role right now (default: the current primary).
+        """
         with self._lock:
-            slot = self._stores[index]
+            if self.config.store_group:
+                slot = next(
+                    (
+                        s for s in self._stores
+                        if s.shard == index and s.role == role
+                    ),
+                    None,
+                )
+                if slot is None:
+                    raise RuntimeError(
+                        f"store shard {index} has no {role} member"
+                    )
+            else:
+                slot = self._stores[index]
             if not slot.alive:
                 raise RuntimeError(f"store shard {index} is not running")
             pid = slot.process.pid
             slot.process.kill()
         return pid
+
+    def store_roles(self) -> dict[int, dict[str, str]]:
+        """Current role of every store member, by shard (chaos hook)."""
+        with self._lock:
+            roles: dict[int, dict[str, str]] = {}
+            for slot in self._stores:
+                roles.setdefault(slot.shard, {})[
+                    slot.address or f"member-{slot.member}"
+                ] = slot.role
+            return roles
 
     def wedge_frontend(self, index: int = 0) -> None:
         """Make one front-end stop answering pings (chaos hook)."""

@@ -121,6 +121,10 @@ class ServeConfig:
     #: to recomputation.  ``run_dir`` then only persists campaign
     #: stores — query results live in the shard daemons' directories.
     store_addrs: tuple[str, ...] = ()
+    #: Fsync policy of the local query store (``none``/``batch``/
+    #: ``always``); ignored when ``store_addrs`` routes queries to the
+    #: shard daemons (which carry their own policy).
+    store_fsync: str = "none"
     #: Admission bound: compute requests (analyze / batch / sizing / allocate)
     #: concurrently in this process.  ``0`` = unbounded (single-process
     #: default); a cluster front-end sets it so overload **sheds** (429
@@ -176,12 +180,23 @@ class ServeConfig:
             )
         if not 0 <= self.port <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
-        for addr in self.store_addrs:
-            host, _, port_text = addr.rpartition(":")
-            if not host or not port_text.isdigit():
-                raise ValueError(
-                    f"store address must be 'host:port', got {addr!r}"
-                )
+        for group in self.store_addrs:
+            # Each entry is one shard: a single "host:port" or a
+            # replicated group "host:port,host:port" (primary,backup).
+            members = [part for part in group.split(",") if part]
+            if not members:
+                raise ValueError(f"empty store address group {group!r}")
+            for addr in members:
+                host, _, port_text = addr.rpartition(":")
+                if not host or not port_text.isdigit():
+                    raise ValueError(
+                        f"store address must be 'host:port', got {addr!r}"
+                    )
+        if self.store_fsync not in ("none", "batch", "always"):
+            raise ValueError(
+                "store_fsync must be 'none', 'batch' or 'always', "
+                f"got {self.store_fsync!r}"
+            )
         if self.max_inflight < 0:
             raise ValueError(
                 f"max_inflight must be >= 0, got {self.max_inflight}"
@@ -293,7 +308,10 @@ class AnalysisService:
         elif self.config.run_dir is not None:
             # Offset-indexed on disk: the LRU (not the store) bounds
             # what this process holds in memory.
-            store = JsonlQueryStore(Path(self.config.run_dir) / "queries")
+            store = JsonlQueryStore(
+                Path(self.config.run_dir) / "queries",
+                fsync=self.config.store_fsync,
+            )
         self.cache = ServeCache(maxsize=self.config.cache_size, store=store)
         # The shared pool is supervised: worker deaths rebuild it and
         # resubmit the queued work instead of poisoning every future.
@@ -459,8 +477,14 @@ class AnalysisService:
         cache_stats = self.cache.stats()
         store_stats = getattr(self.cache.store, "stats", None)
         if callable(store_stats):
-            # RemoteStore: shard count, outage and buffered-put counters.
+            # RemoteStore: shard count, outage, buffered-put and
+            # failover counters.
             cache_stats["remote"] = store_stats()
+        durability = getattr(self.cache.store, "durability_stats", None)
+        if callable(durability):
+            # JsonlQueryStore: fsync mode, read-only degradation and
+            # corrupt-record quarantine counters.
+            cache_stats["store"] = durability()
         from repro.core.backend import get_backend
 
         payload = {

@@ -94,7 +94,7 @@ class TestResultStore:
         path = tmp_path / "run" / "results.jsonl"
         content = path.read_text()
         # Simulate a crash mid-write: second record loses its tail.
-        path.write_text(content[: content.rindex('{"job":"j2"') + 15])
+        path.write_text(content[: content.rindex('"job":"j2"') + 5])
         reopened = ResultStore(tmp_path / "run")
         assert reopened.load() == {"j1": {"v": 1}}
 

@@ -98,14 +98,14 @@ class TestStoreDaemon:
             {"ok": True, "found": False}
         assert client.request(
             {"op": "put", "job": "h1", "result": {"x": [1, 2]}}
-        ) == {"ok": True, "stored": True}
+        ) == {"ok": True, "stored": True, "replicated": False}
         reply = client.request({"op": "get", "job": "h1"})
         assert reply == {"ok": True, "found": True, "result": {"x": [1, 2]}}
 
     def test_put_deduplicates(self, daemon, client):
         client.request({"op": "put", "job": "h", "result": 1})
         assert client.request({"op": "put", "job": "h", "result": 1}) == \
-            {"ok": True, "stored": False}
+            {"ok": True, "stored": False, "replicated": False}
         stats = client.request({"op": "stats"})
         assert stats["entries"] == 1
         assert stats["dedups"] == 1

@@ -63,6 +63,8 @@ TRACKED = (
     ("backend.kernel_b256.cpu_speedup", "higher"),
     ("backend.sim_8x8.cpu_speedup", "higher"),
     ("backend.sim_8x8.cext_cycles_per_s", "higher"),
+    ("durability.fsync_puts_per_s.always", "higher"),
+    ("durability.failover_time_s", "lower"),
     ("chaos.scenarios_passed", "higher"),
     ("cluster.best_rps", "higher"),
 )

@@ -42,6 +42,16 @@ Scenarios (default: all, in this order):
   admission gate: shed requests all get **429 + Retry-After**,
   admitted requests all complete, and retrying clients eventually land
   every request.
+* ``store_failover``       — a replicated store group (primary +
+  backup, replicated acks) takes a 1000-request load while the primary
+  is SIGKILLed: the supervisor promotes the backup, clients observe no
+  errors, every pre-kill committed hash is on the promoted store's
+  disk, and nothing is recomputed (zero acknowledged-result loss).
+* ``record_corruption``    — bytes are flipped inside two committed
+  store records: the restart scan quarantines exactly those records to
+  the ``.corrupt`` sidecar, the survivors stay served from disk, and
+  only the two damaged hashes are recomputed — byte-identical answers
+  throughout.
 
 ``chaos_metrics()`` packages the scenario outcomes for
 ``benchmarks/record_engine_bench.py`` (the ``chaos`` block), so
@@ -410,6 +420,191 @@ def overload_shed() -> dict:
             "server_shed_429": shed_429}
 
 
+def store_failover() -> dict:
+    """Kill the primary store under load; zero committed results lost."""
+    docs = _flowset_docs(16)
+    total = 1000
+    threads_n = 8
+    with tempfile.TemporaryDirectory() as store_dir:
+        config = _cluster_config(
+            store_dir,
+            store_group=True,
+            store_ack_mode="replicated",
+            cache_size=1,  # a tiny LRU forces reads through the store
+        )
+        with ClusterSupervisor(config) as sup:
+            host, port = sup.address
+            with ServeClient(host, port, timeout=30,
+                             connect_retries=6) as client:
+                # Phase 1: commit every distinct doc.  A 200 response
+                # implies the put was acked — and replicated acks mean
+                # the backup confirmed the record before that ack.
+                committed = [client.analyze(doc)["job"] for doc in docs]
+            time.sleep(0.4)  # let pongs carry the executed counters up
+            executed_committed = sup.aggregate()["totals"]["executed"]
+
+            # Phase 2: sustained load, primary murdered mid-flight.
+            done = threading.Semaphore(0)
+            progress = {"count": 0}
+            lock = threading.Lock()
+            failures: list[Exception] = []
+
+            def load(offset: int) -> None:
+                with ServeClient(host, port, timeout=30,
+                                 connect_retries=6) as client:
+                    for i in range(offset, total, threads_n):
+                        try:
+                            body = client.analyze(docs[i % len(docs)])
+                            assert body["job"] == committed[i % len(docs)]
+                        except Exception as exc:  # noqa: BLE001
+                            with lock:
+                                failures.append(exc)
+                        with lock:
+                            progress["count"] += 1
+                done.release()
+
+            workers = [threading.Thread(target=load, args=(k,))
+                       for k in range(threads_n)]
+            for worker in workers:
+                worker.start()
+            while progress["count"] < total // 4:
+                time.sleep(0.005)
+            killed_at = time.monotonic()
+            assert sup.kill_store(0), "kill_store found no process"
+            failover_time = None
+            while time.monotonic() - killed_at < 15:
+                if sup.aggregate()["durability"]["store_failovers"] >= 1:
+                    failover_time = time.monotonic() - killed_at
+                    break
+                time.sleep(0.01)
+            assert failover_time is not None, "backup was never promoted"
+            for _ in workers:
+                done.acquire()
+            for worker in workers:
+                worker.join()
+            assert not failures, (
+                f"{len(failures)} of {total} requests failed across the "
+                f"failover; first: {failures[0]!r}"
+            )
+            assert sup.wait_all_alive(timeout=15), \
+                "killed primary was not respawned as a backup"
+            time.sleep(0.4)
+            aggregate = sup.aggregate()
+            # Zero recomputation: every load request was served from a
+            # cache or store copy, never re-executed.
+            assert aggregate["totals"]["executed"] == executed_committed, (
+                "acked results were recomputed after the failover: "
+                f"executed {aggregate['totals']['executed']} != "
+                f"{executed_committed}"
+            )
+        # The grep: every pre-kill committed hash is on the promoted
+        # store's disk (the replica directory the backup owned).
+        replica_file = Path(store_dir) / "shard-00-replica" / "results.jsonl"
+        stored = set()
+        for line in replica_file.read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                try:
+                    stored.add(json.loads(line)["job"])
+                except json.JSONDecodeError:
+                    pass
+        missing = [job for job in committed if job not in stored]
+        assert not missing, (
+            f"{len(missing)} acked results missing from the promoted "
+            f"store: {missing[:3]}"
+        )
+        # Primary and replica legitimately hold the same hashes — the
+        # dedup invariant is per *file*: one line per distinct hash.
+        for path in sorted(Path(store_dir).glob("shard-*/results.jsonl")):
+            file_hashes = [
+                json.loads(line)["job"]
+                for line in path.read_text(encoding="utf-8").splitlines()
+                if line.strip()
+            ]
+            assert sorted(file_hashes) == sorted(set(file_hashes)), \
+                f"{path} holds duplicate hashes after the failover"
+    return {
+        "requests": total,
+        "failures": 0,
+        "committed_hashes": len(committed),
+        "lost_hashes": 0,
+        "failover_time_s": round(failover_time, 3),
+        "store_failovers": aggregate["durability"]["store_failovers"],
+    }
+
+
+def record_corruption() -> dict:
+    """Flip bytes in live store records; quarantine + exact recovery."""
+    flowset = didactic_flowset(buf=2)
+    bufs = list(range(1, 9))
+    damaged = 2
+
+    def body_key(body: dict) -> str:
+        # The payload, minus the delivery metadata ("cached"/"source")
+        # that legitimately differs between a computed and a replayed
+        # answer.
+        return json.dumps(
+            {k: v for k, v in body.items() if k not in ("cached", "source")},
+            sort_keys=True,
+        )
+
+    with tempfile.TemporaryDirectory() as run_dir:
+        config = ServeConfig(port=0, workers=0, run_dir=run_dir)
+        with start_in_thread(config) as calm:
+            with ServeClient(calm.host, calm.port) as client:
+                baseline = [
+                    body_key(client.analyze(flowset, buf=buf))
+                    for buf in bufs
+                ]
+        store_file = Path(run_dir) / "queries" / "results.jsonl"
+        lines = store_file.read_bytes().splitlines(keepends=True)
+        assert len(lines) == len(bufs), "expected one line per request"
+        # Flip one digit inside two mid-file records: the line stays
+        # complete and parseable, so only the CRC can catch it.
+        for index in (2, 4):
+            line = bytearray(lines[index])
+            digit_at = max(
+                i for i, byte in enumerate(line[:-1])
+                if chr(byte).isdigit()
+            )
+            line[digit_at] ^= 0x01
+            lines[index] = bytes(line)
+        store_file.write_bytes(b"".join(lines))
+
+        with start_in_thread(config) as revived:
+            with ServeClient(revived.host, revived.port) as client:
+                answers = [
+                    body_key(client.analyze(flowset, buf=buf))
+                    for buf in bufs
+                ]
+                stats = client.stats()
+        assert answers == baseline, \
+            "post-corruption answers differ from the originals"
+        store_stats = stats["cache"]["store"]
+        assert store_stats["corrupt_records"] == damaged, (
+            f"expected {damaged} quarantined records, got "
+            f"{store_stats['corrupt_records']}"
+        )
+        # Only the damaged hashes recomputed; survivors came from disk.
+        assert stats["executed"] == damaged, (
+            f"expected exactly {damaged} recomputations, got "
+            f"{stats['executed']}"
+        )
+        sidecar = store_file.with_name(store_file.name + ".corrupt")
+        assert sidecar.exists(), "no .corrupt sidecar was written"
+        entries = [json.loads(line) for line in
+                   sidecar.read_text(encoding="utf-8").splitlines() if line]
+        assert len(entries) == damaged
+        assert all("offset" in e and "raw" in e and "reason" in e
+                   for e in entries)
+    return {
+        "records": len(bufs),
+        "damaged": damaged,
+        "quarantined": len(entries),
+        "recomputed": stats["executed"],
+        "byte_identical": True,
+    }
+
+
 #: scenario name -> callable (ordered: cheap and in-process first).
 SCENARIOS = {
     "poison_quarantine": poison_quarantine,
@@ -418,8 +613,10 @@ SCENARIOS = {
     "worker_kill_campaign": worker_kill_campaign,
     "serve_rebuild": serve_rebuild,
     "overload_shed": overload_shed,
+    "record_corruption": record_corruption,
     "store_bounce": store_bounce,
     "frontend_kill": frontend_kill,
+    "store_failover": store_failover,
 }
 
 
